@@ -1,0 +1,49 @@
+//! Ablation A2: delay distributions at equal mean (§3.1).
+//!
+//! The exponential is the max-entropy non-negative distribution at a
+//! fixed mean; with unlimited buffers (isolating the distributional
+//! effect from preemption) it should yield the highest adversary MSE per
+//! unit of added latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{delay_ablation_sweep, SweepParams};
+
+fn print_series() {
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 10.0, 20.0],
+        ..SweepParams::paper_default()
+    };
+    let rows = delay_ablation_sweep(&params);
+    let mut s = Series::new(["distribution", "1/lambda", "MSE", "latency"]);
+    for r in &rows {
+        s.push_row([
+            format!("{:?}", r.distribution),
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.mse, 1),
+            fmt_f(r.mean_latency, 1),
+        ]);
+    }
+    eprintln!(
+        "\n== A2: delay-distribution ablation, unlimited buffers (flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("ablation_delay");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 150,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("three_distributions_one_point", |b| {
+        b.iter(|| delay_ablation_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation A1: RCAD victim-selection policies.
+//!
+//! The paper picks the *shortest-remaining-delay* victim so that realized
+//! delays stay closest to the intended distribution. This bench compares
+//! that rule against longest-remaining, random, and oldest-first victims
+//! on the Figure 2 setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{victim_ablation_sweep, SweepParams};
+
+fn print_series() {
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 6.0, 12.0, 20.0],
+        ..SweepParams::paper_default()
+    };
+    let rows = victim_ablation_sweep(&params);
+    let mut s = Series::new(["victim policy", "1/lambda", "MSE", "latency", "preemptions"]);
+    for r in &rows {
+        s.push_row([
+            format!("{:?}", r.victim),
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.mse, 1),
+            fmt_f(r.mean_latency, 1),
+            r.preemptions.to_string(),
+        ]);
+    }
+    eprintln!("\n== A1: victim-policy ablation (flow S1) ==\n{}", s.to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("ablation_victim");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 150,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("four_policies_one_point", |b| {
+        b.iter(|| victim_ablation_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

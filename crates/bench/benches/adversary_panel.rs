@@ -1,0 +1,43 @@
+//! Extension E1: the full adversary hierarchy under RCAD — baseline,
+//! adaptive (paper §5.4), route-aware (deployment-aware per-node
+//! saturation), and the constant-offset oracle floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{adversary_panel_sweep, SweepParams};
+
+fn print_series() {
+    let rows = adversary_panel_sweep(&SweepParams::paper_default());
+    let mut s = Series::new(["1/lambda", "baseline", "adaptive", "route-aware", "oracle"]);
+    for r in &rows {
+        s.push_row([
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.baseline_mse, 1),
+            fmt_f(r.adaptive_mse, 1),
+            fmt_f(r.route_aware_mse, 1),
+            fmt_f(r.oracle_mse, 1),
+        ]);
+    }
+    eprintln!(
+        "\n== E1: adversary hierarchy, MSE under RCAD (flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("adversary_panel");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 200,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("four_adversaries_one_point", |b| {
+        b.iter(|| adversary_panel_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Extension E4: non-stationary (on/off) traffic — whole-trace vs
+//! sliding-window adaptive adversaries under RCAD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{burst_adversary_experiment, SweepParams};
+
+fn burst_params() -> SweepParams {
+    // Intra-burst intervals where the rate-based estimate k/lambda is
+    // meaningfully below the advertised 1/mu = 30 (interval < k*30/k = 3).
+    SweepParams {
+        inv_lambdas: vec![1.0, 1.5, 2.0, 2.5, 3.0],
+        ..SweepParams::paper_default()
+    }
+}
+
+fn print_series() {
+    let rows = burst_adversary_experiment(&burst_params(), 200, 2_000.0, 300.0);
+    let mut s = Series::new([
+        "burst interval",
+        "baseline",
+        "adaptive (batch)",
+        "windowed (online)",
+        "oracle",
+    ]);
+    for r in &rows {
+        s.push_row([
+            fmt_f(r.burst_interval, 1),
+            fmt_f(r.baseline_mse, 1),
+            fmt_f(r.adaptive_mse, 1),
+            fmt_f(r.windowed_mse, 1),
+            fmt_f(r.oracle_mse, 1),
+        ]);
+    }
+    eprintln!(
+        "\n== E4: bursty sources, offline vs online adversaries (flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("bursty_adversaries");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 240,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("one_point", |b| {
+        b.iter(|| burst_adversary_experiment(&smoke, 60, 600.0, 150.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Extension E2 (§3.3): decomposing one delay budget across the path —
+//! where should the buffering live?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{decomposition_experiment, SweepParams};
+
+fn print_series() {
+    let rows = decomposition_experiment(&SweepParams::paper_default(), 8.0, 450.0);
+    let mut s = Series::new([
+        "shape",
+        "buffers",
+        "MSE",
+        "latency",
+        "max mean occupancy",
+        "preemptions",
+    ]);
+    for r in &rows {
+        s.push_row([
+            format!("{:?}", r.shape),
+            if r.limited_buffers { "RCAD k=10" } else { "unlimited" }.to_string(),
+            fmt_f(r.mse, 1),
+            fmt_f(r.mean_latency, 1),
+            fmt_f(r.max_mean_occupancy, 2),
+            r.preemptions.to_string(),
+        ]);
+    }
+    eprintln!(
+        "\n== E2: delay-budget decomposition (budget 450, 1/lambda = 8, flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![8.0],
+        packets_per_source: 120,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("eight_scenarios_small", |b| {
+        b.iter(|| decomposition_experiment(&smoke, 8.0, 450.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

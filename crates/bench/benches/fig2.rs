@@ -1,0 +1,49 @@
+//! Figure 2 (both panels): adversary MSE and delivery latency vs 1/λ for
+//! no-delay, delay+unlimited-buffers, and delay+limited-buffers (RCAD).
+//!
+//! Running `cargo bench` prints the regenerated series (paper scale) and
+//! then times one representative sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{fig2_sweep, SweepParams};
+
+fn print_series() {
+    let rows = fig2_sweep(&SweepParams::paper_default());
+    let mut mse = Series::new(["1/lambda", "NoDelay", "Delay+Unlimited", "Delay+RCAD"]);
+    let mut lat = Series::new(["1/lambda", "NoDelay", "Delay+Unlimited", "Delay+RCAD"]);
+    for r in &rows {
+        mse.push_row([
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.no_delay.mse, 1),
+            fmt_f(r.unlimited.mse, 1),
+            fmt_f(r.rcad.mse, 1),
+        ]);
+        lat.push_row([
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.no_delay.mean_latency, 1),
+            fmt_f(r.unlimited.mean_latency, 1),
+            fmt_f(r.rcad.mean_latency, 1),
+        ]);
+    }
+    eprintln!("\n== Figure 2(a): adversary MSE (flow S1) ==\n{}", mse.to_table());
+    eprintln!("== Figure 2(b): mean delivery latency (flow S1) ==\n{}", lat.to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 200,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("sweep_point_inv_lambda_2", |b| {
+        b.iter(|| fig2_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 3: baseline vs adaptive adversary MSE under RCAD, vs 1/λ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{fig3_sweep, SweepParams};
+
+fn print_series() {
+    let rows = fig3_sweep(&SweepParams::paper_default());
+    let mut s = Series::new(["1/lambda", "BaselineAdversary", "AdaptiveAdversary"]);
+    for r in &rows {
+        s.push_row([
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.baseline_mse, 1),
+            fmt_f(r.adaptive_mse, 1),
+        ]);
+    }
+    eprintln!(
+        "\n== Figure 3: estimation MSE, two adversary models (flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 200,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("sweep_point_inv_lambda_2", |b| {
+        b.iter(|| fig3_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

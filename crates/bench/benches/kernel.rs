@@ -1,0 +1,63 @@
+//! Simulation-kernel microbenchmarks: event queue throughput, cancel
+//! cost, and full network-simulation event rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_core::config::ExperimentConfig;
+use tempriv_sim::queue::EventQueue;
+use tempriv_sim::rng::RngFactory;
+use tempriv_sim::time::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+
+    group.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = RngFactory::new(1).stream(0);
+        let times: Vec<SimTime> = (0..10_000)
+            .map(|_| SimTime::from_units(rng.sample_exp(10.0)))
+            .collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut sum = 0usize;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            sum
+        });
+    });
+
+    group.bench_function("event_queue_cancel_heavy", |b| {
+        let mut rng = RngFactory::new(2).stream(0);
+        let times: Vec<SimTime> = (0..10_000)
+            .map(|_| SimTime::from_units(rng.sample_exp(10.0)))
+            .collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times.iter().map(|&t| q.push(t, ())).collect();
+            // Cancel half, RCAD-style.
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+
+    group.sample_size(10);
+    group.bench_function("paper_network_200_packets", |b| {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 200;
+        let sim = cfg.build().expect("valid config");
+        b.iter(|| sim.run());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Extension E3: RCAD vs Chaum-style threshold mixes (related work §6).
+//!
+//! SG-Mixes delay each packet exponentially — exactly what an RCAD node
+//! does — while threshold (pool) mixes batch. This bench compares the
+//! two families on mechanism-agnostic axes: the oracle privacy floor
+//! (latency variance), mean latency, and reordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_core::experiment::{mix_comparison_sweep, SweepParams};
+
+fn print_series() {
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 6.0, 12.0, 20.0],
+        ..SweepParams::paper_default()
+    };
+    let rows = mix_comparison_sweep(&params);
+    let mut s = Series::new([
+        "mechanism",
+        "1/lambda",
+        "oracle MSE",
+        "latency",
+        "reordering",
+        "stranded",
+    ]);
+    for r in &rows {
+        s.push_row([
+            format!("{:?}", r.mechanism),
+            fmt_f(r.inv_lambda, 0),
+            fmt_f(r.oracle_mse, 1),
+            fmt_f(r.mean_latency, 1),
+            fmt_f(r.reordering, 3),
+            r.stranded.to_string(),
+        ]);
+    }
+    eprintln!(
+        "\n== E3: RCAD vs threshold mixes (flow S1) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("mix_comparison");
+    group.sample_size(10);
+    let smoke = SweepParams {
+        inv_lambdas: vec![2.0],
+        packets_per_source: 150,
+        ..SweepParams::paper_default()
+    };
+    group.bench_function("three_mechanisms_one_point", |b| {
+        b.iter(|| mix_comparison_sweep(&smoke))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

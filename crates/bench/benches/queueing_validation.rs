@@ -1,0 +1,74 @@
+//! V2–V4: simulator vs the §4 queueing theory — M/M/∞ occupancy, Erlang
+//! loss, and Burke's theorem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_bench::validation::{
+    burke_experiment, erlang_loss_experiment, mm_inf_occupancy_experiment,
+};
+use tempriv_queueing::erlang::erlang_b;
+
+fn print_series() {
+    // V2: occupancy law.
+    let mut occ = Series::new(["rho", "measured mean N", "TV distance to Poisson(rho)"]);
+    for &(lambda, mean) in &[(0.2f64, 10.0f64), (0.5, 10.0), (0.5, 30.0)] {
+        let check = mm_inf_occupancy_experiment(lambda, mean, 40_000, 21);
+        occ.push_row([
+            fmt_f(check.rho, 1),
+            fmt_f(check.measured_mean, 3),
+            fmt_f(check.tv_distance, 4),
+        ]);
+    }
+    eprintln!("\n== V2: M/M/inf occupancy vs Poisson(rho) ==\n{}", occ.to_table());
+
+    // V3: Erlang loss.
+    let rows =
+        erlang_loss_experiment(&[1.0, 2.0, 5.0, 8.0, 12.0, 20.0, 40.0], 10, 10.0, 30_000, 23);
+    let mut erl = Series::new(["rho", "E(rho,10) analytic", "measured drop rate"]);
+    for r in &rows {
+        erl.push_row([
+            fmt_f(r.rho, 1),
+            fmt_f(r.analytic, 4),
+            fmt_f(r.measured, 4),
+        ]);
+    }
+    eprintln!("== V3: drop-tail loss vs Erlang formula ==\n{}", erl.to_table());
+
+    // V4: Burke.
+    let check = burke_experiment(0.5, 10.0, 40_000, 25);
+    let mut burke = Series::new(["metric", "value"]);
+    burke.push_row([
+        "CV^2 of departure gaps (1 = Poisson)".to_string(),
+        fmt_f(check.cv_squared, 4),
+    ]);
+    burke.push_row([
+        "KS statistic vs Exp(lambda)".to_string(),
+        fmt_f(check.ks_statistic, 4),
+    ]);
+    burke.push_row([
+        "KS 5% critical value".to_string(),
+        fmt_f(check.ks_critical, 4),
+    ]);
+    burke.push_row([
+        "departure gaps measured".to_string(),
+        check.samples.to_string(),
+    ]);
+    eprintln!(
+        "== V4: Burke's theorem on simulated departures ==\n{}",
+        burke.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("queueing");
+    group.bench_function("erlang_b_rho15_k10", |b| b.iter(|| erlang_b(15.0, 10)));
+    group.sample_size(10);
+    group.bench_function("mm_inf_sim_5k_packets", |b| {
+        b.iter(|| mm_inf_occupancy_experiment(0.5, 10.0, 5_000, 27));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

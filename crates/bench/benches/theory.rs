@@ -1,0 +1,42 @@
+//! V1: bits-through-queues bound vs empirical mutual information
+//! (paper §3.2, eq. 4), plus timing of the numeric MI machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tempriv_bench::table::{fmt_f, Series};
+use tempriv_bench::validation::btq_bound_experiment;
+use tempriv_infotheory::distributions::{ErlangDist, Exponential};
+use tempriv_infotheory::mutual_information::mi_additive_nats;
+
+fn print_series() {
+    let rows = btq_bound_experiment(0.5, 1.0 / 30.0, &[1, 2, 4, 8, 16, 32], 60_000, 1);
+    let mut s = Series::new(["j", "bound ln(1+j*mu/lambda)", "empirical I(Xj;Zj)"]);
+    for r in &rows {
+        s.push_row([
+            r.j.to_string(),
+            fmt_f(r.bound_nats, 4),
+            fmt_f(r.empirical_nats, 4),
+        ]);
+    }
+    eprintln!(
+        "\n== V1: bits-through-queues bound vs empirical MI (nats) ==\n{}",
+        s.to_table()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("theory");
+    group.sample_size(10);
+    group.bench_function("numeric_mi_4000pts", |b| {
+        let x = ErlangDist::new(4, 0.5);
+        let y = Exponential::with_mean(30.0);
+        b.iter(|| mi_additive_nats(&x, &y, 4_000));
+    });
+    group.bench_function("btq_monte_carlo_5k", |b| {
+        b.iter(|| btq_bound_experiment(0.5, 1.0 / 30.0, &[4], 5_000, 2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,416 @@
+//! CLI subcommand implementations.
+//!
+//! Each command takes parsed [`Args`] and a writer, returning an error
+//! string on failure — keeping everything unit-testable without spawning
+//! processes.
+
+use std::io::Write;
+
+use tempriv_core::config::ExperimentConfig;
+use tempriv_core::experiment::{fig2_sweep, SweepParams};
+use tempriv_core::replication::{replicate, ReplicatedMetric};
+use tempriv_core::report::PrivacyAssessment;
+use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
+use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
+use tempriv_queueing::mm_inf::MmInf;
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tempriv — temporal privacy toolkit (ICDCS 2007 reproduction)
+
+USAGE:
+    tempriv <command> [args]
+
+COMMANDS:
+    run <config.json>        run one experiment config; print a summary
+        [--out outcome.json] dump the full outcome as JSON
+        [--seed N]           override the config's seed
+    init-config <path>       write the paper-default config template
+    assess <config.json>     replicate a config across seeds; print
+        [--replications N]   mean +/- 95% CI per flow (default N = 5)
+    sweep                    fig-2 style traffic sweep on the paper layout
+        [--points 2,4,...]   inter-arrival times (default: 2..20)
+        [--packets N]        packets per source (default 1000)
+        [--seed N]
+    calc erlang  --rho R --slots K          Erlang loss E(R, K)
+    calc servers --rho R --alpha A          min slots for target loss
+    calc mu      --lambda L --slots K --alpha A   rate-controlled mu
+    calc mminf   --lambda L --mu M          M/M/inf occupancy stats
+    calc btq     --lambda L --mu M [--j J] [--n N]  leakage bounds (nats)
+    help                     show this text
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure (unknown command, bad
+/// arguments, I/O, invalid config).
+pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    match args.positional(0) {
+        None | Some("help") => {
+            write!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        Some("run") => cmd_run(args, out),
+        Some("assess") => cmd_assess(args, out),
+        Some("init-config") => cmd_init_config(args, out),
+        Some("sweep") => cmd_sweep(args, out),
+        Some("calc") => cmd_calc(args, out),
+        Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("I/O error: {e}")
+}
+
+fn cmd_run<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv run <config.json> [--out outcome.json] [--seed N]")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut cfg: ExperimentConfig =
+        serde_json::from_str(&raw).map_err(|e| format!("invalid config {path}: {e}"))?;
+    if let Some(seed) = args.option("seed") {
+        cfg.seed = seed.parse().map_err(|_| format!("invalid --seed `{seed}`"))?;
+    }
+    let sim = cfg.build().map_err(|e| e.to_string())?;
+    let outcome = sim.run();
+
+    writeln!(out, "experiment: {path} (seed {})", cfg.seed).map_err(io_err)?;
+    writeln!(
+        out,
+        "delivered {}/{} packets; {} preemptions, {} drops, {} link losses",
+        outcome.total_delivered(),
+        outcome.flows.iter().map(|f| f.created).sum::<u64>(),
+        outcome.total_preemptions(),
+        outcome.total_drops(),
+        outcome.link_losses,
+    )
+    .map_err(io_err)?;
+    let report = PrivacyAssessment::assess(&sim, &outcome);
+    writeln!(
+        out,
+        "\n{:<6} {:>5} {:>10} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "flow", "hops", "latency", "p95", "baseline", "adaptive", "route-aware", "oracle"
+    )
+    .map_err(io_err)?;
+    for f in &report.flows {
+        writeln!(
+            out,
+            "{:<6} {:>5} {:>10.1} {:>9.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            f.flow.to_string(),
+            f.hops,
+            f.mean_latency,
+            f.latency_p95.unwrap_or(f64::NAN),
+            f.baseline_mse,
+            f.adaptive_mse,
+            f.route_aware_mse,
+            f.oracle_mse,
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "\nradio energy per delivered packet: {:.1}",
+        report.energy_per_delivered
+    )
+    .map_err(io_err)?;
+    if let Some(dump) = args.option("out") {
+        let json = serde_json::to_string_pretty(&outcome)
+            .map_err(|e| format!("serialize outcome: {e}"))?;
+        std::fs::write(dump, json).map_err(|e| format!("cannot write {dump}: {e}"))?;
+        writeln!(out, "\n[outcome written to {dump}]").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_assess<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv assess <config.json> [--replications N]")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg: ExperimentConfig =
+        serde_json::from_str(&raw).map_err(|e| format!("invalid config {path}: {e}"))?;
+    let replications: u32 = args.option_as("replications", 5)?;
+    if replications == 0 {
+        return Err("--replications must be positive".into());
+    }
+    // Validate once up front so workers cannot panic on a bad config.
+    cfg.build().map_err(|e| e.to_string())?;
+    let assessments = replicate(cfg.seed, replications, |seed| {
+        let mut cfg = cfg.clone();
+        cfg.seed = seed;
+        let sim = cfg.build().expect("validated config");
+        let outcome = sim.run();
+        PrivacyAssessment::assess(&sim, &outcome)
+    });
+    writeln!(
+        out,
+        "{path}: {} replications (seeds {}..{})",
+        replications,
+        cfg.seed,
+        cfg.seed + u64::from(replications) - 1
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "\n{:<6} {:>22} {:>22} {:>22}",
+        "flow", "baseline MSE", "route-aware MSE", "latency"
+    )
+    .map_err(io_err)?;
+    let flows = assessments[0].flows.len();
+    for i in 0..flows {
+        let stat = |f: &dyn Fn(&PrivacyAssessment) -> f64| {
+            let values: Vec<f64> = assessments.iter().map(f).collect();
+            ReplicatedMetric::from_values(&values)
+        };
+        let baseline = stat(&|a| a.flows[i].baseline_mse);
+        let route = stat(&|a| a.flows[i].route_aware_mse);
+        let latency = stat(&|a| a.flows[i].mean_latency);
+        writeln!(
+            out,
+            "f{:<5} {:>12.0} ± {:<7.0} {:>12.0} ± {:<7.0} {:>12.1} ± {:<7.1}",
+            i, baseline.mean, baseline.ci95, route.mean, route.ci95, latency.mean, latency.ci95
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_init_config<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv init-config <path>")?;
+    let cfg = ExperimentConfig::paper_default();
+    let json =
+        serde_json::to_string_pretty(&cfg).map_err(|e| format!("serialize config: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "paper-default config written to {path}").map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let mut params = SweepParams::paper_default();
+    params.inv_lambdas = args.option_list("points", params.inv_lambdas)?;
+    params.packets_per_source = args.option_as("packets", params.packets_per_source)?;
+    params.seed = args.option_as("seed", params.seed)?;
+    if params.inv_lambdas.is_empty() {
+        return Err("--points must name at least one inter-arrival time".into());
+    }
+    writeln!(
+        out,
+        "{:>9} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "1/lambda", "mse_none", "mse_unlim", "mse_rcad", "lat_none", "lat_unlim", "lat_rcad"
+    )
+    .map_err(io_err)?;
+    for row in fig2_sweep(&params) {
+        writeln!(
+            out,
+            "{:>9} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+            row.inv_lambda,
+            row.no_delay.mse,
+            row.unlimited.mse,
+            row.rcad.mse,
+            row.no_delay.mean_latency,
+            row.unlimited.mean_latency,
+            row.rcad.mean_latency,
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn cmd_calc<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    match args.positional(1) {
+        Some("erlang") => {
+            let rho: f64 = required(args, "rho")?;
+            let slots: u32 = required(args, "slots")?;
+            writeln!(out, "E({rho}, {slots}) = {:.6}", erlang_b(rho, slots)).map_err(io_err)
+        }
+        Some("servers") => {
+            let rho: f64 = required(args, "rho")?;
+            let alpha: f64 = required(args, "alpha")?;
+            writeln!(
+                out,
+                "min slots for E({rho}, k) <= {alpha}: k = {}",
+                min_servers_for_loss(rho, alpha)
+            )
+            .map_err(io_err)
+        }
+        Some("mu") => {
+            let lambda: f64 = required(args, "lambda")?;
+            let slots: u32 = required(args, "slots")?;
+            let alpha: f64 = required(args, "alpha")?;
+            let mu = service_rate_for_loss(lambda, slots, alpha);
+            writeln!(
+                out,
+                "mu = {mu:.6} (mean delay 1/mu = {:.3}) pins E(lambda/mu, {slots}) at {alpha}",
+                1.0 / mu
+            )
+            .map_err(io_err)
+        }
+        Some("mminf") => {
+            let lambda: f64 = required(args, "lambda")?;
+            let mu: f64 = required(args, "mu")?;
+            let station = MmInf::new(lambda, mu);
+            writeln!(
+                out,
+                "rho = {:.4}; mean occupancy = {:.4}; P(N > 10) = {:.6}; \
+                 99% buffer = {} slots",
+                station.utilization(),
+                station.mean_occupancy(),
+                station.overflow_probability(10),
+                station.buffer_for_confidence(0.99),
+            )
+            .map_err(io_err)
+        }
+        Some("btq") => {
+            let lambda: f64 = required(args, "lambda")?;
+            let mu: f64 = required(args, "mu")?;
+            let j: u64 = args.option_as("j", 1)?;
+            let n: u64 = args.option_as("n", 0)?;
+            writeln!(
+                out,
+                "I(X_{j}; Z_{j}) <= ln(1 + j*mu/lambda) = {:.6} nats",
+                btq_packet_bound_nats(j, mu, lambda)
+            )
+            .map_err(io_err)?;
+            if n > 0 {
+                writeln!(
+                    out,
+                    "I(X^{n}; Z^{n}) <= {:.4} nats (eq. 4 stream bound)",
+                    btq_stream_bound_nats(n, mu, lambda)
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        _ => Err("usage: tempriv calc <erlang|servers|mu|mminf|btq> --...".into()),
+    }
+}
+
+fn required<T: std::str::FromStr>(args: &Args, key: &str) -> Result<T, String> {
+    args.option(key)
+        .ok_or(format!("missing required option --{key}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for --{key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, String> {
+        let args = Args::parse(tokens.iter().copied());
+        let mut buf = Vec::new();
+        dispatch(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("COMMANDS"));
+        let out = run(&[]).unwrap();
+        assert!(out.contains("tempriv"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn calc_erlang_matches_library() {
+        let out = run(&["calc", "erlang", "--rho", "15", "--slots", "10"]).unwrap();
+        assert!(out.contains(&format!("{:.6}", erlang_b(15.0, 10))));
+    }
+
+    #[test]
+    fn calc_requires_options() {
+        let err = run(&["calc", "erlang", "--rho", "15"]).unwrap_err();
+        assert!(err.contains("--slots"));
+    }
+
+    #[test]
+    fn calc_mu_round_trips() {
+        let out = run(&[
+            "calc", "mu", "--lambda", "0.5", "--slots", "10", "--alpha", "0.1",
+        ])
+        .unwrap();
+        assert!(out.contains("mu ="));
+    }
+
+    #[test]
+    fn calc_mminf_reports_rho() {
+        let out = run(&["calc", "mminf", "--lambda", "0.5", "--mu", "0.0333333333"]).unwrap();
+        assert!(out.contains("rho = 15.0"));
+    }
+
+    #[test]
+    fn calc_btq_stream_bound() {
+        let out = run(&[
+            "calc", "btq", "--lambda", "0.5", "--mu", "0.0333", "--j", "3", "--n", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("I(X_3; Z_3)"));
+        assert!(out.contains("eq. 4"));
+    }
+
+    #[test]
+    fn init_config_and_run_round_trip() {
+        let dir = std::env::temp_dir().join("tempriv_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let out_path = dir.join("outcome.json");
+        let cfg_str = cfg_path.to_str().unwrap();
+        let out_str = out_path.to_str().unwrap();
+        run(&["init-config", cfg_str]).unwrap();
+        // Shrink the run so the test stays fast.
+        let mut cfg: ExperimentConfig =
+            serde_json::from_str(&std::fs::read_to_string(&cfg_path).unwrap()).unwrap();
+        cfg.packets_per_source = 60;
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+        let out = run(&["run", cfg_str, "--out", out_str, "--seed", "5"]).unwrap();
+        assert!(out.contains("delivered 240/240"));
+        assert!(out.contains("route-aware"));
+        let dumped = std::fs::read_to_string(&out_path).unwrap();
+        assert!(dumped.contains("observations"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn assess_replicates_with_ci() {
+        let dir = std::env::temp_dir().join("tempriv_cli_assess_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let cfg_str = cfg_path.to_str().unwrap();
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 80;
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let out = run(&["assess", cfg_str, "--replications", "3"]).unwrap();
+        assert!(out.contains("3 replications"));
+        assert!(out.contains("±"));
+        assert!(out.lines().count() >= 6); // header + 4 flows
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_prints_requested_points() {
+        let out = run(&["sweep", "--points", "2", "--packets", "80"]).unwrap();
+        assert!(out.contains("mse_rcad"));
+        assert_eq!(out.lines().count(), 2); // header + one row
+    }
+
+    #[test]
+    fn run_rejects_missing_file() {
+        let err = run(&["run", "/nonexistent/cfg.json"]).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # tempriv-cli — command-line front end
+//!
+//! The `tempriv` binary: run serialized experiment configs, sweep traffic
+//! rates, and evaluate the paper's queueing/leakage formulas from the
+//! shell. Logic lives in [`commands`] (unit-testable against in-memory
+//! writers); [`args`] is a tiny dependency-free `--key value` parser.
+//!
+//! ```text
+//! tempriv init-config cfg.json
+//! tempriv run cfg.json --out outcome.json
+//! tempriv sweep --points 2,10,20 --packets 500
+//! tempriv calc erlang --rho 15 --slots 10
+//! tempriv calc btq --lambda 0.5 --mu 0.0333 --j 4 --n 1000
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,19 @@
+//! `tempriv` — command-line front end for the temporal-privacy toolkit.
+
+use std::process::ExitCode;
+
+use tempriv_cli::args::Args;
+use tempriv_cli::commands::dispatch;
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match dispatch(&args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

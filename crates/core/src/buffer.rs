@@ -1,0 +1,376 @@
+//! Node buffers and the RCAD preemption policy (paper §5).
+//!
+//! A delaying node holds each packet until its private delay timer fires.
+//! With a finite buffer of `k` slots, an arrival that finds the buffer
+//! full must be handled:
+//!
+//! * **drop-tail** discards the arriving packet (the plain M/M/k/k model
+//!   of §4), or
+//! * **RCAD** preempts: it selects a *victim* among the buffered packets —
+//!   the one with the shortest remaining delay, so the realized delays
+//!   stay closest to the intended distribution — transmits it
+//!   immediately, and buffers the new packet.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tempriv_net::ids::PacketId;
+use tempriv_net::packet::Packet;
+use tempriv_sim::queue::EventId;
+use tempriv_sim::rng::SimRng;
+use tempriv_sim::time::SimTime;
+
+/// What a node does when a packet arrives and the buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BufferPolicy {
+    /// No capacity limit — the idealized M/M/∞ of §4.
+    Unlimited,
+    /// `capacity` slots; arrivals beyond that are dropped.
+    DropTail {
+        /// Buffer slots.
+        capacity: usize,
+    },
+    /// `capacity` slots; arrivals beyond that preempt a victim, which is
+    /// transmitted immediately (Rate-Controlled Adaptive Delaying).
+    Rcad {
+        /// Buffer slots.
+        capacity: usize,
+        /// How the victim is chosen.
+        victim: VictimPolicy,
+    },
+    /// A Chaum-style threshold mix (related work, §6): packets wait with
+    /// *no* individual timers; once `threshold` are buffered the node
+    /// flushes them all at once. The node's delay plan is ignored —
+    /// batching, not random delay, provides the obfuscation.
+    ThresholdMix {
+        /// Batch size that triggers a flush.
+        threshold: usize,
+    },
+}
+
+impl BufferPolicy {
+    /// The paper's evaluation configuration: RCAD with the Mica-2-like
+    /// 10-slot buffer and shortest-remaining-delay victims.
+    #[must_use]
+    pub const fn paper_rcad() -> Self {
+        BufferPolicy::Rcad {
+            capacity: 10,
+            victim: VictimPolicy::ShortestRemaining,
+        }
+    }
+
+    /// Buffer capacity, if finite (for a threshold mix this is the batch
+    /// size — the most it ever holds).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        match *self {
+            BufferPolicy::Unlimited => None,
+            BufferPolicy::DropTail { capacity } | BufferPolicy::Rcad { capacity, .. } => {
+                Some(capacity)
+            }
+            BufferPolicy::ThresholdMix { threshold } => Some(threshold),
+        }
+    }
+
+    /// Validates the policy (finite capacities must be positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.capacity() {
+            Some(0) => Err("finite buffer capacity must be at least 1".into()),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Victim-selection rule for RCAD preemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum VictimPolicy {
+    /// The packet with the least remaining delay — the paper's choice,
+    /// keeping realized delays closest to the intended distribution.
+    ShortestRemaining,
+    /// The packet with the most remaining delay (ablation).
+    LongestRemaining,
+    /// A uniformly random buffered packet (ablation).
+    Random,
+    /// The packet buffered earliest (FIFO head, ablation).
+    Oldest,
+}
+
+/// One buffered packet with its scheduled release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// When the packet entered the buffer.
+    pub buffered_at: SimTime,
+    /// When its delay timer fires ([`SimTime::MAX`] for mix entries,
+    /// which have no timer).
+    pub release_at: SimTime,
+    /// The pending release event (cancelled on preemption); `None` for
+    /// threshold-mix entries, which are released by batch flushes.
+    pub timer: Option<EventId>,
+}
+
+/// A node's delay buffer: packets keyed by id, scanned for victims.
+///
+/// Iteration order is `PacketId` order (a `BTreeMap`), so victim ties
+/// break deterministically and runs reproduce bit-for-bit.
+#[derive(Debug, Default)]
+pub struct NodeBuffer {
+    entries: BTreeMap<PacketId, BufferedPacket>,
+}
+
+impl NodeBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeBuffer {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of buffered packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet id is already buffered here (a packet cannot
+    /// occupy two slots).
+    pub fn insert(&mut self, entry: BufferedPacket) {
+        let id = entry.packet.id;
+        let prev = self.entries.insert(id, entry);
+        assert!(prev.is_none(), "packet {id} already buffered");
+    }
+
+    /// Removes and returns the packet with the given id.
+    #[must_use]
+    pub fn remove(&mut self, id: PacketId) -> Option<BufferedPacket> {
+        self.entries.remove(&id)
+    }
+
+    /// Chooses a victim according to `policy`; `None` if empty.
+    ///
+    /// Ties break toward the smallest packet id.
+    #[must_use]
+    pub fn select_victim(&self, policy: VictimPolicy, rng: &mut SimRng) -> Option<PacketId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let id = match policy {
+            VictimPolicy::ShortestRemaining => {
+                self.entries
+                    .iter()
+                    .min_by_key(|(id, e)| (e.release_at, **id))
+                    .map(|(id, _)| *id)?
+            }
+            VictimPolicy::LongestRemaining => {
+                // max by release time, ties toward smallest id.
+                self.entries
+                    .iter()
+                    .max_by(|(ida, a), (idb, b)| {
+                        a.release_at
+                            .cmp(&b.release_at)
+                            .then_with(|| idb.cmp(ida))
+                    })
+                    .map(|(id, _)| *id)?
+            }
+            VictimPolicy::Random => {
+                let idx = rng.sample_index(self.entries.len());
+                *self.entries.keys().nth(idx).expect("index in range")
+            }
+            VictimPolicy::Oldest => {
+                self.entries
+                    .iter()
+                    .min_by_key(|(id, e)| (e.buffered_at, **id))
+                    .map(|(id, _)| *id)?
+            }
+        };
+        Some(id)
+    }
+
+    /// Iterates over buffered entries in packet-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedPacket> {
+        self.entries.values()
+    }
+
+    /// Removes and returns every buffered entry in packet-id order (a
+    /// threshold-mix flush).
+    pub fn drain_all(&mut self) -> Vec<BufferedPacket> {
+        std::mem::take(&mut self.entries).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempriv_net::ids::{FlowId, NodeId};
+    use tempriv_sim::queue::EventQueue;
+    use tempriv_sim::rng::RngFactory;
+
+    fn entry(
+        q: &mut EventQueue<()>,
+        id: u64,
+        buffered_at: f64,
+        release_at: f64,
+    ) -> BufferedPacket {
+        let timer = Some(q.push(SimTime::from_units(release_at), ()));
+        BufferedPacket {
+            packet: Packet::new(
+                PacketId(id),
+                FlowId(0),
+                NodeId(0),
+                id as u32,
+                SimTime::from_units(buffered_at),
+                0.0,
+            ),
+            buffered_at: SimTime::from_units(buffered_at),
+            release_at: SimTime::from_units(release_at),
+            timer,
+        }
+    }
+
+    fn rng() -> SimRng {
+        RngFactory::new(8).stream(0)
+    }
+
+    #[test]
+    fn shortest_remaining_picks_earliest_release() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 1, 0.0, 50.0));
+        buf.insert(entry(&mut q, 2, 1.0, 20.0));
+        buf.insert(entry(&mut q, 3, 2.0, 35.0));
+        let v = buf
+            .select_victim(VictimPolicy::ShortestRemaining, &mut rng())
+            .unwrap();
+        assert_eq!(v, PacketId(2));
+    }
+
+    #[test]
+    fn longest_remaining_picks_latest_release() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 1, 0.0, 50.0));
+        buf.insert(entry(&mut q, 2, 1.0, 20.0));
+        let v = buf
+            .select_victim(VictimPolicy::LongestRemaining, &mut rng())
+            .unwrap();
+        assert_eq!(v, PacketId(1));
+    }
+
+    #[test]
+    fn oldest_picks_earliest_buffered() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 5, 3.0, 10.0));
+        buf.insert(entry(&mut q, 6, 1.0, 90.0));
+        let v = buf.select_victim(VictimPolicy::Oldest, &mut rng()).unwrap();
+        assert_eq!(v, PacketId(6));
+    }
+
+    #[test]
+    fn random_victim_is_a_member() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        for i in 0..5 {
+            buf.insert(entry(&mut q, i, 0.0, 10.0 + i as f64));
+        }
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = buf.select_victim(VictimPolicy::Random, &mut r).unwrap();
+            assert!(v.0 < 5);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_packet_id() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 9, 0.0, 10.0));
+        buf.insert(entry(&mut q, 2, 0.0, 10.0));
+        let mut r = rng();
+        assert_eq!(
+            buf.select_victim(VictimPolicy::ShortestRemaining, &mut r),
+            Some(PacketId(2))
+        );
+        assert_eq!(
+            buf.select_victim(VictimPolicy::LongestRemaining, &mut r),
+            Some(PacketId(2))
+        );
+        assert_eq!(
+            buf.select_victim(VictimPolicy::Oldest, &mut r),
+            Some(PacketId(2))
+        );
+    }
+
+    #[test]
+    fn empty_buffer_has_no_victim() {
+        let buf = NodeBuffer::new();
+        assert_eq!(
+            buf.select_victim(VictimPolicy::ShortestRemaining, &mut rng()),
+            None
+        );
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 4, 0.0, 10.0));
+        assert_eq!(buf.len(), 1);
+        let got = buf.remove(PacketId(4)).unwrap();
+        assert_eq!(got.packet.id, PacketId(4));
+        assert!(buf.remove(PacketId(4)).is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_in_id_order() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 7, 0.0, 10.0));
+        buf.insert(entry(&mut q, 3, 1.0, 20.0));
+        let drained = buf.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].packet.id, PacketId(3));
+        assert_eq!(drained[1].packet.id, PacketId(7));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already buffered")]
+    fn duplicate_insert_rejected() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        buf.insert(entry(&mut q, 1, 0.0, 10.0));
+        buf.insert(entry(&mut q, 1, 1.0, 20.0));
+    }
+
+    #[test]
+    fn policy_helpers() {
+        assert_eq!(BufferPolicy::paper_rcad().capacity(), Some(10));
+        assert_eq!(BufferPolicy::Unlimited.capacity(), None);
+        assert!(BufferPolicy::Unlimited.validate().is_ok());
+        assert!(BufferPolicy::DropTail { capacity: 0 }.validate().is_err());
+        assert!(BufferPolicy::paper_rcad().validate().is_ok());
+        assert_eq!(BufferPolicy::ThresholdMix { threshold: 5 }.capacity(), Some(5));
+        assert!(BufferPolicy::ThresholdMix { threshold: 0 }.validate().is_err());
+    }
+}

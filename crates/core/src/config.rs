@@ -1,0 +1,308 @@
+//! Serializable experiment configurations.
+//!
+//! [`ExperimentConfig`] is the on-disk description of one simulation run:
+//! layout, workload, privacy mechanism, and seed. The benchmark harness
+//! and the CLI-style binaries build [`NetworkSimulation`]s from these, so
+//! every number in EXPERIMENTS.md is regenerable from a small JSON value.
+
+use serde::{Deserialize, Serialize};
+use tempriv_net::convergecast::Convergecast;
+use tempriv_net::ids::NodeId;
+use tempriv_net::link::LinkModel;
+use tempriv_net::routing::RoutingTree;
+use tempriv_net::topology::Topology;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_sim::time::SimDuration;
+
+use crate::buffer::BufferPolicy;
+use crate::delay::DelayPlan;
+use crate::sim_driver::{BuildError, NetworkSimulation};
+
+/// Which deployment to simulate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayoutSpec {
+    /// The paper's Figure 1 evaluation layout (flows of 15/22/9/11 hops,
+    /// 8-hop shared trunk).
+    PaperFigure1,
+    /// A custom convergecast layout.
+    Convergecast {
+        /// Hops shared by every flow directly before the sink.
+        trunk_hops: u32,
+        /// Total hop count per flow.
+        flow_hops: Vec<u32>,
+    },
+    /// A single line: one source, `hops` hops from the sink.
+    Line {
+        /// Source-to-sink hop count.
+        hops: u32,
+    },
+    /// A `width × height` grid with BFS routing to `sink` and the given
+    /// source nodes.
+    Grid {
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+        /// The sink node id (`y·width + x`).
+        sink: u32,
+        /// Source node ids.
+        sources: Vec<u32>,
+    },
+}
+
+impl LayoutSpec {
+    /// Materializes the routing tree and source list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutBuildError`] if the spec is internally inconsistent
+    /// (bad hop counts, unknown grid nodes, ...).
+    pub fn build(&self) -> Result<(RoutingTree, Vec<NodeId>), LayoutBuildError> {
+        match self {
+            LayoutSpec::PaperFigure1 => {
+                let layout = Convergecast::paper_figure1();
+                Ok((layout.routing().clone(), layout.sources().to_vec()))
+            }
+            LayoutSpec::Convergecast {
+                trunk_hops,
+                flow_hops,
+            } => {
+                let layout = Convergecast::builder()
+                    .trunk_hops(*trunk_hops)
+                    .flows(flow_hops.iter().copied())
+                    .build()
+                    .map_err(|e| LayoutBuildError(e.to_string()))?;
+                Ok((layout.routing().clone(), layout.sources().to_vec()))
+            }
+            LayoutSpec::Line { hops } => {
+                if *hops == 0 {
+                    return Err(LayoutBuildError(
+                        "a line layout needs at least one hop".into(),
+                    ));
+                }
+                let topo = Topology::line(*hops as usize + 1);
+                let routing = RoutingTree::shortest_path(&topo, NodeId(0))
+                    .map_err(|e| LayoutBuildError(e.to_string()))?;
+                Ok((routing, vec![NodeId(*hops)]))
+            }
+            LayoutSpec::Grid {
+                width,
+                height,
+                sink,
+                sources,
+            } => {
+                let topo = Topology::grid(*width as usize, *height as usize);
+                let routing = RoutingTree::shortest_path(&topo, NodeId(*sink))
+                    .map_err(|e| LayoutBuildError(e.to_string()))?;
+                if sources.is_empty() {
+                    return Err(LayoutBuildError("grid layout needs sources".into()));
+                }
+                Ok((routing, sources.iter().map(|&s| NodeId(s)).collect()))
+            }
+        }
+    }
+}
+
+/// Errors from [`LayoutSpec::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutBuildError(String);
+
+impl core::fmt::Display for LayoutBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid layout: {}", self.0)
+    }
+}
+
+impl std::error::Error for LayoutBuildError {}
+
+/// One fully described experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The deployment.
+    pub layout: LayoutSpec,
+    /// Per-source traffic.
+    pub traffic: TrafficModel,
+    /// Packets each source creates.
+    pub packets_per_source: u32,
+    /// The delay plan.
+    pub delay: DelayPlan,
+    /// The buffer policy.
+    pub buffer: BufferPolicy,
+    /// Per-hop transmission delay τ.
+    pub link_delay: f64,
+    /// Per-transmission loss probability.
+    pub link_loss: f64,
+    /// Uniform MAC jitter width added per hop (0 = the paper's constant-τ
+    /// abstraction).
+    #[serde(default)]
+    pub link_jitter: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's §5.2 defaults: Figure 1 layout, periodic traffic at
+    /// inter-arrival 2, 1000 packets per source, exponential delay mean
+    /// 30, RCAD with 10 slots, τ = 1, lossless links.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            layout: LayoutSpec::PaperFigure1,
+            traffic: TrafficModel::periodic(2.0),
+            packets_per_source: 1000,
+            delay: DelayPlan::shared_exponential(30.0),
+            buffer: BufferPolicy::paper_rcad(),
+            link_delay: 1.0,
+            link_loss: 0.0,
+            link_jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Builds the runnable simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the layout or simulation parameters are
+    /// invalid.
+    pub fn build(&self) -> Result<NetworkSimulation, ConfigError> {
+        let (routing, sources) = self.layout.build()?;
+        let mut link = LinkModel::constant(SimDuration::from_units(self.link_delay));
+        if self.link_loss > 0.0 {
+            link = link.with_loss(self.link_loss);
+        }
+        if self.link_jitter > 0.0 {
+            link = link.with_jitter(self.link_jitter);
+        }
+        let sim = NetworkSimulation::builder(routing, sources)
+            .traffic(self.traffic)
+            .packets_per_source(self.packets_per_source)
+            .delay_plan(self.delay.clone())
+            .buffer_policy(self.buffer)
+            .link(link)
+            .seed(self.seed)
+            .build()?;
+        Ok(sim)
+    }
+}
+
+/// Errors from [`ExperimentConfig::build`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The layout spec failed to materialize.
+    Layout(LayoutBuildError),
+    /// The simulation parameters failed validation.
+    Simulation(BuildError),
+}
+
+impl From<LayoutBuildError> for ConfigError {
+    fn from(e: LayoutBuildError) -> Self {
+        ConfigError::Layout(e)
+    }
+}
+
+impl From<BuildError> for ConfigError {
+    fn from(e: BuildError) -> Self {
+        ConfigError::Simulation(e)
+    }
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::Layout(e) => write!(f, "{e}"),
+            ConfigError::Simulation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempriv_net::ids::FlowId;
+
+    #[test]
+    fn paper_default_builds_and_matches_paper_numbers() {
+        let cfg = ExperimentConfig::paper_default();
+        let sim = cfg.build().unwrap();
+        let k = sim.adversary_knowledge();
+        assert_eq!(k.flow_hops, vec![15, 22, 9, 11]);
+        assert_eq!(k.buffer_slots, Some(10));
+        assert_eq!(k.delay_mean, 30.0);
+    }
+
+    #[test]
+    fn config_json_round_trip() {
+        let cfg = ExperimentConfig::paper_default();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn line_layout_builds() {
+        let (routing, sources) = LayoutSpec::Line { hops: 15 }.build().unwrap();
+        assert_eq!(routing.hops(sources[0]), Some(15));
+    }
+
+    #[test]
+    fn grid_layout_builds() {
+        let (routing, sources) = LayoutSpec::Grid {
+            width: 5,
+            height: 5,
+            sink: 0,
+            sources: vec![24, 20],
+        }
+        .build()
+        .unwrap();
+        assert_eq!(routing.hops(sources[0]), Some(8));
+        assert_eq!(routing.hops(sources[1]), Some(4));
+    }
+
+    #[test]
+    fn custom_convergecast_builds() {
+        let (routing, sources) = LayoutSpec::Convergecast {
+            trunk_hops: 3,
+            flow_hops: vec![5, 7],
+        }
+        .build()
+        .unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(routing.hops(sources[1]), Some(7));
+    }
+
+    #[test]
+    fn invalid_specs_error() {
+        assert!(LayoutSpec::Line { hops: 0 }.build().is_err());
+        assert!(LayoutSpec::Convergecast {
+            trunk_hops: 9,
+            flow_hops: vec![5],
+        }
+        .build()
+        .is_err());
+        assert!(LayoutSpec::Grid {
+            width: 2,
+            height: 2,
+            sink: 0,
+            sources: vec![],
+        }
+        .build()
+        .is_err());
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 0;
+        assert!(matches!(cfg.build(), Err(ConfigError::Simulation(_))));
+    }
+
+    #[test]
+    fn built_simulation_runs() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 50;
+        let out = cfg.build().unwrap().run();
+        assert_eq!(out.total_delivered(), 200);
+        assert_eq!(out.flows[FlowId(0).index()].hops, 15);
+    }
+}

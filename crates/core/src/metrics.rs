@@ -1,0 +1,507 @@
+//! Simulation outcomes and privacy metrics.
+//!
+//! The paper's two headline measurements (§5.1): the adversary's **mean
+//! square error** in estimating packet creation times (privacy — higher
+//! is better) and the **average end-to-end delivery latency** (overhead —
+//! lower is better). [`SimOutcome`] carries everything a run produced;
+//! [`evaluate_adversary`] scores any [`Adversary`] against the truth log.
+
+use serde::{Deserialize, Serialize};
+use tempriv_net::ids::{FlowId, NodeId, PacketId};
+use tempriv_sim::stats::{Histogram, MseAccumulator, OnlineStats};
+use tempriv_sim::time::SimTime;
+
+use crate::adversary::{Adversary, AdversaryKnowledge, Observation, OracleAdversary};
+
+/// Ground truth for one packet (the legitimate receiver's decrypted view).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruthRecord {
+    /// The packet.
+    pub packet: PacketId,
+    /// Its flow.
+    pub flow: FlowId,
+    /// When the source created it — the secret being protected.
+    pub created_at: SimTime,
+}
+
+/// Per-flow delivery results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// The flow.
+    pub flow: FlowId,
+    /// Its source node.
+    pub source: NodeId,
+    /// Its hop count to the sink.
+    pub hops: u32,
+    /// Packets created at the source.
+    pub created: u64,
+    /// Packets that reached the sink.
+    pub delivered: u64,
+    /// End-to-end latency statistics (time units).
+    pub latency: OnlineStats,
+    /// Latency distribution (fixed-bin histogram; range set on the
+    /// simulation builder, default `[0, 2000)` in 400 bins).
+    pub latency_histogram: Histogram,
+}
+
+impl FlowOutcome {
+    /// Delivery ratio in `[0, 1]`.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.created == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.created as f64
+        }
+    }
+
+    /// Approximate latency quantile from the histogram (`None` until a
+    /// packet is delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.latency_histogram.quantile(q)
+    }
+
+    /// Median latency (`None` until a packet is delivered).
+    #[must_use]
+    pub fn latency_p50(&self) -> Option<f64> {
+        self.latency_quantile(0.5)
+    }
+
+    /// 95th-percentile latency — the figure a delay-*tolerant* (but not
+    /// delay-insensitive, §2) application actually cares about.
+    #[must_use]
+    pub fn latency_p95(&self) -> Option<f64> {
+        self.latency_quantile(0.95)
+    }
+}
+
+/// Per-node buffering behaviour over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The node.
+    pub node: NodeId,
+    /// Time-weighted mean buffer occupancy.
+    pub mean_occupancy: f64,
+    /// Peak buffer occupancy.
+    pub peak_occupancy: u64,
+    /// Time-weighted occupancy PMF: `(packets buffered, fraction of the
+    /// run spent in that state)` — comparable to the Poisson(ρ) law of §4.
+    pub occupancy_pmf: Vec<(u64, f64)>,
+    /// RCAD preemptions performed.
+    pub preemptions: u64,
+    /// Packets dropped because the buffer was full (drop-tail only).
+    pub drops: u64,
+    /// Batch flushes performed (threshold mixes only).
+    pub flushes: u64,
+    /// Packets still buffered when the run ended (threshold mixes whose
+    /// final batch never filled).
+    pub stranded: u64,
+    /// Packets this node transmitted.
+    pub transmissions: u64,
+    /// Packets this node received off the radio.
+    pub receptions: u64,
+}
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// When the last event fired.
+    pub end_time: SimTime,
+    /// Per-flow delivery results, indexed by [`FlowId`].
+    pub flows: Vec<FlowOutcome>,
+    /// The adversary-visible arrival log, in arrival order.
+    pub observations: Vec<Observation>,
+    /// Ground truth, indexed by `PacketId` (dense: ids are assigned
+    /// sequentially from 0).
+    pub truth: Vec<TruthRecord>,
+    /// Per-node buffer behaviour.
+    pub nodes: Vec<NodeReport>,
+    /// Packets lost on the radio (lossy-link experiments only).
+    pub link_losses: u64,
+}
+
+impl SimOutcome {
+    /// Creation time of a packet, from the truth log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet id is unknown.
+    #[must_use]
+    pub fn creation_time(&self, packet: PacketId) -> SimTime {
+        let rec = &self.truth[packet.0 as usize];
+        debug_assert_eq!(rec.packet, packet);
+        rec.created_at
+    }
+
+    /// Total packets delivered across all flows.
+    #[must_use]
+    pub fn total_delivered(&self) -> u64 {
+        self.flows.iter().map(|f| f.delivered).sum()
+    }
+
+    /// Mean end-to-end latency across all delivered packets.
+    #[must_use]
+    pub fn overall_mean_latency(&self) -> f64 {
+        let mut all = OnlineStats::new();
+        for f in &self.flows {
+            all.merge(&f.latency);
+        }
+        all.mean()
+    }
+
+    /// Total RCAD preemptions across all nodes.
+    #[must_use]
+    pub fn total_preemptions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.preemptions).sum()
+    }
+
+    /// Total full-buffer drops across all nodes.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.drops).sum()
+    }
+
+    /// Total packets stranded in unfinished mix batches at run end.
+    #[must_use]
+    pub fn total_stranded(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stranded).sum()
+    }
+
+    /// Total mix batch flushes across all nodes.
+    #[must_use]
+    pub fn total_flushes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.flushes).sum()
+    }
+
+    /// Total radio energy spent across the network under `model`.
+    /// Artificial buffering delays cost nothing here — the asymmetry
+    /// that makes the paper's mechanism affordable on motes.
+    #[must_use]
+    pub fn total_energy(&self, model: &tempriv_net::energy::EnergyModel) -> f64 {
+        model.total_energy(self.nodes.iter().map(|n| (n.transmissions, n.receptions)))
+    }
+
+    /// Radio energy per delivered packet under `model` (infinite if
+    /// nothing was delivered).
+    #[must_use]
+    pub fn energy_per_delivered(&self, model: &tempriv_net::energy::EnergyModel) -> f64 {
+        model.energy_per_delivered(
+            self.nodes.iter().map(|n| (n.transmissions, n.receptions)),
+            self.total_delivered(),
+        )
+    }
+
+    /// The calibration oracle for this run (per-flow realized mean
+    /// latencies); see [`OracleAdversary`].
+    #[must_use]
+    pub fn oracle(&self) -> OracleAdversary {
+        OracleAdversary::new(self.flows.iter().map(|f| f.latency.mean()).collect())
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the run (observations, truth, and
+    /// per-node counters): two runs are byte-identical iff their digests
+    /// match, giving CI a one-number regression check on simulator
+    /// determinism.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&self.end_time.ticks().to_le_bytes());
+        for obs in &self.observations {
+            eat(&obs.arrival.ticks().to_le_bytes());
+            eat(&obs.origin.0.to_le_bytes());
+            eat(&obs.hop_count.to_le_bytes());
+            eat(&obs.packet.0.to_le_bytes());
+        }
+        for rec in &self.truth {
+            eat(&rec.created_at.ticks().to_le_bytes());
+            eat(&rec.flow.0.to_le_bytes());
+        }
+        for node in &self.nodes {
+            eat(&node.preemptions.to_le_bytes());
+            eat(&node.drops.to_le_bytes());
+            eat(&node.transmissions.to_le_bytes());
+        }
+        eat(&self.link_losses.to_le_bytes());
+        hash
+    }
+
+    /// Per-packet latencies of `flow` in arrival order (reconstructed
+    /// from the observation and truth logs).
+    #[must_use]
+    pub fn latency_series(&self, flow: FlowId) -> Vec<f64> {
+        self.observations
+            .iter()
+            .filter(|o| o.flow == flow)
+            .map(|o| (o.arrival - self.creation_time(o.packet)).as_units())
+            .collect()
+    }
+
+    /// Latency statistics of `flow` with the first `discard_frac` and
+    /// last `discard_frac` of arrivals dropped — the steady-state view
+    /// that excludes the cold-start ramp (see
+    /// `tempriv_queueing::mm_inf::MmInf::warmup_time`) and the drain
+    /// tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discard_frac` is not in `[0, 0.5)`.
+    #[must_use]
+    pub fn steady_state_latency(&self, flow: FlowId, discard_frac: f64) -> OnlineStats {
+        assert!(
+            (0.0..0.5).contains(&discard_frac),
+            "discard fraction must be in [0, 0.5), got {discard_frac}"
+        );
+        let series = self.latency_series(flow);
+        let skip = (series.len() as f64 * discard_frac) as usize;
+        let mut stats = OnlineStats::new();
+        for &l in &series[skip..series.len() - skip] {
+            stats.record(l);
+        }
+        stats
+    }
+
+    /// Fraction of adjacent sink arrivals of `flow` that are out of
+    /// application order — how thoroughly independent per-hop delays
+    /// scramble the sequence (§3.2: the adversary only ever sees the
+    /// *sorted* process `Z̃`, and this measures how much sorting hides).
+    ///
+    /// Returns 0 for flows with fewer than two observations.
+    #[must_use]
+    pub fn reordering_fraction(&self, flow: FlowId) -> f64 {
+        let seq: Vec<u64> = self
+            .observations
+            .iter()
+            .filter(|o| o.flow == flow)
+            .map(|o| self.truth[o.packet.0 as usize].packet.0)
+            .collect();
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let inversions = seq.windows(2).filter(|w| w[0] > w[1]).count();
+        inversions as f64 / (seq.len() - 1) as f64
+    }
+
+    /// Paired (creation, arrival) samples for a flow, for empirical
+    /// mutual-information estimation.
+    #[must_use]
+    pub fn creation_arrival_pairs(&self, flow: FlowId) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut zs = Vec::new();
+        for obs in &self.observations {
+            if obs.flow == flow {
+                xs.push(self.creation_time(obs.packet).as_units());
+                zs.push(obs.arrival.as_units());
+            }
+        }
+        (xs, zs)
+    }
+}
+
+/// An adversary's scored performance on one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryReport {
+    /// The adversary's name.
+    pub adversary: String,
+    /// MSE per flow, indexed by [`FlowId`].
+    pub per_flow: Vec<MseAccumulator>,
+    /// MSE across every observation.
+    pub overall: MseAccumulator,
+}
+
+impl AdversaryReport {
+    /// The paper's headline number: MSE for one flow (S1 in the figures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn mse(&self, flow: FlowId) -> f64 {
+        self.per_flow[flow.index()].mse()
+    }
+}
+
+/// Runs `adversary` over the observation log and scores it against truth.
+///
+/// # Panics
+///
+/// Panics if the adversary returns the wrong number of estimates.
+#[must_use]
+pub fn evaluate_adversary(
+    outcome: &SimOutcome,
+    adversary: &dyn Adversary,
+    knowledge: &AdversaryKnowledge,
+) -> AdversaryReport {
+    let estimates = adversary.estimate_creation_times(&outcome.observations, knowledge);
+    assert_eq!(
+        estimates.len(),
+        outcome.observations.len(),
+        "adversary must estimate every observation"
+    );
+    let mut per_flow = vec![MseAccumulator::new(); outcome.flows.len()];
+    let mut overall = MseAccumulator::new();
+    for (obs, est) in outcome.observations.iter().zip(&estimates) {
+        let truth = outcome.creation_time(obs.packet).as_units();
+        let err = est - truth;
+        per_flow[obs.flow.index()].record_error(err);
+        overall.record_error(err);
+    }
+    AdversaryReport {
+        adversary: adversary.name().to_string(),
+        per_flow,
+        overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::BaselineAdversary;
+
+    fn outcome_with_one_flow() -> SimOutcome {
+        let truth = vec![
+            TruthRecord {
+                packet: PacketId(0),
+                flow: FlowId(0),
+                created_at: SimTime::from_units(10.0),
+            },
+            TruthRecord {
+                packet: PacketId(1),
+                flow: FlowId(0),
+                created_at: SimTime::from_units(20.0),
+            },
+        ];
+        let observations = vec![
+            Observation {
+                arrival: SimTime::from_units(100.0),
+                origin: NodeId(5),
+                hop_count: 2,
+                flow: FlowId(0),
+                packet: PacketId(0),
+            },
+            Observation {
+                arrival: SimTime::from_units(130.0),
+                origin: NodeId(5),
+                hop_count: 2,
+                flow: FlowId(0),
+                packet: PacketId(1),
+            },
+        ];
+        let mut latency = OnlineStats::new();
+        let mut latency_histogram = Histogram::new(0.0, 2_000.0, 400);
+        for l in [90.0, 110.0] {
+            latency.record(l);
+            latency_histogram.record(l);
+        }
+        SimOutcome {
+            end_time: SimTime::from_units(130.0),
+            flows: vec![FlowOutcome {
+                flow: FlowId(0),
+                source: NodeId(5),
+                hops: 2,
+                created: 2,
+                delivered: 2,
+                latency,
+                latency_histogram,
+            }],
+            observations,
+            truth,
+            nodes: vec![],
+            link_losses: 0,
+        }
+    }
+
+    fn knowledge() -> AdversaryKnowledge {
+        AdversaryKnowledge {
+            tau: 1.0,
+            delay_mean: 40.0,
+            buffer_slots: Some(10),
+            flow_hops: vec![2],
+            converging_flows: vec![FlowId(0)],
+            flow_paths: vec![vec![NodeId(5), NodeId(3)]],
+            path_delay_means: vec![80.0],
+        }
+    }
+
+    #[test]
+    fn evaluate_baseline_mse() {
+        let outcome = outcome_with_one_flow();
+        let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge());
+        // Estimates: 100 - 2*41 = 18 (truth 10, err 8); 130 - 82 = 48
+        // (truth 20, err 28). MSE = (64 + 784)/2 = 424.
+        assert!((report.mse(FlowId(0)) - 424.0).abs() < 1e-9);
+        assert_eq!(report.overall.count(), 2);
+        assert_eq!(report.adversary, "baseline");
+    }
+
+    #[test]
+    fn oracle_mse_equals_latency_variance() {
+        let outcome = outcome_with_one_flow();
+        let oracle = outcome.oracle();
+        let report = evaluate_adversary(&outcome, &oracle, &knowledge());
+        // Latencies 90 and 110, mean 100: errors are ±10 => MSE 100.
+        assert!((report.mse(FlowId(0)) - 100.0).abs() < 1e-9);
+        // And that is exactly the latency population variance.
+        assert!(
+            (report.mse(FlowId(0)) - outcome.flows[0].latency.population_variance()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = outcome_with_one_flow();
+        let b = outcome_with_one_flow();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = outcome_with_one_flow();
+        c.link_losses = 1;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = outcome_with_one_flow();
+        d.observations.swap(0, 1);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn latency_series_and_steady_state() {
+        let outcome = outcome_with_one_flow();
+        assert_eq!(outcome.latency_series(FlowId(0)), vec![90.0, 110.0]);
+        let ss = outcome.steady_state_latency(FlowId(0), 0.0);
+        assert_eq!(ss.count(), 2);
+        assert_eq!(ss.mean(), 100.0);
+    }
+
+    #[test]
+    fn reordering_fraction_counts_inversions() {
+        let mut outcome = outcome_with_one_flow();
+        // In creation order: packets 0 then 1 -> no inversions.
+        assert_eq!(outcome.reordering_fraction(FlowId(0)), 0.0);
+        // Swap arrival order: one adjacent inversion out of one pair.
+        outcome.observations.swap(0, 1);
+        assert_eq!(outcome.reordering_fraction(FlowId(0)), 1.0);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = outcome_with_one_flow();
+        assert_eq!(outcome.creation_time(PacketId(1)), SimTime::from_units(20.0));
+        assert_eq!(outcome.total_delivered(), 2);
+        assert!((outcome.overall_mean_latency() - 100.0).abs() < 1e-9);
+        assert_eq!(outcome.total_preemptions(), 0);
+        assert_eq!(outcome.flows[0].delivery_ratio(), 1.0);
+        let (xs, zs) = outcome.creation_arrival_pairs(FlowId(0));
+        assert_eq!(xs, vec![10.0, 20.0]);
+        assert_eq!(zs, vec![100.0, 130.0]);
+    }
+}

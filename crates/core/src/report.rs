@@ -1,0 +1,163 @@
+//! One-call privacy assessment of a simulation run.
+//!
+//! [`PrivacyAssessment::assess`] scores every shipped adversary against a
+//! run and gathers the paper's full dashboard — per-flow privacy (MSE
+//! under each attacker), overhead (latency mean and percentiles), buffer
+//! behaviour (preemptions/drops/stranded), ordering, and radio energy —
+//! into one serializable value. The CLI's `run` command and downstream
+//! analysis scripts consume this instead of re-implementing the wiring.
+
+use serde::{Deserialize, Serialize};
+use tempriv_net::energy::EnergyModel;
+use tempriv_net::ids::FlowId;
+
+use crate::adversary::{AdaptiveAdversary, BaselineAdversary, RouteAwareAdversary};
+use crate::metrics::{evaluate_adversary, SimOutcome};
+use crate::sim_driver::NetworkSimulation;
+
+/// Privacy numbers for one flow under every shipped adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowAssessment {
+    /// The flow.
+    pub flow: FlowId,
+    /// Its hop count.
+    pub hops: u32,
+    /// Mean end-to-end latency (time units).
+    pub mean_latency: f64,
+    /// Median latency, if anything was delivered.
+    pub latency_p50: Option<f64>,
+    /// 95th-percentile latency, if anything was delivered.
+    pub latency_p95: Option<f64>,
+    /// MSE of the §2.1 baseline adversary.
+    pub baseline_mse: f64,
+    /// MSE of the §5.4 adaptive adversary.
+    pub adaptive_mse: f64,
+    /// MSE of the route-aware extension adversary.
+    pub route_aware_mse: f64,
+    /// MSE of the constant-offset oracle (the floor; equals the latency
+    /// variance).
+    pub oracle_mse: f64,
+    /// Fraction of adjacent arrivals out of creation order.
+    pub reordering: f64,
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+}
+
+/// The full dashboard for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyAssessment {
+    /// Per-flow results, indexed by [`FlowId`].
+    pub flows: Vec<FlowAssessment>,
+    /// Total RCAD preemptions.
+    pub preemptions: u64,
+    /// Total full-buffer drops.
+    pub drops: u64,
+    /// Total packets stranded in unfinished mix batches.
+    pub stranded: u64,
+    /// Total radio losses.
+    pub link_losses: u64,
+    /// Radio energy per delivered packet (Mica-2-like model).
+    pub energy_per_delivered: f64,
+}
+
+impl PrivacyAssessment {
+    /// Scores `outcome` (produced by `sim.run()`) against every shipped
+    /// adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome` did not come from `sim` (flow counts differ).
+    #[must_use]
+    pub fn assess(sim: &NetworkSimulation, outcome: &SimOutcome) -> Self {
+        assert_eq!(
+            outcome.flows.len(),
+            sim.sources().len(),
+            "outcome does not match the simulation"
+        );
+        let knowledge = sim.adversary_knowledge();
+        let baseline = evaluate_adversary(outcome, &BaselineAdversary, &knowledge);
+        let adaptive =
+            evaluate_adversary(outcome, &AdaptiveAdversary::paper_default(), &knowledge);
+        let route =
+            evaluate_adversary(outcome, &RouteAwareAdversary::paper_default(), &knowledge);
+        let oracle_adv = outcome.oracle();
+        let oracle = evaluate_adversary(outcome, &oracle_adv, &knowledge);
+        let flows = outcome
+            .flows
+            .iter()
+            .map(|f| FlowAssessment {
+                flow: f.flow,
+                hops: f.hops,
+                mean_latency: f.latency.mean(),
+                latency_p50: f.latency_p50(),
+                latency_p95: f.latency_p95(),
+                baseline_mse: baseline.mse(f.flow),
+                adaptive_mse: adaptive.mse(f.flow),
+                route_aware_mse: route.mse(f.flow),
+                oracle_mse: oracle.mse(f.flow),
+                reordering: outcome.reordering_fraction(f.flow),
+                delivery_ratio: f.delivery_ratio(),
+            })
+            .collect();
+        PrivacyAssessment {
+            flows,
+            preemptions: outcome.total_preemptions(),
+            drops: outcome.total_drops(),
+            stranded: outcome.total_stranded(),
+            link_losses: outcome.link_losses,
+            energy_per_delivered: outcome.energy_per_delivered(&EnergyModel::mica2()),
+        }
+    }
+
+    /// The assessment of one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn flow(&self, flow: FlowId) -> &FlowAssessment {
+        &self.flows[flow.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn assessment_covers_every_flow_and_orders_adversaries() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 500;
+        let sim = cfg.build().unwrap();
+        let outcome = sim.run();
+        let report = PrivacyAssessment::assess(&sim, &outcome);
+        assert_eq!(report.flows.len(), 4);
+        for f in &report.flows {
+            assert!(f.adaptive_mse <= f.baseline_mse + 1e-9);
+            assert!(f.route_aware_mse <= f.adaptive_mse + 1e-9);
+            assert!(f.oracle_mse <= f.route_aware_mse * 1.02);
+            assert!(f.delivery_ratio == 1.0);
+            assert!(f.latency_p50.unwrap() > 0.0);
+            assert!(f.latency_p95.unwrap() >= f.latency_p50.unwrap());
+            assert!(f.reordering > 0.0, "RCAD scrambles order");
+        }
+        assert!(report.preemptions > 0);
+        assert_eq!(report.drops, 0);
+        assert!(report.energy_per_delivered.is_finite());
+        // Serializable for offline analysis.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PrivacyAssessment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn flow_accessor_indexes_by_id() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.packets_per_source = 100;
+        let sim = cfg.build().unwrap();
+        let outcome = sim.run();
+        let report = PrivacyAssessment::assess(&sim, &outcome);
+        assert_eq!(report.flow(FlowId(1)).hops, 22);
+    }
+}

@@ -1,0 +1,1143 @@
+//! The event-driven network simulation (paper §5).
+//!
+//! Wires the substrates together: sources create packets on a traffic
+//! schedule; every packet is buffered for a random delay at each node on
+//! its route (source and forwarders — the sink does not delay), crosses
+//! each link in τ time units, and is observed by the adversary tap when it
+//! reaches the sink. Finite buffers apply their [`BufferPolicy`]: drops
+//! for drop-tail, victim preemption for RCAD.
+//!
+//! Runs are deterministic: a given [`NetworkSimulation`] and seed always
+//! produce the identical [`SimOutcome`].
+
+use tempriv_net::ids::{FlowId, NodeId, PacketId};
+use tempriv_net::link::LinkModel;
+use tempriv_net::packet::Packet;
+use tempriv_net::routing::RoutingTree;
+use tempriv_net::traffic::{TrafficModel, TrafficSampler};
+use tempriv_sim::engine::{Engine, Scheduler};
+use tempriv_sim::rng::{RngFactory, SimRng};
+use tempriv_sim::stats::{Histogram, OnlineStats, StateDwell};
+use tempriv_sim::time::SimTime;
+
+use crate::adversary::{AdversaryKnowledge, Observation};
+use crate::buffer::{BufferPolicy, BufferedPacket, NodeBuffer};
+use crate::delay::DelayPlan;
+use crate::metrics::{FlowOutcome, NodeReport, SimOutcome, TruthRecord};
+
+/// RNG stream namespaces (one per stochastic component class).
+mod streams {
+    pub const DELAY: u64 = 1;
+    pub const TRAFFIC: u64 = 2;
+    pub const VICTIM: u64 = 3;
+    pub const LINK: u64 = 4;
+    pub const READING: u64 = 5;
+}
+
+/// How sources create packets: a stochastic model shared by every flow,
+/// or explicit per-flow creation schedules (trace-driven workloads, e.g.
+/// detections produced by [`tempriv_net::mobility`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Every flow samples inter-arrival gaps from the same model and
+    /// creates `packets_per_source` packets.
+    Model(TrafficModel),
+    /// Flow `i` creates one packet at each instant of `schedules[i]`
+    /// (`packets_per_source` is ignored).
+    Schedules(Vec<Vec<SimTime>>),
+}
+
+/// A fully specified simulation: topology, workload, and privacy
+/// mechanism. Construct it, then call [`NetworkSimulation::run`].
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_core::buffer::BufferPolicy;
+/// use tempriv_core::delay::DelayPlan;
+/// use tempriv_core::sim_driver::NetworkSimulation;
+/// use tempriv_net::convergecast::Convergecast;
+/// use tempriv_net::traffic::{TrafficModel, TrafficSampler};
+///
+/// let layout = Convergecast::paper_figure1();
+/// let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+///     .traffic(TrafficModel::periodic(2.0))
+///     .packets_per_source(50)
+///     .delay_plan(DelayPlan::shared_exponential(30.0))
+///     .buffer_policy(BufferPolicy::paper_rcad())
+///     .seed(1)
+///     .build()
+///     .unwrap();
+/// let outcome = sim.run();
+/// assert_eq!(outcome.total_delivered(), 200); // RCAD never drops
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSimulation {
+    routing: RoutingTree,
+    sources: Vec<NodeId>,
+    workload: Workload,
+    packets_per_source: u32,
+    delay_plan: DelayPlan,
+    buffer_policy: BufferPolicy,
+    link: LinkModel,
+    seed: u64,
+    latency_range: (f64, f64),
+}
+
+/// Builder for [`NetworkSimulation`].
+#[derive(Debug, Clone)]
+pub struct NetworkSimulationBuilder {
+    routing: RoutingTree,
+    sources: Vec<NodeId>,
+    workload: Workload,
+    packets_per_source: u32,
+    delay_plan: DelayPlan,
+    buffer_policy: BufferPolicy,
+    link: LinkModel,
+    seed: u64,
+    latency_range: (f64, f64),
+}
+
+impl NetworkSimulationBuilder {
+    /// Sets the per-source traffic model (default: periodic, interval 2 —
+    /// the paper's fastest rate).
+    #[must_use]
+    pub fn traffic(mut self, traffic: TrafficModel) -> Self {
+        self.workload = Workload::Model(traffic);
+        self
+    }
+
+    /// Replaces the stochastic workload with explicit per-flow creation
+    /// schedules (one `Vec<SimTime>` per flow, in flow order).
+    #[must_use]
+    pub fn schedules(mut self, schedules: Vec<Vec<SimTime>>) -> Self {
+        self.workload = Workload::Schedules(schedules);
+        self
+    }
+
+    /// Sets how many packets each source creates (default 1000, as in the
+    /// paper).
+    #[must_use]
+    pub fn packets_per_source(mut self, n: u32) -> Self {
+        self.packets_per_source = n;
+        self
+    }
+
+    /// Sets the delay plan (default: shared exponential, mean 30).
+    #[must_use]
+    pub fn delay_plan(mut self, plan: DelayPlan) -> Self {
+        self.delay_plan = plan;
+        self
+    }
+
+    /// Sets the buffer policy (default: RCAD with 10 slots).
+    #[must_use]
+    pub fn buffer_policy(mut self, policy: BufferPolicy) -> Self {
+        self.buffer_policy = policy;
+        self
+    }
+
+    /// Sets the link model (default: lossless, τ = 1).
+    #[must_use]
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the master RNG seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the latency-histogram range (default `[0, 2000)` time units;
+    /// out-of-range latencies land in overflow and still count toward
+    /// the mean, only quantiles saturate).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at build) if `lo >= hi`.
+    #[must_use]
+    pub fn latency_range(mut self, lo: f64, hi: f64) -> Self {
+        self.latency_range = (lo, hi);
+        self
+    }
+
+    /// Validates and builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if a source is unknown or is the sink, no
+    /// sources were given, the buffer policy is invalid, or the packet
+    /// budget is zero.
+    pub fn build(self) -> Result<NetworkSimulation, BuildError> {
+        if self.sources.is_empty() {
+            return Err(BuildError::NoSources);
+        }
+        for (i, &src) in self.sources.iter().enumerate() {
+            if src.index() >= self.routing.len() {
+                return Err(BuildError::UnknownSource {
+                    flow: FlowId(i as u32),
+                    source: src,
+                });
+            }
+            if src == self.routing.sink() {
+                return Err(BuildError::SourceIsSink { source: src });
+            }
+        }
+        if let Err(reason) = self.buffer_policy.validate() {
+            return Err(BuildError::InvalidBuffer { reason });
+        }
+        match &self.workload {
+            Workload::Model(_) => {
+                if self.packets_per_source == 0 {
+                    return Err(BuildError::NoPackets);
+                }
+            }
+            Workload::Schedules(schedules) => {
+                if schedules.len() != self.sources.len() {
+                    return Err(BuildError::ScheduleMismatch {
+                        flows: self.sources.len(),
+                        schedules: schedules.len(),
+                    });
+                }
+                if schedules.iter().all(Vec::is_empty) {
+                    return Err(BuildError::NoPackets);
+                }
+            }
+        }
+        let range_valid = self.latency_range.0.is_finite()
+            && self.latency_range.1.is_finite()
+            && self.latency_range.0 < self.latency_range.1;
+        if !range_valid {
+            return Err(BuildError::InvalidBuffer {
+                reason: format!(
+                    "latency histogram range [{}, {}) is empty",
+                    self.latency_range.0, self.latency_range.1
+                ),
+            });
+        }
+        Ok(NetworkSimulation {
+            routing: self.routing,
+            sources: self.sources,
+            workload: self.workload,
+            packets_per_source: self.packets_per_source,
+            delay_plan: self.delay_plan,
+            buffer_policy: self.buffer_policy,
+            link: self.link,
+            seed: self.seed,
+            latency_range: self.latency_range,
+        })
+    }
+}
+
+/// Errors from [`NetworkSimulationBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// No traffic sources were configured.
+    NoSources,
+    /// A source node is not part of the routing tree.
+    UnknownSource {
+        /// The flow whose source is unknown.
+        flow: FlowId,
+        /// The offending node id.
+        source: NodeId,
+    },
+    /// A source coincides with the sink.
+    SourceIsSink {
+        /// The offending node id.
+        source: NodeId,
+    },
+    /// The buffer policy failed validation.
+    InvalidBuffer {
+        /// Why.
+        reason: String,
+    },
+    /// `packets_per_source` was zero (or every schedule was empty).
+    NoPackets,
+    /// Explicit schedules did not line up with the flow list.
+    ScheduleMismatch {
+        /// Number of flows configured.
+        flows: usize,
+        /// Number of schedules provided.
+        schedules: usize,
+    },
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::NoSources => write!(f, "at least one source is required"),
+            BuildError::UnknownSource { flow, source } => {
+                write!(f, "flow {flow} source {source} is not in the routing tree")
+            }
+            BuildError::SourceIsSink { source } => {
+                write!(f, "source {source} is the sink")
+            }
+            BuildError::InvalidBuffer { reason } => write!(f, "invalid buffer policy: {reason}"),
+            BuildError::NoPackets => write!(f, "packets_per_source must be positive"),
+            BuildError::ScheduleMismatch { flows, schedules } => write!(
+                f,
+                "got {schedules} creation schedule(s) for {flows} flow(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A source creates its next packet.
+    Create { flow: FlowId },
+    /// A packet finishes crossing a link into `node`.
+    Arrive { node: NodeId, packet: Packet },
+    /// A buffered packet's delay timer fires at `node`.
+    Release { node: NodeId, packet: PacketId },
+}
+
+impl NetworkSimulation {
+    /// Starts a builder for the given routing tree and per-flow sources.
+    #[must_use]
+    pub fn builder(routing: RoutingTree, sources: Vec<NodeId>) -> NetworkSimulationBuilder {
+        NetworkSimulationBuilder {
+            routing,
+            sources,
+            workload: Workload::Model(TrafficModel::periodic(2.0)),
+            packets_per_source: 1000,
+            delay_plan: DelayPlan::shared_exponential(30.0),
+            buffer_policy: BufferPolicy::paper_rcad(),
+            link: LinkModel::paper_default(),
+            seed: 0,
+            latency_range: (0.0, 2_000.0),
+        }
+    }
+
+    /// The routing tree.
+    #[must_use]
+    pub const fn routing(&self) -> &RoutingTree {
+        &self.routing
+    }
+
+    /// Source node per flow.
+    #[must_use]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The configured delay plan.
+    #[must_use]
+    pub const fn delay_plan(&self) -> &DelayPlan {
+        &self.delay_plan
+    }
+
+    /// The configured buffer policy.
+    #[must_use]
+    pub const fn buffer_policy(&self) -> BufferPolicy {
+        self.buffer_policy
+    }
+
+    /// What a deployment-aware adversary knows about this network
+    /// (Kerckhoff's principle, §2): hop counts, τ, the advertised delay
+    /// mean, and buffer sizes. For per-node delay plans the advertised
+    /// mean is the average over each flow's path, matching an adversary
+    /// that integrates the advertised per-node distributions.
+    #[must_use]
+    pub fn adversary_knowledge(&self) -> AdversaryKnowledge {
+        let flow_hops: Vec<u32> = self
+            .sources
+            .iter()
+            .map(|&s| self.routing.hops(s).expect("validated source"))
+            .collect();
+        // Mean per-hop delay as the adversary computes it: path average.
+        let delay_mean = match &self.delay_plan {
+            DelayPlan::Shared(s) => s.mean(),
+            DelayPlan::PerNode { .. } => {
+                let mut total = 0.0;
+                let mut hops = 0u32;
+                for &src in &self.sources {
+                    let path = self.routing.path(src);
+                    // Delaying nodes: all but the sink.
+                    for &node in &path[..path.len() - 1] {
+                        total += self.delay_plan.for_node(node).mean();
+                        hops += 1;
+                    }
+                }
+                if hops == 0 {
+                    0.0
+                } else {
+                    total / f64::from(hops)
+                }
+            }
+        };
+        let flow_paths: Vec<Vec<NodeId>> = self
+            .sources
+            .iter()
+            .map(|&src| {
+                let mut path = self.routing.path(src);
+                path.pop(); // the sink does not delay
+                path
+            })
+            .collect();
+        let path_delay_means: Vec<f64> = flow_paths
+            .iter()
+            .map(|path| self.delay_plan.path_mean_delay(path.iter()))
+            .collect();
+        AdversaryKnowledge {
+            tau: self.link.mean_delay(),
+            delay_mean,
+            buffer_slots: self.buffer_policy.capacity(),
+            flow_hops,
+            converging_flows: (0..self.sources.len() as u32).map(FlowId).collect(),
+            flow_paths,
+            path_delay_means,
+        }
+    }
+
+    /// Runs the simulation to completion (all packets created and either
+    /// delivered, dropped, or lost) and returns the outcome.
+    #[must_use]
+    pub fn run(&self) -> SimOutcome {
+        let n_nodes = self.routing.len();
+        let n_flows = self.sources.len();
+        let factory = RngFactory::new(self.seed);
+
+        let mut driver = Driver {
+            sim: self,
+            buffers: (0..n_nodes).map(|_| NodeBuffer::new()).collect(),
+            occupancy: (0..n_nodes)
+                .map(|_| StateDwell::new(SimTime::ZERO, 0))
+                .collect(),
+            preemptions: vec![0; n_nodes],
+            drops: vec![0; n_nodes],
+            flushes: vec![0; n_nodes],
+            tx_count: vec![0; n_nodes],
+            rx_count: vec![0; n_nodes],
+            link_losses: 0,
+            next_packet_id: 0,
+            seq: vec![0; n_flows],
+            truth: Vec::with_capacity(n_flows * self.packets_per_source as usize),
+            observations: Vec::new(),
+            latency: vec![OnlineStats::new(); n_flows],
+            latency_hist: (0..n_flows)
+                .map(|_| Histogram::new(self.latency_range.0, self.latency_range.1, 400))
+                .collect(),
+            delivered: vec![0; n_flows],
+            delay_rngs: (0..n_nodes)
+                .map(|i| factory.substream(streams::DELAY, i as u64))
+                .collect(),
+            traffic_rngs: (0..n_flows)
+                .map(|i| factory.substream(streams::TRAFFIC, i as u64))
+                .collect(),
+            traffic_samplers: match &self.workload {
+                Workload::Model(traffic) => vec![traffic.sampler(); n_flows],
+                Workload::Schedules(_) => Vec::new(),
+            },
+            victim_rng: factory.substream(streams::VICTIM, 0),
+            link_rng: factory.substream(streams::LINK, 0),
+            reading_rng: factory.substream(streams::READING, 0),
+        };
+
+        let mut engine: Engine<Ev> = Engine::new();
+        match &self.workload {
+            Workload::Model(_) => {
+                for i in 0..self.sources.len() {
+                    let flow = FlowId(i as u32);
+                    let first = SimTime::ZERO
+                        + driver.traffic_samplers[i].next_interarrival(&mut driver.traffic_rngs[i]);
+                    engine
+                        .schedule_at(first, Ev::Create { flow })
+                        .expect("initial schedule at t >= 0");
+                }
+            }
+            Workload::Schedules(schedules) => {
+                for (i, schedule) in schedules.iter().enumerate() {
+                    let flow = FlowId(i as u32);
+                    for &at in schedule {
+                        engine
+                            .schedule_at(at, Ev::Create { flow })
+                            .expect("initial schedule at t >= 0");
+                    }
+                }
+            }
+        }
+        engine.run(|sched, ev| driver.handle(sched, ev));
+        let end_time = engine.now();
+
+        SimOutcome {
+            end_time,
+            flows: (0..n_flows)
+                .map(|i| FlowOutcome {
+                    flow: FlowId(i as u32),
+                    source: self.sources[i],
+                    hops: self.routing.hops(self.sources[i]).expect("validated"),
+                    created: u64::from(driver.seq[i]),
+                    delivered: driver.delivered[i],
+                    latency: driver.latency[i],
+                    latency_histogram: driver.latency_hist[i].clone(),
+                })
+                .collect(),
+            observations: driver.observations,
+            truth: driver.truth,
+            nodes: (0..n_nodes)
+                .map(|i| {
+                    let occupancy_pmf = driver.occupancy[i].pmf(end_time);
+                    NodeReport {
+                        node: NodeId(i as u32),
+                        mean_occupancy: driver.occupancy[i].mean(end_time),
+                        peak_occupancy: occupancy_pmf
+                            .iter()
+                            .map(|&(k, _)| k)
+                            .max()
+                            .unwrap_or(0),
+                        occupancy_pmf,
+                        preemptions: driver.preemptions[i],
+                        drops: driver.drops[i],
+                        flushes: driver.flushes[i],
+                        stranded: driver.buffers[i].len() as u64,
+                        transmissions: driver.tx_count[i],
+                        receptions: driver.rx_count[i],
+                    }
+                })
+                .collect(),
+            link_losses: driver.link_losses,
+        }
+    }
+}
+
+struct Driver<'a> {
+    sim: &'a NetworkSimulation,
+    buffers: Vec<NodeBuffer>,
+    occupancy: Vec<StateDwell>,
+    preemptions: Vec<u64>,
+    drops: Vec<u64>,
+    flushes: Vec<u64>,
+    tx_count: Vec<u64>,
+    rx_count: Vec<u64>,
+    link_losses: u64,
+    next_packet_id: u64,
+    seq: Vec<u32>,
+    truth: Vec<TruthRecord>,
+    observations: Vec<Observation>,
+    latency: Vec<OnlineStats>,
+    latency_hist: Vec<Histogram>,
+    delivered: Vec<u64>,
+    delay_rngs: Vec<SimRng>,
+    traffic_rngs: Vec<SimRng>,
+    traffic_samplers: Vec<TrafficSampler>,
+    victim_rng: SimRng,
+    link_rng: SimRng,
+    reading_rng: SimRng,
+}
+
+impl Driver<'_> {
+    fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Create { flow } => self.on_create(sched, flow),
+            Ev::Arrive { node, packet } => self.process_at(sched, node, packet),
+            Ev::Release { node, packet } => self.on_release(sched, node, packet),
+        }
+    }
+
+    fn on_create(&mut self, sched: &mut Scheduler<'_, Ev>, flow: FlowId) {
+        let i = flow.index();
+        let source = self.sim.sources[i];
+        let seq = self.seq[i];
+        self.seq[i] += 1;
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let reading = self.reading_rng.sample_uniform(0.0, 100.0);
+        let packet = Packet::new(id, flow, source, seq, sched.now(), reading);
+        self.truth.push(TruthRecord {
+            packet: id,
+            flow,
+            created_at: sched.now(),
+        });
+        if matches!(self.sim.workload, Workload::Model(_))
+            && self.seq[i] < self.sim.packets_per_source
+        {
+            let gap = self.traffic_samplers[i].next_interarrival(&mut self.traffic_rngs[i]);
+            sched.schedule_in(gap, Ev::Create { flow });
+        }
+        self.process_at(sched, source, packet);
+    }
+
+    /// A packet is now present at `node`: deliver, forward, or buffer.
+    fn process_at(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: Packet) {
+        if node == self.sim.routing.sink() {
+            self.deliver(sched.now(), packet);
+            return;
+        }
+        // Threshold mixes batch instead of delaying: the delay plan is
+        // ignored at mix nodes.
+        if let BufferPolicy::ThresholdMix { threshold } = self.sim.buffer_policy {
+            self.buffers[node.index()].insert(BufferedPacket {
+                packet,
+                buffered_at: sched.now(),
+                release_at: SimTime::MAX,
+                timer: None,
+            });
+            self.occupancy[node.index()]
+                .transition(sched.now(), self.buffers[node.index()].len() as u64);
+            if self.buffers[node.index()].len() >= threshold {
+                self.flushes[node.index()] += 1;
+                for entry in self.buffers[node.index()].drain_all() {
+                    self.forward(sched, node, entry.packet);
+                }
+                self.occupancy[node.index()].transition(sched.now(), 0);
+            }
+            return;
+        }
+        let strategy = self.sim.delay_plan.for_node(node);
+        if strategy.is_none() {
+            self.forward(sched, node, packet);
+            return;
+        }
+        let delay = strategy.sample(&mut self.delay_rngs[node.index()]);
+        // Full buffer? Apply the policy before inserting.
+        if let Some(cap) = self.sim.buffer_policy.capacity() {
+            if self.buffers[node.index()].len() >= cap {
+                match self.sim.buffer_policy {
+                    BufferPolicy::DropTail { .. } => {
+                        self.drops[node.index()] += 1;
+                        return;
+                    }
+                    BufferPolicy::Rcad { victim, .. } => {
+                        let victim_id = self.buffers[node.index()]
+                            .select_victim(victim, &mut self.victim_rng)
+                            .expect("full buffer has a victim");
+                        let entry = self.buffers[node.index()]
+                            .remove(victim_id)
+                            .expect("victim is buffered");
+                        let timer = entry.timer.expect("timed entries outside mixes");
+                        let cancelled = sched.cancel(timer);
+                        debug_assert!(cancelled, "victim timer must be pending");
+                        self.preemptions[node.index()] += 1;
+                        self.occupancy[node.index()]
+                            .transition(sched.now(), self.buffers[node.index()].len() as u64);
+                        // "Transmit it immediately rather than drop packets."
+                        self.forward(sched, node, entry.packet);
+                    }
+                    _ => unreachable!("mix and unlimited never hit the full-buffer path"),
+                }
+            }
+        }
+        let release_at = sched.now() + delay;
+        let timer = sched.schedule_in(delay, Ev::Release { node, packet: packet.id });
+        self.buffers[node.index()].insert(BufferedPacket {
+            packet,
+            buffered_at: sched.now(),
+            release_at,
+            timer: Some(timer),
+        });
+        self.occupancy[node.index()].transition(sched.now(), self.buffers[node.index()].len() as u64);
+    }
+
+    fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: PacketId) {
+        let entry = self.buffers[node.index()]
+            .remove(packet)
+            .expect("release timers fire only for buffered packets");
+        self.occupancy[node.index()]
+            .transition(sched.now(), self.buffers[node.index()].len() as u64);
+        self.forward(sched, node, entry.packet);
+    }
+
+    fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, mut packet: Packet) {
+        packet.record_hop(node);
+        let next = self
+            .sim
+            .routing
+            .next_hop(node)
+            .expect("non-sink nodes have a next hop");
+        self.tx_count[node.index()] += 1;
+        match self.sim.link.transmit(&mut self.link_rng) {
+            Some(delay) => {
+                self.rx_count[next.index()] += 1;
+                sched.schedule_in(delay, Ev::Arrive { node: next, packet });
+            }
+            None => self.link_losses += 1,
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, packet: Packet) {
+        let flow = packet.flow;
+        let created = self.truth[packet.id.0 as usize].created_at;
+        let latency = (now - created).as_units();
+        self.latency[flow.index()].record(latency);
+        self.latency_hist[flow.index()].record(latency);
+        self.delivered[flow.index()] += 1;
+        self.observations.push(Observation {
+            arrival: now,
+            origin: packet.header().origin,
+            hop_count: packet.header().hop_count,
+            flow,
+            packet: packet.id,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::VictimPolicy;
+    use tempriv_net::convergecast::Convergecast;
+    use tempriv_net::topology::Topology;
+
+    fn line_sim(hops: u32) -> NetworkSimulationBuilder {
+        let topo = Topology::line(hops as usize + 1);
+        let routing = RoutingTree::shortest_path(&topo, NodeId(0)).unwrap();
+        NetworkSimulation::builder(routing, vec![NodeId(hops)])
+    }
+
+    #[test]
+    fn no_delay_latency_is_exactly_hops_tau() {
+        let sim = line_sim(15)
+            .delay_plan(DelayPlan::no_delay())
+            .buffer_policy(BufferPolicy::Unlimited)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(100)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert_eq!(out.total_delivered(), 100);
+        let lat = &out.flows[0].latency;
+        assert!((lat.mean() - 15.0).abs() < 1e-9, "latency {}", lat.mean());
+        assert!(lat.population_variance() < 1e-12);
+        assert_eq!(out.total_preemptions(), 0);
+    }
+
+    #[test]
+    fn unlimited_buffer_latency_matches_h_tau_plus_delay() {
+        let sim = line_sim(15)
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(2000)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert_eq!(out.total_delivered(), 2000);
+        // Expected: 15 * (1 + 30) = 465, sd of mean ~ sqrt(15*900/2000) ~ 2.6.
+        let mean = out.flows[0].latency.mean();
+        assert!((mean - 465.0).abs() < 10.0, "latency {mean}");
+        assert_eq!(out.total_preemptions(), 0);
+        assert_eq!(out.total_drops(), 0);
+    }
+
+    #[test]
+    fn hop_count_in_observations_matches_route() {
+        let sim = line_sim(7)
+            .packets_per_source(10)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        for obs in &out.observations {
+            assert_eq!(obs.hop_count, 7);
+            assert_eq!(obs.origin, NodeId(7));
+        }
+    }
+
+    #[test]
+    fn rcad_never_drops() {
+        let sim = line_sim(10)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(500)
+            .buffer_policy(BufferPolicy::Rcad {
+                capacity: 5,
+                victim: VictimPolicy::ShortestRemaining,
+            })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert_eq!(out.total_delivered(), 500);
+        assert!(out.total_preemptions() > 0, "rho = 15 >> 5 must preempt");
+        assert_eq!(out.total_drops(), 0);
+    }
+
+    #[test]
+    fn drop_tail_loses_packets_at_saturation() {
+        let sim = line_sim(10)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(500)
+            .buffer_policy(BufferPolicy::DropTail { capacity: 5 })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert!(out.total_drops() > 0);
+        assert!(out.total_delivered() < 500);
+        assert_eq!(
+            out.total_delivered() + out.total_drops(),
+            500,
+            "every packet is delivered or dropped"
+        );
+    }
+
+    #[test]
+    fn rcad_caps_occupancy_at_capacity() {
+        let sim = line_sim(5)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(300)
+            .buffer_policy(BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::ShortestRemaining,
+            })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        for node in &out.nodes {
+            assert!(node.peak_occupancy <= 10, "node {} peak {}", node.node, node.peak_occupancy);
+        }
+    }
+
+    #[test]
+    fn rcad_reduces_latency_under_saturation() {
+        let base = line_sim(15)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(1000);
+        let unlimited = base
+            .clone()
+            .buffer_policy(BufferPolicy::Unlimited)
+            .build()
+            .unwrap()
+            .run();
+        let rcad = base
+            .buffer_policy(BufferPolicy::paper_rcad())
+            .build()
+            .unwrap()
+            .run();
+        let lu = unlimited.flows[0].latency.mean();
+        let lr = rcad.flows[0].latency.mean();
+        assert!(
+            lr < 0.8 * lu,
+            "RCAD latency {lr} should sit well below unlimited {lu}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let layout = Convergecast::paper_figure1();
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .traffic(TrafficModel::periodic(4.0))
+                .packets_per_source(200)
+                .seed(42)
+                .build()
+                .unwrap()
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let layout = Convergecast::paper_figure1();
+        let mk = |seed| {
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .packets_per_source(100)
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run()
+        };
+        assert_ne!(mk(1).observations, mk(2).observations);
+    }
+
+    #[test]
+    fn figure1_all_flows_deliver_everything_under_rcad() {
+        let layout = Convergecast::paper_figure1();
+        let sim =
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .traffic(TrafficModel::periodic(2.0))
+                .packets_per_source(300)
+                .build()
+                .unwrap();
+        let out = sim.run();
+        for f in &out.flows {
+            assert_eq!(f.delivered, 300, "flow {}", f.flow);
+            assert_eq!(f.delivery_ratio(), 1.0);
+        }
+        // Trunk nodes (ids 1..=8) carry 4x traffic: they must preempt.
+        let trunk_preempt: u64 = (1..=8).map(|i| out.nodes[i].preemptions).sum();
+        assert!(trunk_preempt > 0);
+    }
+
+    #[test]
+    fn lossy_links_lose_packets() {
+        let sim = line_sim(5)
+            .link(LinkModel::paper_default().with_loss(0.05))
+            .packets_per_source(500)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert!(out.link_losses > 0);
+        assert_eq!(out.total_delivered() + out.link_losses, 500);
+    }
+
+    #[test]
+    fn adversary_knowledge_reflects_configuration() {
+        let layout = Convergecast::paper_figure1();
+        let sim =
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .build()
+                .unwrap();
+        let k = sim.adversary_knowledge();
+        assert_eq!(k.flow_hops, vec![15, 22, 9, 11]);
+        assert_eq!(k.tau, 1.0);
+        assert_eq!(k.delay_mean, 30.0);
+        assert_eq!(k.buffer_slots, Some(10));
+        assert_eq!(k.converging_flows.len(), 4);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        let topo = Topology::line(3);
+        let routing = RoutingTree::shortest_path(&topo, NodeId(0)).unwrap();
+        assert!(matches!(
+            NetworkSimulation::builder(routing.clone(), vec![]).build(),
+            Err(BuildError::NoSources)
+        ));
+        assert!(matches!(
+            NetworkSimulation::builder(routing.clone(), vec![NodeId(0)]).build(),
+            Err(BuildError::SourceIsSink { .. })
+        ));
+        assert!(matches!(
+            NetworkSimulation::builder(routing.clone(), vec![NodeId(9)]).build(),
+            Err(BuildError::UnknownSource { .. })
+        ));
+        assert!(matches!(
+            NetworkSimulation::builder(routing.clone(), vec![NodeId(2)])
+                .packets_per_source(0)
+                .build(),
+            Err(BuildError::NoPackets)
+        ));
+        assert!(matches!(
+            NetworkSimulation::builder(routing, vec![NodeId(2)])
+                .buffer_policy(BufferPolicy::DropTail { capacity: 0 })
+                .build(),
+            Err(BuildError::InvalidBuffer { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_schedules_drive_creation_times() {
+        let topo = Topology::line(4);
+        let routing = RoutingTree::shortest_path(&topo, NodeId(0)).unwrap();
+        let schedule = vec![
+            SimTime::from_units(5.0),
+            SimTime::from_units(9.0),
+            SimTime::from_units(50.0),
+        ];
+        let sim = NetworkSimulation::builder(routing, vec![NodeId(3)])
+            .schedules(vec![schedule.clone()])
+            .delay_plan(DelayPlan::no_delay())
+            .buffer_policy(BufferPolicy::Unlimited)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert_eq!(out.flows[0].created, 3);
+        assert_eq!(out.total_delivered(), 3);
+        let created: Vec<SimTime> = out.truth.iter().map(|t| t.created_at).collect();
+        assert_eq!(created, schedule);
+        // With no delay, arrivals follow creations by exactly h*tau = 3.
+        for obs in &out.observations {
+            let truth = out.creation_time(obs.packet);
+            assert_eq!(obs.arrival - truth, tempriv_sim::time::SimDuration::from_units(3.0));
+        }
+    }
+
+    #[test]
+    fn schedule_mismatch_rejected() {
+        let topo = Topology::line(3);
+        let routing = RoutingTree::shortest_path(&topo, NodeId(0)).unwrap();
+        let err = NetworkSimulation::builder(routing.clone(), vec![NodeId(2)])
+            .schedules(vec![])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::ScheduleMismatch { .. }));
+        let err = NetworkSimulation::builder(routing, vec![NodeId(2)])
+            .schedules(vec![vec![]])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::NoPackets));
+    }
+
+    #[test]
+    fn threshold_mix_batches_and_strands() {
+        let sim = line_sim(3)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(100)
+            .buffer_policy(BufferPolicy::ThresholdMix { threshold: 8 })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        // 100 packets in batches of 8: 12 full batches per node; the
+        // remaining 4 strand at the first mix node.
+        assert!(out.total_flushes() > 0);
+        assert_eq!(
+            out.total_delivered() + out.total_stranded(),
+            100,
+            "mix conservation"
+        );
+        assert!(out.total_stranded() > 0 && out.total_stranded() < 8);
+        assert_eq!(out.total_preemptions(), 0);
+        assert_eq!(out.total_drops(), 0);
+        // Peak occupancy equals the threshold at flush instants.
+        assert!(out.nodes.iter().any(|n| n.peak_occupancy == 8));
+        assert!(out.nodes.iter().all(|n| n.peak_occupancy <= 8));
+    }
+
+    #[test]
+    fn threshold_one_mix_is_immediate_forwarding() {
+        let sim = line_sim(5)
+            .traffic(TrafficModel::periodic(3.0))
+            .packets_per_source(50)
+            .buffer_policy(BufferPolicy::ThresholdMix { threshold: 1 })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        assert_eq!(out.total_delivered(), 50);
+        assert_eq!(out.total_stranded(), 0);
+        // Latency is exactly h*tau: every batch flushes instantly.
+        assert!((out.flows[0].latency.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_batch_members_arrive_together() {
+        let sim = line_sim(1)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(40)
+            .buffer_policy(BufferPolicy::ThresholdMix { threshold: 5 })
+            .build()
+            .unwrap();
+        let out = sim.run();
+        // Arrivals come in bursts of 5 sharing one arrival instant.
+        let mut by_time: std::collections::BTreeMap<_, usize> = Default::default();
+        for obs in &out.observations {
+            *by_time.entry(obs.arrival).or_default() += 1;
+        }
+        assert!(by_time.values().all(|&c| c == 5), "{by_time:?}");
+    }
+
+    #[test]
+    fn energy_accounting_counts_every_hop() {
+        use tempriv_net::energy::EnergyModel;
+        let sim = line_sim(5)
+            .traffic(TrafficModel::periodic(4.0))
+            .packets_per_source(100)
+            .delay_plan(DelayPlan::shared_exponential(10.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        // 100 packets x 5 hops: 500 transmissions; the sink receives 100
+        // of the 500 receptions.
+        let tx: u64 = out.nodes.iter().map(|n| n.transmissions).sum();
+        let rx: u64 = out.nodes.iter().map(|n| n.receptions).sum();
+        assert_eq!(tx, 500);
+        assert_eq!(rx, 500);
+        assert_eq!(out.nodes[0].receptions, 100); // the sink
+        assert_eq!(out.nodes[0].transmissions, 0);
+        let model = EnergyModel::mica2();
+        let expected = 500.0 * (model.tx_cost + model.rx_cost);
+        assert!((out.total_energy(&model) - expected).abs() < 1e-9);
+        assert!((out.energy_per_delivered(&model) - expected / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delays_cost_no_extra_energy_but_drops_waste_it() {
+        use tempriv_net::energy::EnergyModel;
+        let model = EnergyModel::mica2();
+        let base = line_sim(10)
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(300);
+        let no_delay = base
+            .clone()
+            .delay_plan(DelayPlan::no_delay())
+            .buffer_policy(BufferPolicy::Unlimited)
+            .build()
+            .unwrap()
+            .run();
+        let rcad = base
+            .clone()
+            .buffer_policy(BufferPolicy::paper_rcad())
+            .build()
+            .unwrap()
+            .run();
+        let droptail = base
+            .buffer_policy(BufferPolicy::DropTail { capacity: 10 })
+            .build()
+            .unwrap()
+            .run();
+        // RCAD delivers everything with exactly the no-delay energy.
+        assert_eq!(no_delay.total_energy(&model), rcad.total_energy(&model));
+        assert_eq!(
+            no_delay.energy_per_delivered(&model),
+            rcad.energy_per_delivered(&model)
+        );
+        // Drop-tail wastes the upstream transmissions of dropped packets.
+        assert!(droptail.total_drops() > 0);
+        assert!(
+            droptail.energy_per_delivered(&model) > rcad.energy_per_delivered(&model),
+            "droptail {} vs rcad {}",
+            droptail.energy_per_delivered(&model),
+            rcad.energy_per_delivered(&model)
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_consistent() {
+        let sim = line_sim(15)
+            .traffic(TrafficModel::periodic(4.0))
+            .packets_per_source(2000)
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        let flow = &out.flows[0];
+        let p50 = flow.latency_p50().unwrap();
+        let p95 = flow.latency_p95().unwrap();
+        // Erlang(15) latency: median below mean, p95 well above.
+        assert!(p50 < flow.latency.mean(), "p50 {p50} vs mean {}", flow.latency.mean());
+        assert!(p95 > flow.latency.mean());
+        assert!(p50 >= 15.0, "nothing beats h*tau");
+        // Analytic p95 of 15 * (tau + Exp(30)) is ~672; allow slack for
+        // histogram resolution.
+        assert!((p95 - 672.0).abs() < 40.0, "p95 {p95}");
+    }
+
+    #[test]
+    fn custom_latency_range_applies() {
+        let sim = line_sim(3)
+            .packets_per_source(50)
+            .delay_plan(DelayPlan::no_delay())
+            .buffer_policy(BufferPolicy::Unlimited)
+            .latency_range(0.0, 10.0)
+            .build()
+            .unwrap();
+        let out = sim.run();
+        // All latencies are exactly 3: well inside the custom range.
+        assert_eq!(out.flows[0].latency_histogram.overflow(), 0);
+        assert!((out.flows[0].latency_p50().unwrap() - 3.0).abs() < 0.1);
+        // Degenerate range is rejected.
+        let err = line_sim(3).latency_range(5.0, 5.0).build().unwrap_err();
+        assert!(matches!(err, BuildError::InvalidBuffer { .. }));
+    }
+
+    #[test]
+    fn observations_arrive_in_time_order() {
+        let layout = Convergecast::paper_figure1();
+        let sim =
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .packets_per_source(200)
+                .build()
+                .unwrap();
+        let out = sim.run();
+        for w in out.observations.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+}

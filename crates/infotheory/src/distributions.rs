@@ -1,0 +1,575 @@
+//! Continuous distributions used in the temporal-privacy formulation.
+//!
+//! The paper's §3 reasons about the creation-time law `f_X` (Erlang stages
+//! of a Poisson source), the delay law `f_Y` (exponential, the max-entropy
+//! choice), and the observation `Z = X + Y`. This module provides those
+//! densities with exact moments and closed-form differential entropies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::{digamma, ln_gamma};
+
+/// A continuous distribution on (a subset of) the real line.
+///
+/// Implementors expose the density, distribution function, moments, and
+/// — when it exists in closed form — the differential entropy in nats.
+pub trait ContinuousDist {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution at `x`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Differential entropy in nats (`−∞` for degenerate laws).
+    fn entropy_nats(&self) -> f64;
+    /// Sampling support upper bound covering at least `1 − eps` of mass,
+    /// used to size numeric integration grids.
+    fn support_hint(&self, eps: f64) -> f64;
+}
+
+/// Exponential distribution with the given mean (`rate = 1/mean`).
+///
+/// The paper's delay law of choice: among all non-negative distributions
+/// with a fixed mean, the exponential maximizes differential entropy, so it
+/// hides the most timing information per unit of added latency.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_infotheory::distributions::{ContinuousDist, Exponential};
+///
+/// let d = Exponential::with_mean(30.0);
+/// assert_eq!(d.mean(), 30.0);
+/// assert!((d.entropy_nats() - (1.0 + 30.0f64.ln())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is non-positive or not finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// Creates an exponential with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is non-positive or not finite.
+    #[must_use]
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn entropy_nats(&self) -> f64 {
+        1.0 - self.rate.ln()
+    }
+
+    fn support_hint(&self, eps: f64) -> f64 {
+        -(eps.ln()) / self.rate
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or the bounds are not finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform bounds [{lo}, {hi}]"
+        );
+        Uniform { lo, hi }
+    }
+
+    /// A zero-mean-preserving uniform with the given mean: `[0, 2·mean]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is non-positive or not finite.
+    #[must_use]
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "uniform mean must be positive, got {mean}"
+        );
+        Uniform::new(0.0, 2.0 * mean)
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub const fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub const fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn entropy_nats(&self) -> f64 {
+        (self.hi - self.lo).ln()
+    }
+
+    fn support_hint(&self, _eps: f64) -> f64 {
+        self.hi
+    }
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: f64,
+    sd: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with mean `mean` and standard deviation `sd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is non-positive or either parameter is not finite.
+    #[must_use]
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(mean.is_finite(), "Gaussian mean must be finite, got {mean}");
+        assert!(
+            sd.is_finite() && sd > 0.0,
+            "Gaussian standard deviation must be positive, got {sd}"
+        );
+        Gaussian { mean, sd }
+    }
+
+    /// Standard deviation.
+    #[must_use]
+    pub const fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl ContinuousDist for Gaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.sd * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    fn entropy_nats(&self) -> f64 {
+        0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * self.sd * self.sd).ln()
+    }
+
+    fn support_hint(&self, _eps: f64) -> f64 {
+        self.mean + 8.0 * self.sd
+    }
+}
+
+/// Erlang(k, rate) — the creation-time law of the j-th packet of a Poisson
+/// source (paper §3.2: `X_j` is j-stage Erlangian with mean `j/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErlangDist {
+    k: u32,
+    rate: f64,
+}
+
+impl ErlangDist {
+    /// Creates an Erlang with integer shape `k` and rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rate` is non-positive or not finite.
+    #[must_use]
+    pub fn new(k: u32, rate: f64) -> Self {
+        assert!(k > 0, "Erlang shape must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Erlang rate must be positive, got {rate}"
+        );
+        ErlangDist { k, rate }
+    }
+
+    /// The shape parameter.
+    #[must_use]
+    pub const fn shape(&self) -> u32 {
+        self.k
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for ErlangDist {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.k == 1 { self.rate } else { 0.0 };
+        }
+        let k = self.k as f64;
+        (k * self.rate.ln() + (k - 1.0) * x.ln()
+            - self.rate * x
+            - ln_gamma(k))
+        .exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let rx = self.rate * x;
+        let mut term = 1.0f64;
+        let mut sum = term;
+        for i in 1..self.k {
+            term *= rx / i as f64;
+            sum += term;
+        }
+        (1.0 - (-rx).exp() * sum).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+
+    fn entropy_nats(&self) -> f64 {
+        // Gamma(shape k, rate λ): h = k − ln λ + ln Γ(k) + (1 − k)ψ(k).
+        let k = self.k as f64;
+        k - self.rate.ln() + ln_gamma(k) + (1.0 - k) * digamma(k)
+    }
+
+    fn support_hint(&self, eps: f64) -> f64 {
+        // Mean plus a generous multiple of the standard deviation.
+        let z = (-(eps.ln())).max(1.0);
+        self.mean() + (2.0 * z) * self.variance().sqrt() + self.mean()
+    }
+}
+
+/// A degenerate (constant) "distribution" — the delay law of a fixed
+/// buffering delay. Its differential entropy is −∞, which is exactly why
+/// the paper rejects deterministic delays: they add latency but hide
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degenerate {
+    value: f64,
+}
+
+impl Degenerate {
+    /// Creates a point mass at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "point mass must be finite, got {value}");
+        Degenerate { value }
+    }
+
+    /// The constant value.
+    #[must_use]
+    pub const fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl ContinuousDist for Degenerate {
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.value {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn entropy_nats(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn support_hint(&self, _eps: f64) -> f64 {
+        self.value
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (|error| < 1.5e-7, ample for CDF checks and tests).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, n: usize) -> f64 {
+        let h = (hi - lo) / n as f64;
+        let mut s = 0.5 * (f(lo) + f(hi));
+        for i in 1..n {
+            s += f(lo + i as f64 * h);
+        }
+        s * h
+    }
+
+    #[test]
+    fn exponential_density_and_moments() {
+        let d = Exponential::with_mean(30.0);
+        assert!((d.rate() - 1.0 / 30.0).abs() < 1e-15);
+        assert_eq!(d.mean(), 30.0);
+        assert_eq!(d.variance(), 900.0);
+        assert!((integrate(|x| d.pdf(x), 0.0, 600.0, 50_000) - 1.0).abs() < 1e-6);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert!((d.cdf(30.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_entropy_closed_form() {
+        // h(Exp with mean m) = 1 + ln m.
+        let d = Exponential::with_mean(30.0);
+        assert!((d.entropy_nats() - (1.0 + 30.0f64.ln())).abs() < 1e-12);
+        // Cross-check numerically: -∫ f ln f.
+        let num = integrate(
+            |x| {
+                let p = d.pdf(x);
+                if p > 0.0 {
+                    -p * p.ln()
+                } else {
+                    0.0
+                }
+            },
+            0.0,
+            1200.0,
+            200_000,
+        );
+        assert!((num - d.entropy_nats()).abs() < 1e-4, "numeric {num}");
+    }
+
+    #[test]
+    fn exponential_is_max_entropy_at_fixed_mean() {
+        // The paper's §3.2 motivation: at mean 30, the exponential beats
+        // the uniform [0, 60] and (infinitely) the constant 30.
+        let exp = Exponential::with_mean(30.0);
+        let uni = Uniform::with_mean(30.0);
+        let con = Degenerate::new(30.0);
+        assert!(exp.entropy_nats() > uni.entropy_nats());
+        assert!(uni.entropy_nats() > con.entropy_nats());
+        assert_eq!(con.entropy_nats(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn uniform_basics() {
+        let d = Uniform::new(2.0, 6.0);
+        assert_eq!(d.mean(), 4.0);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+        assert_eq!(d.entropy_nats(), 4.0f64.ln());
+        assert_eq!(d.pdf(1.0), 0.0);
+        assert_eq!(d.pdf(3.0), 0.25);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert_eq!(d.cdf(6.0), 1.0);
+        assert_eq!(d.cdf(4.0), 0.5);
+        assert_eq!(Uniform::with_mean(30.0).hi(), 60.0);
+    }
+
+    #[test]
+    fn gaussian_basics() {
+        let d = Gaussian::new(0.0, 2.0);
+        assert!((integrate(|x| d.pdf(x), -30.0, 30.0, 60_000) - 1.0).abs() < 1e-9);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((d.cdf(2.0) - 0.841_344_7).abs() < 1e-5);
+        let expected_h = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * 4.0).ln();
+        assert!((d.entropy_nats() - expected_h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_matches_exponential_at_shape_one() {
+        let erl = ErlangDist::new(1, 0.2);
+        let exp = Exponential::new(0.2);
+        for &x in &[0.0, 0.5, 3.0, 10.0] {
+            assert!((erl.pdf(x) - exp.pdf(x)).abs() < 1e-12);
+            assert!((erl.cdf(x) - exp.cdf(x)).abs() < 1e-12);
+        }
+        assert!((erl.entropy_nats() - exp.entropy_nats()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erlang_entropy_vs_numeric() {
+        let d = ErlangDist::new(5, 0.5); // mean 10
+        let hi = 120.0;
+        let num = integrate(
+            |x| {
+                let p = d.pdf(x);
+                if p > 0.0 {
+                    -p * p.ln()
+                } else {
+                    0.0
+                }
+            },
+            0.0,
+            hi,
+            400_000,
+        );
+        assert!(
+            (num - d.entropy_nats()).abs() < 1e-4,
+            "numeric {num} vs closed {}",
+            d.entropy_nats()
+        );
+    }
+
+    #[test]
+    fn erlang_density_integrates_to_one() {
+        let d = ErlangDist::new(15, 0.5); // the paper's X_15 at 1/lambda = 2
+        assert_eq!(d.mean(), 30.0);
+        let total = integrate(|x| d.pdf(x), 0.0, 200.0, 100_000);
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cdf_is_step() {
+        let d = Degenerate::new(5.0);
+        assert_eq!(d.cdf(4.999), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_8).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn support_hints_cover_mass() {
+        let eps = 1e-9;
+        let exp = Exponential::with_mean(30.0);
+        assert!(exp.cdf(exp.support_hint(eps)) > 1.0 - 1e-8);
+        let erl = ErlangDist::new(10, 0.1);
+        assert!(erl.cdf(erl.support_hint(eps)) > 1.0 - 1e-6);
+    }
+}

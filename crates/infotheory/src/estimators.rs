@@ -1,0 +1,250 @@
+//! Empirical estimators: entropy and mutual information from samples.
+//!
+//! The simulator produces (creation time, arrival time) pairs; these
+//! estimators turn them into empirical leakage numbers that can be checked
+//! against the closed-form bounds of [`crate::bounds`]. They are standard
+//! histogram plug-in estimators — biased upward in the number of bins, so
+//! validations use moderate bin counts and generous sample sizes.
+//!
+//! The module also carries the MSE↔information bridge the paper leans on
+//! when it swaps the mutual-information metric for the adversary's mean
+//! square error (§2.1, §5.1, citing Guo–Shamai–Verdú).
+
+use std::collections::HashMap;
+
+/// Differential entropy estimate (nats) from scalar samples, via an
+/// equal-width histogram: `Ĥ = H_discrete + ln(bin width)`.
+///
+/// # Panics
+///
+/// Panics if `samples` has fewer than 2 elements, contains NaN, or
+/// `bins == 0`.
+#[must_use]
+pub fn entropy_from_samples_nats(samples: &[f64], bins: usize) -> f64 {
+    assert!(samples.len() >= 2, "need at least two samples");
+    assert!(bins > 0, "need at least one bin");
+    let (lo, hi) = min_max(samples);
+    let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0u64; bins];
+    for &x in samples {
+        let idx = (((x - lo) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    let n = samples.len() as f64;
+    let h_disc: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    h_disc + width.ln()
+}
+
+/// Mutual information estimate (nats) between paired samples, via a 2-D
+/// equal-width histogram: `Î = Σ p(x,z)·ln(p(x,z)/(p(x)p(z)))`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, have fewer than 2 pairs,
+/// contain NaN, or `bins == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_infotheory::estimators::mi_from_samples_nats;
+///
+/// // Independent-ish pairs carry (almost) no information.
+/// let xs: Vec<f64> = (0..500).map(|i| (i % 23) as f64).collect();
+/// let zs: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
+/// let mi = mi_from_samples_nats(&xs, &zs, 8);
+/// assert!(mi < 0.25);
+/// ```
+#[must_use]
+pub fn mi_from_samples_nats(xs: &[f64], zs: &[f64], bins: usize) -> f64 {
+    assert_eq!(xs.len(), zs.len(), "paired samples must align");
+    assert!(xs.len() >= 2, "need at least two pairs");
+    assert!(bins > 0, "need at least one bin");
+    let (xlo, xhi) = min_max(xs);
+    let (zlo, zhi) = min_max(zs);
+    let xw = ((xhi - xlo) / bins as f64).max(f64::MIN_POSITIVE);
+    let zw = ((zhi - zlo) / bins as f64).max(f64::MIN_POSITIVE);
+    let mut joint: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut px = vec![0u64; bins];
+    let mut pz = vec![0u64; bins];
+    for (&x, &z) in xs.iter().zip(zs) {
+        let i = (((x - xlo) / xw) as usize).min(bins - 1);
+        let j = (((z - zlo) / zw) as usize).min(bins - 1);
+        *joint.entry((i, j)).or_insert(0) += 1;
+        px[i] += 1;
+        pz[j] += 1;
+    }
+    let n = xs.len() as f64;
+    joint
+        .into_iter()
+        .map(|((i, j), c)| {
+            let pij = c as f64 / n;
+            let pi = px[i] as f64 / n;
+            let pj = pz[j] as f64 / n;
+            pij * (pij / (pi * pj)).ln()
+        })
+        .sum::<f64>()
+        .max(0.0)
+}
+
+/// Information-theoretic lower bound on leakage implied by an estimator's
+/// MSE: if an adversary achieves mean square error `mse` on a source with
+/// variance `var_x`, then (by the Gaussian rate-distortion argument behind
+/// the paper's MSE↔mutual-information link)
+///
+/// ```text
+/// I(X; Z) ≥ ½·ln(Var X / MSE)   (nats, when MSE < Var X)
+/// ```
+///
+/// Conversely a *small* leakage forces a *large* MSE — the reason the
+/// paper can report MSE as its privacy metric.
+///
+/// # Panics
+///
+/// Panics if either argument is non-positive or not finite.
+#[must_use]
+pub fn mi_lower_bound_from_mse_nats(var_x: f64, mse: f64) -> f64 {
+    assert!(
+        var_x.is_finite() && var_x > 0.0,
+        "source variance must be positive, got {var_x}"
+    );
+    assert!(mse.is_finite() && mse > 0.0, "MSE must be positive, got {mse}");
+    (0.5 * (var_x / mse).ln()).max(0.0)
+}
+
+/// The flip side of [`mi_lower_bound_from_mse_nats`]: the smallest MSE any
+/// estimator can achieve given leakage `mi_nats`,
+/// `MSE ≥ Var X · e^{−2I}`.
+///
+/// # Panics
+///
+/// Panics if `var_x` is non-positive/not finite or `mi_nats` is negative.
+#[must_use]
+pub fn mse_lower_bound_from_mi(var_x: f64, mi_nats: f64) -> f64 {
+    assert!(
+        var_x.is_finite() && var_x > 0.0,
+        "source variance must be positive, got {var_x}"
+    );
+    assert!(mi_nats >= 0.0, "mutual information cannot be negative");
+    var_x * (-2.0 * mi_nats).exp()
+}
+
+fn min_max(samples: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in samples {
+        assert!(!x.is_nan(), "samples must not contain NaN");
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_pairs(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gauss = move || {
+            // Box-Muller.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mut xs = Vec::with_capacity(n);
+        let mut zs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = gauss();
+            let b = gauss();
+            xs.push(a);
+            zs.push(rho * a + (1.0 - rho * rho).sqrt() * b);
+        }
+        (xs, zs)
+    }
+
+    #[test]
+    fn entropy_of_uniform_samples() {
+        // Uniform on [0, 4): h = ln 4.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() * 4.0).collect();
+        let h = entropy_from_samples_nats(&samples, 64);
+        assert!((h - 4.0f64.ln()).abs() < 0.02, "h = {h}");
+    }
+
+    #[test]
+    fn entropy_of_exponential_samples() {
+        // Exp(mean 30): h = 1 + ln 30 ≈ 4.401.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| -30.0 * (1.0 - rng.gen::<f64>()).ln())
+            .collect();
+        let h = entropy_from_samples_nats(&samples, 128);
+        assert!((h - (1.0 + 30.0f64.ln())).abs() < 0.1, "h = {h}");
+    }
+
+    #[test]
+    fn mi_of_correlated_gaussians_matches_closed_form() {
+        // I = -0.5 ln(1 - rho^2).
+        let rho = 0.8f64;
+        let (xs, zs) = gaussian_pairs(200_000, rho, 7);
+        let mi = mi_from_samples_nats(&xs, &zs, 24);
+        let exact = -0.5 * (1.0 - rho * rho).ln();
+        assert!((mi - exact).abs() < 0.06, "MI {mi} vs exact {exact}");
+    }
+
+    #[test]
+    fn mi_of_independent_gaussians_is_near_zero() {
+        let (xs, zs) = gaussian_pairs(100_000, 0.0, 8);
+        let mi = mi_from_samples_nats(&xs, &zs, 16);
+        assert!(mi < 0.01, "MI {mi}");
+    }
+
+    #[test]
+    fn mi_is_monotone_in_correlation() {
+        let mut prev = -1.0;
+        for &rho in &[0.2, 0.5, 0.8, 0.95] {
+            let (xs, zs) = gaussian_pairs(60_000, rho, 9);
+            let mi = mi_from_samples_nats(&xs, &zs, 20);
+            assert!(mi > prev, "rho {rho}: {mi} !> {prev}");
+            prev = mi;
+        }
+    }
+
+    #[test]
+    fn mse_mi_bridge_round_trips() {
+        let var_x = 100.0;
+        for &mi in &[0.1, 0.5, 2.0] {
+            let mse = mse_lower_bound_from_mi(var_x, mi);
+            let back = mi_lower_bound_from_mse_nats(var_x, mse);
+            assert!((back - mi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_bound_saturates_at_zero_information() {
+        // No leakage: the best estimator can do no better than Var X.
+        assert_eq!(mse_lower_bound_from_mi(50.0, 0.0), 50.0);
+        // MSE worse than the variance yields the trivial zero bound.
+        assert_eq!(mi_lower_bound_from_mse_nats(50.0, 80.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_pairs_rejected() {
+        let _ = mi_from_samples_nats(&[1.0, 2.0], &[1.0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_samples_rejected() {
+        let _ = entropy_from_samples_nats(&[1.0, f64::NAN], 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Special functions: log-gamma and digamma.
+
+/// Natural log of the gamma function (Lanczos, g = 7, n = 9).
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x), for positive arguments.
+///
+/// Uses the upward recurrence `ψ(x) = ψ(x+1) − 1/x` to push the argument
+/// above 14, then the standard asymptotic series; accurate to ~1e-12.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+#[must_use]
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0, "digamma requires a positive argument, got {x}");
+    let mut x = x;
+    let mut acc = 0.0;
+    while x < 14.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion: ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n}).
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+    #[test]
+    fn digamma_at_one_is_minus_euler() {
+        assert!((digamma(1.0) + EULER_GAMMA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digamma_recurrence_holds() {
+        for &x in &[0.3, 1.7, 4.2, 11.0] {
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-11,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn digamma_integer_values() {
+        // psi(n) = -gamma + sum_{k=1}^{n-1} 1/k.
+        for n in 2..10u32 {
+            let expected: f64 = -EULER_GAMMA + (1..n).map(|k| 1.0 / k as f64).sum::<f64>();
+            assert!((digamma(n as f64) - expected).abs() < 1e-11, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digamma_is_derivative_of_ln_gamma() {
+        for &x in &[0.8, 2.5, 7.0] {
+            let h = 1e-6;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            assert!((digamma(x) - numeric).abs() < 1e-6, "x = {x}");
+        }
+    }
+}

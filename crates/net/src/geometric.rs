@@ -1,0 +1,165 @@
+//! Random geometric (unit-disk) deployments.
+//!
+//! Real sensor fields are not grids: nodes land where they are dropped
+//! and can talk to every neighbor within radio range. A random geometric
+//! graph — uniform positions on a rectangle, edges between nodes closer
+//! than `range` — is the standard abstraction, and the paper's Figure 1
+//! field is visually one. Used by examples and generalization tests; the
+//! headline experiments keep the calibrated convergecast layout.
+
+use tempriv_sim::rng::SimRng;
+
+use crate::ids::NodeId;
+use crate::topology::Topology;
+
+/// Parameters of a random geometric deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricDeployment {
+    /// Field width.
+    pub width: f64,
+    /// Field height.
+    pub height: f64,
+    /// Number of sensors.
+    pub nodes: usize,
+    /// Radio range (edge iff distance ≤ range).
+    pub range: f64,
+}
+
+impl GeometricDeployment {
+    /// Creates a deployment spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension or the range is non-positive/not finite, or
+    /// `nodes == 0`.
+    #[must_use]
+    pub fn new(width: f64, height: f64, nodes: usize, range: f64) -> Self {
+        for (name, v) in [("width", width), ("height", height), ("range", range)] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive, got {v}");
+        }
+        assert!(nodes > 0, "need at least one node");
+        GeometricDeployment {
+            width,
+            height,
+            nodes,
+            range,
+        }
+    }
+
+    /// Samples a topology. Node 0 is pinned to the field corner (0, 0) —
+    /// the conventional sink placement — and the rest land uniformly.
+    ///
+    /// The result may be disconnected (routing will report unreachable
+    /// nodes); see [`GeometricDeployment::sample_connected`].
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> Topology {
+        let mut positions = Vec::with_capacity(self.nodes);
+        positions.push((0.0, 0.0));
+        for _ in 1..self.nodes {
+            positions.push((
+                rng.sample_uniform(0.0, self.width),
+                rng.sample_uniform(0.0, self.height),
+            ));
+        }
+        let mut topo = Topology::with_nodes(self.nodes);
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                let (xi, yi) = positions[i];
+                let (xj, yj) = positions[j];
+                let d2 = (xi - xj).powi(2) + (yi - yj).powi(2);
+                if d2 <= self.range * self.range {
+                    topo.add_edge(NodeId(i as u32), NodeId(j as u32));
+                }
+            }
+        }
+        topo.set_positions(positions);
+        topo
+    }
+
+    /// Samples until a connected topology appears, up to `attempts`
+    /// resamples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the number of attempts made if none were connected (raise
+    /// the density or range).
+    pub fn sample_connected(
+        &self,
+        rng: &mut SimRng,
+        attempts: usize,
+    ) -> Result<Topology, usize> {
+        for _ in 0..attempts {
+            let topo = self.sample(rng);
+            if topo.is_connected() {
+                return Ok(topo);
+            }
+        }
+        Err(attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempriv_sim::rng::RngFactory;
+
+    fn rng() -> SimRng {
+        RngFactory::new(2024).stream(0)
+    }
+
+    #[test]
+    fn sample_respects_node_count_and_positions() {
+        let spec = GeometricDeployment::new(10.0, 10.0, 40, 3.0);
+        let topo = spec.sample(&mut rng());
+        assert_eq!(topo.len(), 40);
+        assert_eq!(topo.position(NodeId(0)), Some((0.0, 0.0)));
+        for node in topo.nodes() {
+            let (x, y) = topo.position(node).unwrap();
+            assert!((0.0..=10.0).contains(&x) && (0.0..=10.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn edges_respect_range() {
+        let spec = GeometricDeployment::new(10.0, 10.0, 30, 2.5);
+        let topo = spec.sample(&mut rng());
+        for a in topo.nodes() {
+            let (xa, ya) = topo.position(a).unwrap();
+            for &b in topo.neighbors(a) {
+                let (xb, yb) = topo.position(b).unwrap();
+                let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+                assert!(d <= 2.5 + 1e-9, "edge {a}-{b} spans {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_fields_connect() {
+        let spec = GeometricDeployment::new(8.0, 8.0, 60, 3.0);
+        let topo = spec
+            .sample_connected(&mut rng(), 20)
+            .expect("dense field should connect quickly");
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn sparse_fields_report_failure() {
+        let spec = GeometricDeployment::new(100.0, 100.0, 10, 1.0);
+        let err = spec.sample_connected(&mut rng(), 5).unwrap_err();
+        assert_eq!(err, 5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_stream() {
+        let spec = GeometricDeployment::new(10.0, 10.0, 25, 3.0);
+        let a = spec.sample(&mut RngFactory::new(5).stream(1));
+        let b = spec.sample(&mut RngFactory::new(5).stream(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = GeometricDeployment::new(1.0, 1.0, 0, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Link (PHY/MAC abstraction) model.
+//!
+//! The paper's simulator "simplified the PHY- and MAC-level protocols by
+//! adopting a constant transmission delay (i.e. 1 time unit) from any node
+//! to its neighbors" (§5.2). [`LinkModel`] reproduces that abstraction and
+//! additionally supports independent per-transmission loss for
+//! failure-injection experiments.
+
+use serde::{Deserialize, Serialize};
+use tempriv_sim::rng::SimRng;
+use tempriv_sim::time::SimDuration;
+
+/// Per-hop transmission behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    delay: SimDuration,
+    loss_probability: f64,
+    #[serde(default)]
+    jitter: f64,
+}
+
+impl LinkModel {
+    /// A lossless link with the given constant delay.
+    #[must_use]
+    pub const fn constant(delay: SimDuration) -> Self {
+        LinkModel {
+            delay,
+            loss_probability: 0.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// The paper's default: 1 time unit per hop, lossless.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        LinkModel::constant(SimDuration::from_units(1.0))
+    }
+
+    /// Adds independent per-transmission loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)` (a link losing everything cannot
+    /// deliver any experiment).
+    #[must_use]
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1), got {p}");
+        self.loss_probability = p;
+        self
+    }
+
+    /// The constant transmission delay τ.
+    #[must_use]
+    pub const fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// The per-transmission loss probability.
+    #[must_use]
+    pub const fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// Adds uniform per-transmission MAC jitter: each hop takes
+    /// `delay + Uniform[0, jitter)` — a sensitivity knob for the paper's
+    /// constant-τ MAC abstraction (contention and backoff in real CSMA
+    /// stacks make per-hop times noisy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or not finite.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be non-negative, got {jitter}"
+        );
+        self.jitter = jitter;
+        self
+    }
+
+    /// The uniform MAC jitter width.
+    #[must_use]
+    pub const fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Mean per-hop transmission time, `τ + jitter/2` — what a
+    /// deployment-aware adversary uses for its estimates.
+    #[must_use]
+    pub fn mean_delay(&self) -> f64 {
+        self.delay.as_units() + self.jitter / 2.0
+    }
+
+    /// Attempts one transmission: `Some(per-hop time)` if the frame
+    /// survives, `None` if it is lost.
+    pub fn transmit(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.loss_probability > 0.0 && rng.sample_bool(self.loss_probability) {
+            return None;
+        }
+        let extra = if self.jitter > 0.0 {
+            SimDuration::from_units(rng.sample_uniform(0.0, self.jitter))
+        } else {
+            SimDuration::ZERO
+        };
+        Some(self.delay + extra)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempriv_sim::rng::RngFactory;
+
+    #[test]
+    fn default_matches_paper() {
+        let l = LinkModel::default();
+        assert_eq!(l.delay(), SimDuration::from_units(1.0));
+        assert_eq!(l.loss_probability(), 0.0);
+    }
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let l = LinkModel::constant(SimDuration::from_units(2.5));
+        let mut rng = RngFactory::new(1).stream(0);
+        for _ in 0..100 {
+            assert_eq!(l.transmit(&mut rng), Some(SimDuration::from_units(2.5)));
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_at_configured_rate() {
+        let l = LinkModel::paper_default().with_loss(0.3);
+        let mut rng = RngFactory::new(2).stream(0);
+        let n = 100_000;
+        let lost = (0..n).filter(|_| l.transmit(&mut rng).is_none()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "observed loss {rate}");
+    }
+
+    #[test]
+    fn jitter_spreads_per_hop_times() {
+        let l = LinkModel::paper_default().with_jitter(0.5);
+        assert_eq!(l.jitter(), 0.5);
+        assert!((l.mean_delay() - 1.25).abs() < 1e-12);
+        let mut rng = RngFactory::new(9).stream(0);
+        let mut total = 0.0;
+        for _ in 0..20_000 {
+            let d = l.transmit(&mut rng).unwrap().as_units();
+            assert!((1.0..1.5).contains(&d), "delay {d}");
+            total += d;
+        }
+        assert!((total / 20_000.0 - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_jitter_stays_constant() {
+        let l = LinkModel::paper_default().with_jitter(0.0);
+        let mut rng = RngFactory::new(10).stream(0);
+        assert_eq!(l.transmit(&mut rng), Some(SimDuration::from_units(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn certain_loss_rejected() {
+        let _ = LinkModel::paper_default().with_loss(1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Packets: cleartext headers and sealed payloads.
+//!
+//! The paper's network model (§2) splits every packet into
+//!
+//! * **cleartext headers** needed for routing — modelled on the TinyOS
+//!   1.1.7 MultiHop header: previous hop, origin, routing-layer sequence
+//!   number, and hop count. An eavesdropper reads these freely.
+//! * an **encrypted payload** carrying the application data: sensor
+//!   reading, application sequence number, and the creation timestamp.
+//!   Only the sink can open it.
+//!
+//! The type system enforces the threat model: [`SealedPayload`]'s fields
+//! are reachable only through [`SealedPayload::open`], which demands a
+//! [`SinkKey`] — a capability constructed by the deployment (simulation
+//! driver) and handed to the legitimate receiver. Adversary code paths
+//! receive [`crate::packet::Packet::header`] plus arrival times and
+//! nothing else.
+
+use serde::{Deserialize, Serialize};
+use tempriv_sim::time::SimTime;
+
+use crate::ids::{FlowId, NodeId, PacketId};
+
+/// The unencrypted routing header (TinyOS `MultiHop.h` fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CleartextHeader {
+    /// The node that last transmitted this packet.
+    pub prev_hop: NodeId,
+    /// The node that originated the packet (routing-layer origin).
+    pub origin: NodeId,
+    /// Routing-layer sequence number (loop suppression; not flow-specific,
+    /// so — as the paper notes — useless for creation-time inference).
+    pub routing_seq: u32,
+    /// Hops traversed so far; incremented by each forwarder.
+    pub hop_count: u32,
+}
+
+/// The application payload, sealed under the network's pairwise keys.
+///
+/// Field access requires the sink's [`SinkKey`]; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SealedPayload {
+    app_seq: u32,
+    created_at: SimTime,
+    reading: f64,
+}
+
+/// Decrypted view of a payload, produced by [`SealedPayload::open`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayloadView {
+    /// Application-level sequence number within the flow.
+    pub app_seq: u32,
+    /// The packet's creation timestamp — the secret the adversary wants.
+    pub created_at: SimTime,
+    /// The sensor reading itself.
+    pub reading: f64,
+}
+
+/// Capability held by the legitimate receiver (the sink). Constructing one
+/// marks the holder as inside the trust boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkKey {
+    _private: (),
+}
+
+impl SinkKey {
+    /// Issues the sink's key. Call this only from deployment/driver code;
+    /// adversary implementations must never hold a `SinkKey`.
+    #[must_use]
+    pub const fn issue() -> Self {
+        SinkKey { _private: () }
+    }
+}
+
+impl SealedPayload {
+    /// Seals application data into a payload.
+    #[must_use]
+    pub const fn seal(app_seq: u32, created_at: SimTime, reading: f64) -> Self {
+        SealedPayload {
+            app_seq,
+            created_at,
+            reading,
+        }
+    }
+
+    /// Decrypts the payload with the sink's key.
+    #[must_use]
+    pub const fn open(&self, _key: &SinkKey) -> PayloadView {
+        PayloadView {
+            app_seq: self.app_seq,
+            created_at: self.created_at,
+            reading: self.reading,
+        }
+    }
+}
+
+/// A sensor packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Simulation-unique identifier (bookkeeping, not on the air).
+    pub id: PacketId,
+    /// The flow this packet belongs to (bookkeeping; the adversary can
+    /// reconstruct it from the cleartext `origin` field).
+    pub flow: FlowId,
+    header: CleartextHeader,
+    payload: SealedPayload,
+}
+
+impl Packet {
+    /// Creates a fresh packet at its source.
+    #[must_use]
+    pub fn new(
+        id: PacketId,
+        flow: FlowId,
+        source: NodeId,
+        app_seq: u32,
+        created_at: SimTime,
+        reading: f64,
+    ) -> Self {
+        Packet {
+            id,
+            flow,
+            header: CleartextHeader {
+                prev_hop: source,
+                origin: source,
+                routing_seq: 0,
+                hop_count: 0,
+            },
+            payload: SealedPayload::seal(app_seq, created_at, reading),
+        }
+    }
+
+    /// The cleartext header (what an eavesdropper sees).
+    #[must_use]
+    pub const fn header(&self) -> &CleartextHeader {
+        &self.header
+    }
+
+    /// The sealed payload (requires a [`SinkKey`] to open).
+    #[must_use]
+    pub const fn payload(&self) -> &SealedPayload {
+        &self.payload
+    }
+
+    /// Records a forwarding hop: updates `prev_hop`, increments the hop
+    /// count and routing sequence number.
+    pub fn record_hop(&mut self, forwarder: NodeId) {
+        self.header.prev_hop = forwarder;
+        self.header.hop_count += 1;
+        self.header.routing_seq = self.header.routing_seq.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    #[test]
+    fn fresh_packet_header_is_origin() {
+        let p = Packet::new(PacketId(1), FlowId(0), NodeId(9), 0, t(5.0), 21.5);
+        assert_eq!(p.header().origin, NodeId(9));
+        assert_eq!(p.header().prev_hop, NodeId(9));
+        assert_eq!(p.header().hop_count, 0);
+    }
+
+    #[test]
+    fn record_hop_updates_header() {
+        let mut p = Packet::new(PacketId(1), FlowId(0), NodeId(9), 0, t(5.0), 21.5);
+        p.record_hop(NodeId(4));
+        p.record_hop(NodeId(2));
+        assert_eq!(p.header().prev_hop, NodeId(2));
+        assert_eq!(p.header().origin, NodeId(9)); // origin never changes
+        assert_eq!(p.header().hop_count, 2);
+        assert_eq!(p.header().routing_seq, 2);
+    }
+
+    #[test]
+    fn payload_opens_only_with_key() {
+        let p = Packet::new(PacketId(7), FlowId(1), NodeId(3), 12, t(100.0), -4.0);
+        let key = SinkKey::issue();
+        let view = p.payload().open(&key);
+        assert_eq!(view.app_seq, 12);
+        assert_eq!(view.created_at, t(100.0));
+        assert_eq!(view.reading, -4.0);
+    }
+
+    #[test]
+    fn payload_serialization_round_trip_keeps_fields_sealed() {
+        // Serde support exists for checkpointing whole simulations, but
+        // the in-memory API still requires the key.
+        let p = Packet::new(PacketId(7), FlowId(1), NodeId(3), 12, t(100.0), -4.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Packet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,251 @@
+//! Deployment topologies.
+//!
+//! A [`Topology`] is an undirected connectivity graph over sensor nodes,
+//! optionally with planar positions (used by the mobility model and by
+//! grid deployments like the paper's Figure 1 field).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+
+/// An undirected sensor connectivity graph.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_net::topology::Topology;
+/// use tempriv_net::ids::NodeId;
+///
+/// let line = Topology::line(4);
+/// assert_eq!(line.len(), 4);
+/// assert_eq!(line.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    adjacency: Vec<Vec<NodeId>>,
+    positions: Option<Vec<(f64, f64)>>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` isolated nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        assert!(n > 0, "a topology needs at least one node");
+        Topology {
+            adjacency: vec![Vec::new(); n],
+            positions: None,
+        }
+    }
+
+    /// A path topology `0 — 1 — ⋯ — (n−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        let mut t = Topology::with_nodes(n);
+        for i in 1..n {
+            t.add_edge(NodeId(i as u32 - 1), NodeId(i as u32));
+        }
+        t.positions = Some((0..n).map(|i| (i as f64, 0.0)).collect());
+        t
+    }
+
+    /// A `width × height` 4-connected grid (the paper's Figure 1 field is
+    /// such a grid with the sink at a corner). Node `(x, y)` has id
+    /// `y·width + x` and position `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn grid(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        let mut t = Topology::with_nodes(width * height);
+        let id = |x: usize, y: usize| NodeId((y * width + x) as u32);
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    t.add_edge(id(x, y), id(x + 1, y));
+                }
+                if y + 1 < height {
+                    t.add_edge(id(x, y), id(x, y + 1));
+                }
+            }
+        }
+        t.positions = Some(
+            (0..width * height)
+                .map(|i| ((i % width) as f64, (i / width) as f64))
+                .collect(),
+        );
+        t
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, the endpoints coincide,
+    /// or the edge already exists.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a != b, "self-loops are not allowed ({a})");
+        assert!(
+            a.index() < self.adjacency.len() && b.index() < self.adjacency.len(),
+            "edge endpoints out of range: {a}, {b}"
+        );
+        assert!(
+            !self.adjacency[a.index()].contains(&b),
+            "duplicate edge {a} — {b}"
+        );
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` if the topology has no nodes (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbors of `node`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Planar position of `node`, if the topology carries positions.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Option<(f64, f64)> {
+        self.positions
+            .as_ref()
+            .and_then(|p| p.get(node.index()))
+            .copied()
+    }
+
+    /// Attaches planar positions (one per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the node count.
+    pub fn set_positions(&mut self, positions: Vec<(f64, f64)>) {
+        assert_eq!(
+            positions.len(),
+            self.adjacency.len(),
+            "one position per node required"
+        );
+        self.positions = Some(positions);
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// `true` if every node can reach every other node.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.adjacency.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(at) = stack.pop() {
+            for nb in &self.adjacency[at] {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    count += 1;
+                    stack.push(nb.index());
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_shape() {
+        let t = Topology::line(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert!(t.is_connected());
+        assert_eq!(t.position(NodeId(3)), Some((3.0, 0.0)));
+    }
+
+    #[test]
+    fn grid_topology_shape() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.len(), 12);
+        // Edges: horizontal 3*3=9, vertical 4*2=8.
+        assert_eq!(t.edge_count(), 17);
+        assert!(t.is_connected());
+        // Interior node has 4 neighbors.
+        assert_eq!(t.neighbors(NodeId(5)).len(), 4);
+        // Corner has 2.
+        assert_eq!(t.neighbors(NodeId(0)).len(), 2);
+        assert_eq!(t.position(NodeId(6)), Some((2.0, 1.0)));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut t = Topology::with_nodes(4);
+        t.add_edge(NodeId(0), NodeId(1));
+        t.add_edge(NodeId(2), NodeId(3));
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let t = Topology::grid(2, 2);
+        let ids: Vec<NodeId> = t.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let mut t = Topology::with_nodes(2);
+        t.add_edge(NodeId(0), NodeId(1));
+        t.add_edge(NodeId(1), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut t = Topology::with_nodes(2);
+        t.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per node")]
+    fn wrong_position_count_rejected() {
+        let mut t = Topology::with_nodes(3);
+        t.set_positions(vec![(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use tempriv_net::convergecast::Convergecast;
+use tempriv_net::ids::{FlowId, NodeId};
+use tempriv_net::routing::RoutingTree;
+use tempriv_net::topology::Topology;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_sim::rng::RngFactory;
+use tempriv_sim::time::SimTime;
+
+proptest! {
+    /// BFS routing on any grid yields Manhattan hop counts and paths that
+    /// shrink by exactly one hop per step.
+    #[test]
+    fn grid_routing_is_min_hop(w in 1usize..10, h in 1usize..10, sx in 0usize..10, sy in 0usize..10) {
+        let sx = sx.min(w - 1);
+        let sy = sy.min(h - 1);
+        let topo = Topology::grid(w, h);
+        let sink = NodeId((sy * w + sx) as u32);
+        let tree = RoutingTree::shortest_path(&topo, sink).unwrap();
+        for y in 0..h {
+            for x in 0..w {
+                let node = NodeId((y * w + x) as u32);
+                let manhattan = (x.abs_diff(sx) + y.abs_diff(sy)) as u32;
+                prop_assert_eq!(tree.hops(node), Some(manhattan));
+                let path = tree.path(node);
+                prop_assert_eq!(path.len() as u32, manhattan + 1);
+                for pair in path.windows(2) {
+                    prop_assert_eq!(
+                        tree.hops(pair[0]).unwrap(),
+                        tree.hops(pair[1]).unwrap() + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// Convergecast layouts honor every requested hop count and share
+    /// exactly the trunk.
+    #[test]
+    fn convergecast_respects_spec(
+        trunk in 0u32..12,
+        extra in prop::collection::vec(1u32..20, 1..6),
+    ) {
+        let flows: Vec<u32> = extra.iter().map(|e| trunk + e).collect();
+        let layout = Convergecast::builder()
+            .trunk_hops(trunk)
+            .flows(flows.iter().copied())
+            .build()
+            .unwrap();
+        for (i, &h) in flows.iter().enumerate() {
+            let flow = FlowId(i as u32);
+            prop_assert_eq!(layout.hop_count(flow), h);
+            prop_assert_eq!(layout.routing().hops(layout.source(flow)), Some(h));
+        }
+        // Every trunk node carries all flows.
+        for t in 1..=trunk {
+            prop_assert_eq!(layout.flows_through(NodeId(t)), flows.len());
+        }
+        // Node count: sink + trunk + sum of private chains.
+        let expected = 1 + trunk + flows.iter().map(|&h| h - trunk).sum::<u32>();
+        prop_assert_eq!(layout.len() as u32, expected);
+    }
+
+    /// Every traffic model produces positive gaps with the right mean.
+    #[test]
+    fn traffic_gaps_positive_with_correct_mean(interval in 0.1f64..50.0, seed in any::<u64>()) {
+        let models = [
+            TrafficModel::periodic(interval),
+            TrafficModel::periodic_jitter(interval, 0.3),
+            TrafficModel::poisson(1.0 / interval),
+        ];
+        for model in models {
+            let mut rng = RngFactory::new(seed).stream(0);
+            let n = 2_000;
+            let mut total = 0.0;
+            for _ in 0..n {
+                let gap = model.next_interarrival(&mut rng).as_units();
+                prop_assert!(gap >= 0.0);
+                total += gap;
+            }
+            let mean = total / n as f64;
+            prop_assert!(
+                (mean - interval).abs() < 0.1 * interval,
+                "{model:?}: mean {mean} vs {interval}"
+            );
+        }
+    }
+
+    /// Schedules are sorted and strictly positive-length for periodic
+    /// and Poisson models.
+    #[test]
+    fn schedules_are_ordered(interval in 0.1f64..20.0, count in 1usize..200, seed in any::<u64>()) {
+        let model = TrafficModel::poisson(1.0 / interval);
+        let mut rng = RngFactory::new(seed).stream(1);
+        let times = model.schedule(SimTime::ZERO, count, &mut rng);
+        prop_assert_eq!(times.len(), count);
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(times[0] > SimTime::ZERO);
+    }
+
+    /// Random connected topologies route everything: add a spanning path
+    /// plus arbitrary chords, then check every node reaches the sink.
+    #[test]
+    fn chorded_path_topologies_fully_route(
+        n in 2usize..40,
+        chords in prop::collection::vec((0usize..40, 0usize..40), 0..30),
+    ) {
+        let mut topo = Topology::line(n);
+        for &(a, b) in &chords {
+            let a = a % n;
+            let b = b % n;
+            if a != b {
+                let (lo, hi) = (a.min(b) as u32, a.max(b) as u32);
+                // Skip existing line edges and duplicates.
+                if hi - lo > 1
+                    && !topo.neighbors(NodeId(lo)).contains(&NodeId(hi))
+                {
+                    topo.add_edge(NodeId(lo), NodeId(hi));
+                }
+            }
+        }
+        let tree = RoutingTree::shortest_path(&topo, NodeId(0)).unwrap();
+        for node in topo.nodes() {
+            let hops = tree.hops(node).unwrap();
+            prop_assert!(hops as usize <= n);
+            prop_assert_eq!(tree.path(node).len() as u32, hops + 1);
+        }
+    }
+}

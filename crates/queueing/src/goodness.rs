@@ -1,0 +1,140 @@
+//! Goodness-of-fit statistics for validating the queueing laws.
+//!
+//! Burke's theorem (§4) claims the departure process of a stable
+//! birth–death station is Poisson at the arrival rate — i.e. departure
+//! inter-arrival times are i.i.d. exponential. These helpers quantify how
+//! exponential a sample looks: the Kolmogorov–Smirnov statistic against an
+//! arbitrary CDF and the squared coefficient of variation (1 for an
+//! exponential).
+
+/// Kolmogorov–Smirnov statistic `sup_x |F̂(x) − F(x)|` of `samples`
+/// against the model CDF `cdf`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+pub fn ks_statistic<F>(samples: &[f64], cdf: F) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    assert!(
+        sorted.iter().all(|x| !x.is_nan()),
+        "samples must not contain NaN"
+    );
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let model = cdf(x);
+        let emp_hi = (i + 1) as f64 / n;
+        let emp_lo = i as f64 / n;
+        d = d.max((emp_hi - model).abs()).max((model - emp_lo).abs());
+    }
+    d
+}
+
+/// KS statistic of `samples` against an exponential with rate `rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is non-positive/not finite or `samples` is empty.
+#[must_use]
+pub fn ks_exponential(samples: &[f64], rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be positive, got {rate}"
+    );
+    ks_statistic(samples, |x| {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-rate * x).exp()
+        }
+    })
+}
+
+/// Critical KS value at significance level ~5% for sample size `n`
+/// (asymptotic approximation `1.358/√n`, adequate for n ≳ 35).
+#[must_use]
+pub fn ks_critical_5pct(n: usize) -> f64 {
+    1.358 / (n as f64).sqrt()
+}
+
+/// Squared coefficient of variation `Var/Mean²` — equals 1 for an
+/// exponential sample, < 1 for more regular processes (e.g. periodic),
+/// > 1 for burstier ones.
+///
+/// # Panics
+///
+/// Panics if `samples` has fewer than 2 elements or a zero mean.
+#[must_use]
+pub fn cv_squared(samples: &[f64]) -> f64 {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    assert!(mean != 0.0, "mean must be non-zero");
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    var / (mean * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn exp_samples(n: usize, rate: f64, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| -(1.0 - rng.gen::<f64>()).ln() / rate)
+            .collect()
+    }
+
+    #[test]
+    fn exponential_sample_passes_ks() {
+        let samples = exp_samples(5_000, 0.5, 1);
+        let d = ks_exponential(&samples, 0.5);
+        assert!(d < ks_critical_5pct(5_000) * 1.5, "D = {d}");
+    }
+
+    #[test]
+    fn wrong_rate_fails_ks() {
+        let samples = exp_samples(5_000, 0.5, 2);
+        let d = ks_exponential(&samples, 2.0);
+        assert!(d > 10.0 * ks_critical_5pct(5_000), "D = {d}");
+    }
+
+    #[test]
+    fn periodic_sample_fails_ks() {
+        let samples = vec![2.0; 1000];
+        let d = ks_exponential(&samples, 0.5);
+        assert!(d > 0.3, "D = {d}");
+    }
+
+    #[test]
+    fn cv_squared_signatures() {
+        let exp = exp_samples(100_000, 1.0, 3);
+        assert!((cv_squared(&exp) - 1.0).abs() < 0.05);
+        let periodic: Vec<f64> = vec![2.0; 100];
+        assert!(cv_squared(&periodic) < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_exact_small_case() {
+        // One sample at the model median: D = 0.5.
+        let d = ks_statistic(&[0.0], |_| 0.5);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        assert!(ks_critical_5pct(100) > ks_critical_5pct(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        let _ = ks_exponential(&[], 1.0);
+    }
+}

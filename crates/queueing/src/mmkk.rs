@@ -1,0 +1,162 @@
+//! The M/M/k/k finite-buffer model (paper §4).
+//!
+//! Resource-constrained sensors cannot run M/M/∞: with only `k` buffer
+//! slots the station becomes M/M/k/k, arrivals that find the buffer full
+//! are dropped (or, under RCAD, trigger a preemption), and the drop
+//! probability is the Erlang loss formula.
+
+use serde::{Deserialize, Serialize};
+
+use crate::erlang::{erlang_b, mmkk_occupancy_pmf};
+
+/// An M/M/k/k station: Poisson arrivals, exponential holding, `k` slots.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_queueing::mmkk::Mmkk;
+///
+/// // Paper defaults at the highest traffic rate: rho = 15, k = 10.
+/// let station = Mmkk::new(0.5, 1.0 / 30.0, 10);
+/// assert!(station.blocking_probability() > 0.3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mmkk {
+    lambda: f64,
+    mu: f64,
+    k: u32,
+}
+
+impl Mmkk {
+    /// Creates a station with arrival rate `lambda`, service rate `mu`,
+    /// and `k` buffer slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is non-positive/not finite or `k == 0`.
+    #[must_use]
+    pub fn new(lambda: f64, mu: f64, k: u32) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(
+            mu.is_finite() && mu > 0.0,
+            "service rate must be positive, got {mu}"
+        );
+        assert!(k > 0, "need at least one buffer slot");
+        Mmkk { lambda, mu, k }
+    }
+
+    /// Arrival rate λ.
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate μ.
+    #[must_use]
+    pub const fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Buffer slots k.
+    #[must_use]
+    pub const fn slots(&self) -> u32 {
+        self.k
+    }
+
+    /// Offered load ρ = λ/μ.
+    #[must_use]
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Probability an arrival finds the buffer full (Erlang loss, eq. 5).
+    #[must_use]
+    pub fn blocking_probability(&self) -> f64 {
+        erlang_b(self.offered_load(), self.k)
+    }
+
+    /// Stationary occupancy PMF over `0..=k` (truncated Poisson).
+    #[must_use]
+    pub fn occupancy_pmf(&self) -> Vec<f64> {
+        mmkk_occupancy_pmf(self.offered_load(), self.k)
+    }
+
+    /// Mean number of buffered packets (carried load `ρ(1 − E(ρ,k))`).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        self.offered_load() * (1.0 - self.blocking_probability())
+    }
+
+    /// Rate of packets actually admitted: `λ(1 − E(ρ,k))`.
+    #[must_use]
+    pub fn carried_rate(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Rate of packets dropped: `λ·E(ρ,k)`.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        self.lambda * self.blocking_probability()
+    }
+
+    /// Mean delay experienced by *admitted* packets. Each admitted packet
+    /// holds a fresh exponential timer, so by PASTA/insensitivity this is
+    /// simply `1/μ` — preemption (RCAD) is what shortens delays, not
+    /// admission control.
+    #[must_use]
+    pub fn mean_admitted_delay(&self) -> f64 {
+        1.0 / self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_mean_matches_pmf() {
+        let s = Mmkk::new(0.5, 1.0 / 30.0, 10);
+        let pmf = s.occupancy_pmf();
+        let mean_from_pmf: f64 = pmf.iter().enumerate().map(|(i, p)| i as f64 * p).sum();
+        assert!((s.mean_occupancy() - mean_from_pmf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carried_plus_dropped_is_offered() {
+        let s = Mmkk::new(1.0, 0.05, 10);
+        assert!((s.carried_rate() + s.drop_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_load_rarely_blocks() {
+        let s = Mmkk::new(0.05, 1.0 / 30.0, 10); // rho = 1.5
+        assert!(s.blocking_probability() < 0.01);
+        assert!((s.mean_occupancy() - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn blocking_equals_top_state_probability() {
+        let s = Mmkk::new(0.5, 1.0 / 30.0, 10);
+        let pmf = s.occupancy_pmf();
+        assert!((pmf[10] - s.blocking_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = Mmkk::new(0.5, 0.25, 7);
+        assert_eq!(s.lambda(), 0.5);
+        assert_eq!(s.mu(), 0.25);
+        assert_eq!(s.slots(), 7);
+        assert_eq!(s.offered_load(), 2.0);
+        assert_eq!(s.mean_admitted_delay(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer slot")]
+    fn zero_slots_rejected() {
+        let _ = Mmkk::new(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Tandem queueing paths (paper §4).
+//!
+//! On a multihop route `S → F₁ → ⋯ → F_{N−1} → R` each node delays packets
+//! independently, forming a tandem of M/M/∞ stations. Burke's theorem says
+//! the departure process of each station is Poisson at the arrival rate, so
+//! every station downstream still sees Poisson input and the per-station
+//! occupancy laws compose. The end-to-end artificial delay is the sum of
+//! independent exponentials: an Erlang distribution when all stations share
+//! one rate, a hypoexponential when they differ.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::ln_factorial;
+use crate::mm_inf::MmInf;
+
+/// Erlang(k, rate) distribution — the sum of `k` i.i.d. exponential delays.
+///
+/// This is also the creation-time law of the paper's §3.2: for a Poisson
+/// source, `X_j = Σ A_k` is j-stage Erlangian with mean `j/λ`.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_queueing::tandem::Erlang;
+///
+/// // 15 hops at mean delay 30 each.
+/// let e = Erlang::new(15, 1.0 / 30.0);
+/// assert_eq!(e.mean(), 450.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution with shape `k` and rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rate` is non-positive or not finite.
+    #[must_use]
+    pub fn new(k: u32, rate: f64) -> Self {
+        assert!(k > 0, "Erlang shape must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Erlang rate must be positive, got {rate}"
+        );
+        Erlang { k, rate }
+    }
+
+    /// Shape parameter (number of exponential stages).
+    #[must_use]
+    pub const fn shape(&self) -> u32 {
+        self.k
+    }
+
+    /// Rate parameter of each stage.
+    #[must_use]
+    pub const fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean `k/rate`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+
+    /// Variance `k/rate²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+
+    /// Probability density at `x` (0 for negative `x`).
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.k == 1 { self.rate } else { 0.0 };
+        }
+        let k = self.k as f64;
+        (k * self.rate.ln() + (k - 1.0) * x.ln() - self.rate * x - ln_factorial(self.k as u64 - 1))
+            .exp()
+    }
+
+    /// Cumulative distribution at `x`: `1 − Σ_{i<k} e^{−rx}(rx)ⁱ/i!`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let rx = self.rate * x;
+        let mut term = 1.0f64; // (rx)^0 / 0!
+        let mut sum = term;
+        for i in 1..self.k {
+            term *= rx / i as f64;
+            sum += term;
+        }
+        (1.0 - (-rx).exp() * sum).clamp(0.0, 1.0)
+    }
+}
+
+/// Hypoexponential distribution — the sum of independent exponentials with
+/// *distinct* rates; the end-to-end delay law when each hop uses its own μ
+/// (the per-node decomposition of §3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypoexponential {
+    rates: Vec<f64>,
+    /// Partial-fraction coefficients for the density.
+    coeffs: Vec<f64>,
+}
+
+impl Hypoexponential {
+    /// Creates the distribution from per-stage rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty, any rate is non-positive/not finite, or
+    /// two rates coincide (use [`Erlang`] or split the stages for repeated
+    /// rates).
+    #[must_use]
+    pub fn new(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "need at least one stage");
+        for &r in &rates {
+            assert!(r.is_finite() && r > 0.0, "stage rates must be positive, got {r}");
+        }
+        for i in 0..rates.len() {
+            for j in (i + 1)..rates.len() {
+                assert!(
+                    (rates[i] - rates[j]).abs() > 1e-12 * rates[i].max(rates[j]),
+                    "hypoexponential rates must be distinct; got repeated rate {}",
+                    rates[i]
+                );
+            }
+        }
+        let coeffs = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &ri)| {
+                rates
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &rj)| rj / (rj - ri))
+                    .product()
+            })
+            .collect();
+        Hypoexponential { rates, coeffs }
+    }
+
+    /// Mean `Σ 1/rᵢ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.rates.iter().map(|r| 1.0 / r).sum()
+    }
+
+    /// Variance `Σ 1/rᵢ²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.rates.iter().map(|r| 1.0 / (r * r)).sum()
+    }
+
+    /// Probability density at `x` (0 for negative `x`).
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        self.rates
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&r, &c)| c * r * (-r * x).exp())
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Cumulative distribution at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .rates
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&r, &c)| c * (1.0 - (-r * x).exp()))
+            .sum();
+        s.clamp(0.0, 1.0)
+    }
+}
+
+/// A tandem path of M/M/∞ stations fed by one Poisson flow.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_queueing::tandem::TandemPath;
+///
+/// // 15 hops, each delaying by mean 30, fed at lambda = 1/2.
+/// let path = TandemPath::uniform(0.5, 15, 1.0 / 30.0);
+/// assert_eq!(path.total_mean_delay(), 450.0);
+/// assert_eq!(path.total_mean_occupancy(), 225.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TandemPath {
+    lambda: f64,
+    mus: Vec<f64>,
+}
+
+impl TandemPath {
+    /// A path whose stations use individual service rates `mus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is non-positive/not finite, `mus` is empty, or
+    /// any μ is non-positive/not finite.
+    #[must_use]
+    pub fn new(lambda: f64, mus: Vec<f64>) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(!mus.is_empty(), "a path needs at least one station");
+        for &mu in &mus {
+            assert!(mu.is_finite() && mu > 0.0, "service rates must be positive, got {mu}");
+        }
+        TandemPath { lambda, mus }
+    }
+
+    /// A path of `hops` identical stations with service rate `mu`.
+    #[must_use]
+    pub fn uniform(lambda: f64, hops: u32, mu: f64) -> Self {
+        TandemPath::new(lambda, vec![mu; hops as usize])
+    }
+
+    /// Arrival rate of the flow.
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Number of delaying stations.
+    #[must_use]
+    pub fn hops(&self) -> u32 {
+        self.mus.len() as u32
+    }
+
+    /// The i-th station as an [`MmInf`] model. By Burke's theorem each
+    /// station sees Poisson(λ) input regardless of position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn station(&self, i: usize) -> MmInf {
+        MmInf::new(self.lambda, self.mus[i])
+    }
+
+    /// Expected artificial delay over the whole path: `Σ 1/μᵢ`.
+    #[must_use]
+    pub fn total_mean_delay(&self) -> f64 {
+        self.mus.iter().map(|m| 1.0 / m).sum()
+    }
+
+    /// Variance of the end-to-end artificial delay: `Σ 1/μᵢ²`.
+    #[must_use]
+    pub fn total_delay_variance(&self) -> f64 {
+        self.mus.iter().map(|m| 1.0 / (m * m)).sum()
+    }
+
+    /// Expected total number of packets buffered along the path: `Σ ρᵢ`.
+    #[must_use]
+    pub fn total_mean_occupancy(&self) -> f64 {
+        self.mus.iter().map(|m| self.lambda / m).sum()
+    }
+
+    /// End-to-end delay distribution when every station shares one rate.
+    ///
+    /// Returns `None` if rates differ (use [`TandemPath::delay_hypoexp`]).
+    #[must_use]
+    pub fn delay_erlang(&self) -> Option<Erlang> {
+        let first = self.mus[0];
+        if self.mus.iter().all(|&m| (m - first).abs() < 1e-12 * first) {
+            Some(Erlang::new(self.hops(), first))
+        } else {
+            None
+        }
+    }
+
+    /// End-to-end delay distribution for pairwise-distinct station rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two rates coincide.
+    #[must_use]
+    pub fn delay_hypoexp(&self) -> Hypoexponential {
+        Hypoexponential::new(self.mus.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, n: usize) -> f64 {
+        let h = (hi - lo) / n as f64;
+        let mut s = 0.5 * (f(lo) + f(hi));
+        for i in 1..n {
+            s += f(lo + i as f64 * h);
+        }
+        s * h
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let e = Erlang::new(15, 1.0 / 30.0);
+        assert_eq!(e.mean(), 450.0);
+        assert_eq!(e.variance(), 15.0 * 900.0);
+        assert_eq!(e.shape(), 15);
+    }
+
+    #[test]
+    fn erlang_pdf_integrates_to_one() {
+        let e = Erlang::new(4, 0.5);
+        let total = integrate(|x| e.pdf(x), 0.0, 60.0, 20_000);
+        assert!((total - 1.0).abs() < 1e-6, "integral {total}");
+    }
+
+    #[test]
+    fn erlang_cdf_matches_integral() {
+        let e = Erlang::new(3, 0.2);
+        for &x in &[1.0, 5.0, 15.0, 40.0] {
+            let by_integral = integrate(|t| e.pdf(t), 0.0, x, 20_000);
+            assert!(
+                (e.cdf(x) - by_integral).abs() < 1e-6,
+                "x = {x}: {} vs {by_integral}",
+                e.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erlang_shape_one_is_exponential() {
+        let e = Erlang::new(1, 2.0);
+        assert!((e.pdf(0.5) - 2.0 * (-1.0f64).exp()).abs() < 1e-12);
+        assert!((e.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(e.pdf(0.0), 2.0);
+        assert_eq!(e.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn hypoexp_moments_and_density() {
+        let h = Hypoexponential::new(vec![1.0, 2.0, 4.0]);
+        assert!((h.mean() - (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        assert!((h.variance() - (1.0 + 0.25 + 0.0625)).abs() < 1e-12);
+        let total = integrate(|x| h.pdf(x), 0.0, 60.0, 40_000);
+        assert!((total - 1.0).abs() < 1e-6, "integral {total}");
+    }
+
+    #[test]
+    fn hypoexp_cdf_limits() {
+        let h = Hypoexponential::new(vec![0.5, 1.5]);
+        assert_eq!(h.cdf(0.0), 0.0);
+        assert!(h.cdf(100.0) > 0.999999);
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let c = h.cdf(i as f64 * 0.5);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn hypoexp_rejects_repeated_rates() {
+        let _ = Hypoexponential::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn paper_s1_path_numbers() {
+        // Flow S1: h = 15 hops, 1/mu = 30, 1/lambda = 2.
+        let path = TandemPath::uniform(0.5, 15, 1.0 / 30.0);
+        assert_eq!(path.total_mean_delay(), 450.0);
+        // Adding the 15 * tau = 15 transmission delay gives the paper's
+        // ~465 end-to-end latency for the unlimited-buffer case.
+        assert_eq!(path.total_mean_delay() + 15.0, 465.0);
+        // Each of the 15 nodes holds rho = 15 packets on average.
+        assert_eq!(path.total_mean_occupancy(), 225.0);
+        assert!((path.station(3).mean_occupancy() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_path_has_erlang_delay() {
+        let path = TandemPath::uniform(1.0, 5, 0.25);
+        let erl = path.delay_erlang().expect("uniform rates");
+        assert_eq!(erl.shape(), 5);
+        assert_eq!(erl.mean(), 20.0);
+    }
+
+    #[test]
+    fn mixed_path_uses_hypoexp() {
+        let path = TandemPath::new(1.0, vec![0.2, 0.4, 0.8]);
+        assert!(path.delay_erlang().is_none());
+        let hypo = path.delay_hypoexp();
+        assert!((hypo.mean() - path.total_mean_delay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_decomposition_preserves_total(
+    ) {
+        // §3.3: decompose a total delay budget across hops arbitrarily —
+        // the path mean is invariant.
+        let budget = 450.0;
+        let even = TandemPath::uniform(0.5, 15, 15.0 / budget);
+        let skewed = TandemPath::new(
+            0.5,
+            (1..=15).map(|i| i as f64 / (budget / 15.0) / 8.0).collect(),
+        );
+        assert!((even.total_mean_delay() - budget).abs() < 1e-9);
+        // Skewed path mean: sum of 8*(budget/15)/i for i in 1..=15.
+        let expected: f64 = (1..=15).map(|i| 8.0 * (budget / 15.0) / i as f64).sum();
+        assert!((skewed.total_mean_delay() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,378 @@
+//! Routing-tree queueing model (paper §4).
+//!
+//! A convergecast sensor network is a tree rooted at the sink. Message
+//! streams merge as they flow rootward; by Poisson superposition the
+//! aggregate arrival rate at node *i* is the sum of the external rates in
+//! its subtree. Each non-root node is then an M/M/∞ (or M/M/k/k) station
+//! with that aggregate rate, which yields the paper's key design rule: as
+//! traffic accumulates toward the sink, the mean buffering delay 1/μ must
+//! shrink to keep the Erlang loss at a target α.
+
+use serde::{Deserialize, Serialize};
+
+use crate::erlang::{erlang_b, service_rate_for_loss};
+use crate::mm_inf::MmInf;
+
+/// Index of a node within a [`QueueTree`].
+pub type TreeNodeId = usize;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TreeNode {
+    parent: Option<TreeNodeId>,
+    children: Vec<TreeNodeId>,
+    external_rate: f64,
+}
+
+/// A rooted tree of buffering stations with external Poisson traffic.
+///
+/// Node 0 is always the root (the sink, which does not buffer). All other
+/// nodes buffer and forward toward the root.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_queueing::tree::QueueTree;
+///
+/// // sink <- relay <- {sensor A, sensor B}
+/// let mut tree = QueueTree::new();
+/// let relay = tree.add_node(QueueTree::ROOT, 0.0);
+/// tree.add_node(relay, 0.25);
+/// tree.add_node(relay, 0.25);
+/// let rates = tree.aggregate_rates();
+/// assert_eq!(rates[relay], 0.5); // superposition of both sensors
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl QueueTree {
+    /// The root (sink) node id.
+    pub const ROOT: TreeNodeId = 0;
+
+    /// Creates a tree containing only the sink.
+    #[must_use]
+    pub fn new() -> Self {
+        QueueTree {
+            nodes: vec![TreeNode {
+                parent: None,
+                children: Vec::new(),
+                external_rate: 0.0,
+            }],
+        }
+    }
+
+    /// Adds a node under `parent` that injects `external_rate` of its own
+    /// traffic (0 for pure relays); returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist or `external_rate` is negative or
+    /// not finite.
+    pub fn add_node(&mut self, parent: TreeNodeId, external_rate: f64) -> TreeNodeId {
+        assert!(parent < self.nodes.len(), "unknown parent node {parent}");
+        assert!(
+            external_rate.is_finite() && external_rate >= 0.0,
+            "external rate must be non-negative and finite, got {external_rate}"
+        );
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode {
+            parent: Some(parent),
+            children: Vec::new(),
+            external_rate,
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Adds a chain of `hops` relay nodes under `parent`, returning the id
+    /// of the far end (useful for building multihop paths).
+    pub fn add_chain(&mut self, parent: TreeNodeId, hops: u32) -> TreeNodeId {
+        let mut at = parent;
+        for _ in 0..hops {
+            at = self.add_node(at, 0.0);
+        }
+        at
+    }
+
+    /// Number of nodes, including the root.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `false`: a tree always contains at least the root.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[must_use]
+    pub fn parent(&self, node: TreeNodeId) -> Option<TreeNodeId> {
+        self.nodes[node].parent
+    }
+
+    /// External (locally generated) rate at `node`.
+    #[must_use]
+    pub fn external_rate(&self, node: TreeNodeId) -> f64 {
+        self.nodes[node].external_rate
+    }
+
+    /// Ids on the path from `node` (inclusive) to the root (exclusive).
+    #[must_use]
+    pub fn path_to_root(&self, node: TreeNodeId) -> Vec<TreeNodeId> {
+        let mut path = Vec::new();
+        let mut at = node;
+        while let Some(p) = self.nodes[at].parent {
+            path.push(at);
+            at = p;
+        }
+        path
+    }
+
+    /// Hop count from `node` to the root.
+    #[must_use]
+    pub fn depth(&self, node: TreeNodeId) -> u32 {
+        self.path_to_root(node).len() as u32
+    }
+
+    /// Aggregate Poisson arrival rate handled by each node: its own
+    /// external rate plus everything forwarded from its subtree.
+    #[must_use]
+    pub fn aggregate_rates(&self) -> Vec<f64> {
+        let mut rates: Vec<f64> = self.nodes.iter().map(|n| n.external_rate).collect();
+        // Children always have larger ids than parents (construction
+        // invariant), so one reverse pass accumulates subtrees.
+        for id in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[id].parent.expect("non-root has parent");
+            rates[parent] += rates[id];
+        }
+        rates
+    }
+
+    /// Per-node M/M/∞ stations for a common service rate `mu`. Entries are
+    /// `None` for the root and for nodes carrying no traffic.
+    #[must_use]
+    pub fn stations_uniform(&self, mu: f64) -> Vec<Option<MmInf>> {
+        let rates = self.aggregate_rates();
+        rates
+            .iter()
+            .enumerate()
+            .map(|(id, &lambda)| {
+                (id != Self::ROOT && lambda > 0.0).then(|| MmInf::new(lambda, mu))
+            })
+            .collect()
+    }
+
+    /// Expected total buffered packets across the network for a common μ.
+    #[must_use]
+    pub fn total_mean_occupancy(&self, mu: f64) -> f64 {
+        self.stations_uniform(mu)
+            .iter()
+            .flatten()
+            .map(MmInf::mean_occupancy)
+            .sum()
+    }
+
+    /// Per-node drop probability for k-slot buffers and a common μ.
+    /// Entries are `None` for the root and idle nodes.
+    #[must_use]
+    pub fn loss_probabilities(&self, mu: f64, k: u32) -> Vec<Option<f64>> {
+        let rates = self.aggregate_rates();
+        rates
+            .iter()
+            .enumerate()
+            .map(|(id, &lambda)| {
+                (id != Self::ROOT && lambda > 0.0).then(|| erlang_b(lambda / mu, k))
+            })
+            .collect()
+    }
+
+    /// The paper's rate-controlled design rule: assign each node the
+    /// service rate μᵢ that pins its Erlang loss at `alpha` given k buffer
+    /// slots and the node's aggregate traffic. Nodes closer to the sink
+    /// (larger aggregate λ) receive larger μ, i.e. shorter delays.
+    ///
+    /// Entries are `None` for the root and idle nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha` is not in (0, 1).
+    #[must_use]
+    pub fn assign_service_rates_for_loss(&self, k: u32, alpha: f64) -> Vec<Option<f64>> {
+        let rates = self.aggregate_rates();
+        rates
+            .iter()
+            .enumerate()
+            .map(|(id, &lambda)| {
+                (id != Self::ROOT && lambda > 0.0)
+                    .then(|| service_rate_for_loss(lambda, k, alpha))
+            })
+            .collect()
+    }
+
+    /// Expected artificial delay along the path from `node` to the sink
+    /// for per-node service rates `mus` (as produced by
+    /// [`QueueTree::assign_service_rates_for_loss`]); nodes with `None`
+    /// contribute no delay.
+    #[must_use]
+    pub fn path_mean_delay(&self, node: TreeNodeId, mus: &[Option<f64>]) -> f64 {
+        self.path_to_root(node)
+            .iter()
+            .filter_map(|&id| mus.get(id).copied().flatten())
+            .map(|mu| 1.0 / mu)
+            .sum()
+    }
+}
+
+impl Default for QueueTree {
+    fn default() -> Self {
+        QueueTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure-1-style layout: four flows with hop counts
+    /// 15, 22, 9, 11 sharing a 6-hop trunk into the sink.
+    fn paper_tree(lambda: f64) -> (QueueTree, [TreeNodeId; 4]) {
+        let mut tree = QueueTree::new();
+        let trunk_top = tree.add_chain(QueueTree::ROOT, 6);
+        let s1 = {
+            let end = tree.add_chain(trunk_top, 8);
+            tree.add_node(end, lambda) // 6 + 8 + 1 = 15 hops
+        };
+        let s2 = {
+            let end = tree.add_chain(trunk_top, 15);
+            tree.add_node(end, lambda) // 22 hops
+        };
+        let s3 = {
+            let end = tree.add_chain(trunk_top, 2);
+            tree.add_node(end, lambda) // 9 hops
+        };
+        let s4 = {
+            let end = tree.add_chain(trunk_top, 4);
+            tree.add_node(end, lambda) // 11 hops
+        };
+        (tree, [s1, s2, s3, s4])
+    }
+
+    #[test]
+    fn depths_match_paper_hop_counts() {
+        let (tree, [s1, s2, s3, s4]) = paper_tree(0.5);
+        assert_eq!(tree.depth(s1), 15);
+        assert_eq!(tree.depth(s2), 22);
+        assert_eq!(tree.depth(s3), 9);
+        assert_eq!(tree.depth(s4), 11);
+    }
+
+    #[test]
+    fn aggregate_rates_superpose_on_trunk() {
+        let (tree, [s1, ..]) = paper_tree(0.5);
+        let rates = tree.aggregate_rates();
+        // Source node carries its own flow.
+        assert_eq!(rates[s1], 0.5);
+        // First trunk node (child of root) carries all four flows.
+        let trunk_first = tree.path_to_root(s1)[14]; // last before root
+        assert_eq!(rates[trunk_first], 2.0);
+        // Root sees everything.
+        assert_eq!(rates[QueueTree::ROOT], 2.0);
+    }
+
+    #[test]
+    fn path_to_root_orders_leaf_first() {
+        let mut tree = QueueTree::new();
+        let a = tree.add_node(QueueTree::ROOT, 0.0);
+        let b = tree.add_node(a, 1.0);
+        assert_eq!(tree.path_to_root(b), vec![b, a]);
+        assert_eq!(tree.path_to_root(QueueTree::ROOT), Vec::<usize>::new());
+        assert_eq!(tree.parent(b), Some(a));
+        assert_eq!(tree.parent(QueueTree::ROOT), None);
+    }
+
+    #[test]
+    fn stations_skip_root_and_idle_nodes() {
+        let mut tree = QueueTree::new();
+        let relay = tree.add_node(QueueTree::ROOT, 0.0);
+        let src = tree.add_node(relay, 0.5);
+        let idle = tree.add_node(QueueTree::ROOT, 0.0);
+        let stations = tree.stations_uniform(1.0 / 30.0);
+        assert!(stations[QueueTree::ROOT].is_none());
+        assert!(stations[relay].is_some());
+        assert!(stations[src].is_some());
+        assert!(stations[idle].is_none());
+    }
+
+    #[test]
+    fn total_occupancy_sums_station_loads() {
+        let mut tree = QueueTree::new();
+        let relay = tree.add_node(QueueTree::ROOT, 0.0);
+        tree.add_node(relay, 0.25);
+        tree.add_node(relay, 0.25);
+        // relay rho = 0.5*30 = 15, each source rho = 0.25*30 = 7.5.
+        assert!((tree.total_mean_occupancy(1.0 / 30.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_grows_toward_sink_with_uniform_mu() {
+        let (tree, [s1, ..]) = paper_tree(0.5);
+        let losses = tree.loss_probabilities(1.0 / 30.0, 10);
+        let path = tree.path_to_root(s1);
+        let source_loss = losses[*path.first().unwrap()].unwrap();
+        let trunk_loss = losses[path[14]].unwrap();
+        assert!(
+            trunk_loss > source_loss,
+            "trunk {trunk_loss} vs source {source_loss}"
+        );
+    }
+
+    #[test]
+    fn rate_controlled_assignment_equalizes_loss() {
+        let (tree, _) = paper_tree(0.5);
+        let k = 10;
+        let alpha = 0.05;
+        let mus = tree.assign_service_rates_for_loss(k, alpha);
+        let rates = tree.aggregate_rates();
+        for (id, mu) in mus.iter().enumerate() {
+            if let Some(mu) = mu {
+                let loss = erlang_b(rates[id] / mu, k);
+                assert!((loss - alpha).abs() < 1e-8, "node {id}: loss {loss}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_controlled_mu_increases_toward_sink() {
+        let (tree, [s1, ..]) = paper_tree(0.5);
+        let mus = tree.assign_service_rates_for_loss(10, 0.05);
+        let path = tree.path_to_root(s1);
+        let mu_source = mus[path[0]].unwrap();
+        let mu_trunk = mus[path[14]].unwrap();
+        // 4x the traffic => 4x the service rate (Erlang target is linear
+        // in lambda at fixed rho*).
+        assert!((mu_trunk / mu_source - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_mean_delay_accumulates() {
+        let mut tree = QueueTree::new();
+        let a = tree.add_node(QueueTree::ROOT, 0.0);
+        let b = tree.add_node(a, 1.0);
+        let mus = vec![None, Some(0.1), Some(0.2)];
+        assert!((tree.path_mean_delay(b, &mus) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn bad_parent_rejected() {
+        let mut tree = QueueTree::new();
+        tree.add_node(42, 0.0);
+    }
+}

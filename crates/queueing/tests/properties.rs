@@ -1,0 +1,139 @@
+//! Property-based tests for the queueing formulas.
+
+use proptest::prelude::*;
+use tempriv_queueing::erlang::{
+    erlang_b, min_servers_for_loss, mmkk_occupancy_pmf, offered_load_for_loss,
+    service_rate_for_loss,
+};
+use tempriv_queueing::poisson::{superpose, Poisson};
+use tempriv_queueing::tandem::{Erlang, TandemPath};
+use tempriv_queueing::tree::QueueTree;
+
+proptest! {
+    /// Erlang loss is a probability, increasing in load and decreasing in
+    /// servers, for any parameters.
+    #[test]
+    fn erlang_b_is_probability_and_monotone(rho in 0.0f64..500.0, k in 0u32..200) {
+        let b = erlang_b(rho, k);
+        prop_assert!((0.0..=1.0).contains(&b));
+        let b_more_load = erlang_b(rho + 1.0, k);
+        prop_assert!(b_more_load >= b - 1e-12);
+        let b_more_servers = erlang_b(rho, k + 1);
+        prop_assert!(b_more_servers <= b + 1e-12);
+    }
+
+    /// The loss recurrence satisfies its defining identity
+    /// `B_k = rho*B_{k-1} / (k + rho*B_{k-1})`.
+    #[test]
+    fn erlang_b_recurrence_identity(rho in 0.01f64..100.0, k in 1u32..100) {
+        let prev = erlang_b(rho, k - 1);
+        let expected = rho * prev / (k as f64 + rho * prev);
+        prop_assert!((erlang_b(rho, k) - expected).abs() < 1e-12);
+    }
+
+    /// The inverse solvers actually invert.
+    #[test]
+    fn inverse_solvers_round_trip(k in 1u32..60, alpha in 0.001f64..0.9) {
+        let rho = offered_load_for_loss(k, alpha);
+        prop_assert!((erlang_b(rho, k) - alpha).abs() < 1e-7);
+        let lambda = 0.25;
+        let mu = service_rate_for_loss(lambda, k, alpha);
+        prop_assert!((erlang_b(lambda / mu, k) - alpha).abs() < 1e-7);
+    }
+
+    /// min_servers_for_loss returns the *minimal* satisfying k.
+    #[test]
+    fn min_servers_is_minimal(rho in 0.1f64..80.0, alpha in 0.001f64..0.5) {
+        let k = min_servers_for_loss(rho, alpha);
+        prop_assert!(erlang_b(rho, k) <= alpha);
+        if k > 0 {
+            prop_assert!(erlang_b(rho, k - 1) > alpha);
+        }
+    }
+
+    /// The M/M/k/k occupancy PMF is a distribution whose top state equals
+    /// the blocking probability.
+    #[test]
+    fn mmkk_pmf_is_distribution(rho in 0.01f64..200.0, k in 1u32..100) {
+        let pmf = mmkk_occupancy_pmf(rho, k);
+        prop_assert_eq!(pmf.len(), k as usize + 1);
+        let sum: f64 = pmf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(pmf.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        prop_assert!((pmf[k as usize] - erlang_b(rho, k)).abs() < 1e-9);
+    }
+
+    /// Poisson CDF is the running sum of the PMF and the quantile inverts it.
+    #[test]
+    fn poisson_cdf_quantile_consistent(rho in 0.01f64..200.0, q in 0.01f64..0.99) {
+        let p = Poisson::new(rho);
+        let k = p.quantile(q);
+        prop_assert!(p.cdf(k) >= q);
+        if k > 0 {
+            prop_assert!(p.cdf(k - 1) < q);
+        }
+    }
+
+    /// Superposition is plain addition, invariant to order.
+    #[test]
+    fn superposition_commutes(mut rates in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        let forward = superpose(rates.iter().copied());
+        rates.reverse();
+        let backward = superpose(rates.iter().copied());
+        prop_assert!((forward - backward).abs() < 1e-9);
+    }
+
+    /// Erlang CDF is monotone, within [0,1], and its mean/variance follow
+    /// the closed forms.
+    #[test]
+    fn erlang_distribution_sanity(k in 1u32..40, rate in 0.01f64..10.0) {
+        let e = Erlang::new(k, rate);
+        prop_assert!((e.mean() - k as f64 / rate).abs() < 1e-9);
+        prop_assert!((e.variance() - k as f64 / (rate * rate)).abs() < 1e-9);
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let x = e.mean() * i as f64 / 5.0;
+            let c = e.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        // Median below mean for any Erlang (right-skewed).
+        prop_assert!(e.cdf(e.mean()) >= 0.5);
+    }
+
+    /// Tandem path totals equal per-station sums regardless of split.
+    #[test]
+    fn tandem_totals_are_sums(mus in prop::collection::vec(0.01f64..5.0, 1..20)) {
+        let path = TandemPath::new(0.5, mus.clone());
+        let mean: f64 = mus.iter().map(|m| 1.0 / m).sum();
+        let occ: f64 = mus.iter().map(|m| 0.5 / m).sum();
+        prop_assert!((path.total_mean_delay() - mean).abs() < 1e-9);
+        prop_assert!((path.total_mean_occupancy() - occ).abs() < 1e-9);
+    }
+
+    /// In any randomly grown tree, aggregate rates are non-decreasing
+    /// along every leaf-to-root path (traffic only accumulates).
+    #[test]
+    fn tree_aggregation_monotone_along_paths(
+        structure in prop::collection::vec((0usize..8, 0.0f64..2.0), 1..40),
+    ) {
+        let mut tree = QueueTree::new();
+        let mut nodes = vec![QueueTree::ROOT];
+        for &(parent_choice, rate) in &structure {
+            let parent = nodes[parent_choice % nodes.len()];
+            nodes.push(tree.add_node(parent, rate));
+        }
+        let rates = tree.aggregate_rates();
+        for &node in &nodes {
+            let mut at = node;
+            while let Some(parent) = tree.parent(at) {
+                prop_assert!(rates[parent] >= rates[at] - 1e-12);
+                at = parent;
+            }
+        }
+        // Root aggregates everything.
+        let total: f64 = structure.iter().map(|&(_, r)| r).sum();
+        prop_assert!((rates[QueueTree::ROOT] - total).abs() < 1e-9);
+    }
+}

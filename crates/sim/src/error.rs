@@ -1,0 +1,55 @@
+//! Error types for the simulation kernel.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Result alias for kernel operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors raised by the simulation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An event was scheduled at an absolute time earlier than the clock.
+    ScheduleInPast {
+        /// Requested delivery time.
+        at: SimTime,
+        /// Current simulation time.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScheduleInPast { at, now } => {
+                write!(f, "cannot schedule event at {at} before current time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_times() {
+        let err = SimError::ScheduleInPast {
+            at: SimTime::from_units(1.0),
+            now: SimTime::from_units(2.0),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("t=1.0"));
+        assert!(msg.contains("t=2.0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

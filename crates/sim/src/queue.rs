@@ -1,0 +1,334 @@
+//! Cancellable future-event queue.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The sequence number makes
+//! the ordering total: events scheduled at the same instant pop in the order
+//! they were scheduled, which keeps runs deterministic.
+//!
+//! Cancellation (needed by RCAD, which preempts packets whose delay timers
+//! are still pending) is lazy: cancelled [`EventId`]s are tombstoned and
+//! skipped when they reach the heap top, giving cheap cancel without a
+//! secondary index into the heap.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable to cancel it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw id value (for logging).
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event set of a discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_sim::queue::EventQueue;
+/// use tempriv_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_units(2.0), "later");
+/// let first = q.push(SimTime::from_units(1.0), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_units(1.0), "sooner")));
+/// assert!(!q.cancel(first)); // already delivered
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids currently pending (in the heap and not cancelled).
+    live: HashSet<EventId>,
+    /// Ids cancelled but not yet physically removed from the heap.
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`; returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.live.insert(id);
+        self.heap.push(Entry {
+            time,
+            seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending (and is now guaranteed
+    /// never to be delivered), `false` if it had already been delivered or
+    /// cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` if the event is still scheduled for delivery.
+    #[must_use]
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains(&id)
+    }
+
+    /// Next pending event time without removing it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled_top();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_with_id().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`EventQueue::pop`], but also yields the event's id.
+    pub fn pop_with_id(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.purge_cancelled_top();
+        let entry = self.heap.pop()?;
+        self.live.remove(&entry.id);
+        self.delivered += 1;
+        Some((entry.time, entry.id, entry.payload))
+    }
+
+    fn purge_cancelled_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of events still pending (excluding cancelled ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    #[must_use]
+    pub const fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+        self.cancelled.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: f64) -> SimTime {
+        SimTime::from_units(u)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), 3);
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        assert_eq!(q.pop(), Some((t(1.0), 1)));
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert_eq!(q.pop(), Some((t(3.0), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), "a");
+        q.push(t(1.0), "b");
+        q.push(t(1.0), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_delivery_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), ());
+        q.pop();
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), ());
+        q.push(t(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn is_pending_tracks_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), ());
+        assert!(q.is_pending(a));
+        q.cancel(a);
+        assert!(!q.is_pending(a));
+        let b = q.push(t(2.0), ());
+        q.pop();
+        assert!(!q.is_pending(b));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), ());
+        q.push(t(5.0), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn delivered_counter_increments() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), ());
+        q.push(t(2.0), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    fn pop_with_id_matches_push_id() {
+        let mut q = EventQueue::new();
+        let id = q.push(t(1.0), "x");
+        let (time, got, payload) = q.pop_with_id().unwrap();
+        assert_eq!((time, got, payload), (t(1.0), id, "x"));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = EventQueue::new();
+        q.push(t(1.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stress_interleaved_push_pop_cancel() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..1000u64 {
+            ids.push(q.push(t((i % 97) as f64), i));
+        }
+        let mut cancelled = 0;
+        for id in ids.iter().step_by(3) {
+            assert!(q.cancel(*id));
+            cancelled += 1;
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+            n += 1;
+        }
+        assert_eq!(n, 1000 - cancelled);
+    }
+}

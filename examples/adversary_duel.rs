@@ -1,0 +1,43 @@
+//! The adversary hierarchy: how much does attacker sophistication buy?
+//!
+//! Runs the paper's RCAD network across the traffic sweep and scores all
+//! four shipped adversaries: the §2.1 baseline, the §5.4 adaptive model,
+//! the route-aware extension (per-node saturation on the known routing
+//! tree), and the constant-offset oracle (the information-theoretic floor
+//! for this estimator family).
+//!
+//! ```text
+//! cargo run --release --example adversary_duel
+//! ```
+
+use temporal_privacy::core::experiment::{adversary_panel_sweep, SweepParams};
+
+fn main() {
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 4.0, 8.0, 14.0, 20.0],
+        ..SweepParams::paper_default()
+    };
+    println!(
+        "Adversary MSE under RCAD (flow S1, {} packets/source)\n",
+        params.packets_per_source
+    );
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12}",
+        "1/lambda", "baseline", "adaptive", "route-aware", "oracle"
+    );
+    for row in adversary_panel_sweep(&params) {
+        println!(
+            "{:>9} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            row.inv_lambda,
+            row.baseline_mse,
+            row.adaptive_mse,
+            row.route_aware_mse,
+            row.oracle_mse
+        );
+    }
+    println!(
+        "\nReading: each tier of deployment knowledge shrinks the error, but \
+         even the\noracle cannot beat the latency variance RCAD injects — \
+         that residual *is* the\ntemporal privacy the mechanism buys."
+    );
+}

@@ -1,0 +1,124 @@
+//! Habitat monitoring: the paper's motivating scenario, end to end.
+//!
+//! An animal (the paper's "asset") random-waypoints across a sensed
+//! field. Whichever sensor detects it reports to the sink. An adversary
+//! at the sink knows every sensor's position; if it can estimate packet
+//! *creation* times, it can replay the animal's trajectory — the paper's
+//! §2 hunter-vs-endangered-animal threat. This example measures how far
+//! off (in field distance) the adversary's reconstructed trajectory is,
+//! with and without RCAD buffering.
+//!
+//! ```text
+//! cargo run --release --example habitat_monitoring
+//! ```
+
+use std::collections::BTreeMap;
+
+use temporal_privacy::core::{
+    evaluate_adversary, Adversary, BaselineAdversary, BufferPolicy, DelayPlan,
+    NetworkSimulation,
+};
+use temporal_privacy::net::mobility::{detections, RandomWaypoint, TrackPoint};
+use temporal_privacy::net::routing::RoutingTree;
+use temporal_privacy::net::topology::Topology;
+use temporal_privacy::net::NodeId;
+use temporal_privacy::sim::rng::RngFactory;
+use temporal_privacy::sim::time::SimTime;
+
+/// Nearest track point to a timestamp — where the asset really was.
+fn position_at(track: &[TrackPoint], t: f64) -> (f64, f64) {
+    let p = track
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.time.as_units() - t).abs();
+            let db = (b.time.as_units() - t).abs();
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("non-empty track");
+    (p.x, p.y)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12x12 sensed grid; the sink sits at the corner (node 0).
+    let field = Topology::grid(12, 12);
+    let routing = RoutingTree::shortest_path(&field, NodeId(0))?;
+
+    // The asset wanders for 2000 time units; a detection fires every 4
+    // units at the nearest in-range sensor.
+    let asset = RandomWaypoint::new(11.0, 11.0, 0.35);
+    let mut rng = RngFactory::new(77).stream(0);
+    let track = asset.trajectory(500, 4.0, &mut rng);
+    let dets = detections(&field, &track, 1.2);
+    println!(
+        "asset wandered for {} units; {} detections across {} sensors",
+        track.last().expect("non-empty").time.as_units(),
+        dets.len(),
+        dets.iter().map(|d| d.node).collect::<std::collections::HashSet<_>>().len(),
+    );
+
+    // One flow per sensor that ever detected; its schedule is its
+    // detection instants (trace-driven workload).
+    let mut per_node: BTreeMap<NodeId, Vec<SimTime>> = BTreeMap::new();
+    for d in &dets {
+        if d.node != NodeId(0) {
+            per_node.entry(d.node).or_default().push(d.time);
+        }
+    }
+    let sources: Vec<NodeId> = per_node.keys().copied().collect();
+    let schedules: Vec<Vec<SimTime>> = per_node.values().cloned().collect();
+
+    let scenarios = [
+        ("no delay", DelayPlan::no_delay(), BufferPolicy::Unlimited),
+        (
+            "RCAD, 1/mu = 30, k = 10",
+            DelayPlan::shared_exponential(30.0),
+            BufferPolicy::paper_rcad(),
+        ),
+    ];
+
+    println!(
+        "\n{:<24} {:>14} {:>22}",
+        "scenario", "time MSE", "mean tracking error"
+    );
+    for (label, delay, buffer) in scenarios {
+        let sim = NetworkSimulation::builder(routing.clone(), sources.clone())
+            .schedules(schedules.clone())
+            .delay_plan(delay)
+            .buffer_policy(buffer)
+            .seed(7)
+            .build()?;
+        let outcome = sim.run();
+        let knowledge = sim.adversary_knowledge();
+        let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
+
+        // Spatio-temporal attack: for each observation the adversary
+        // estimates the creation time, looks up the *reporting sensor's
+        // position* (cleartext origin), and claims "the asset was near
+        // (x, y) at time t̂". Its tracking error is the field distance
+        // between the asset's true position at t̂ and its true position
+        // at the actual creation time.
+        let estimates =
+            BaselineAdversary.estimate_creation_times(&outcome.observations, &knowledge);
+        let mut err_sum = 0.0;
+        for (obs, est) in outcome.observations.iter().zip(&estimates) {
+            let truth = outcome.creation_time(obs.packet).as_units();
+            let (tx, ty) = position_at(&track, truth);
+            let (ex, ey) = position_at(&track, *est);
+            err_sum += ((tx - ex).powi(2) + (ty - ey).powi(2)).sqrt();
+        }
+        let mean_err = err_sum / outcome.observations.len() as f64;
+        println!(
+            "{:<24} {:>14.1} {:>18.2} units",
+            label,
+            report.overall.mse(),
+            mean_err
+        );
+    }
+
+    println!(
+        "\nReading: temporal ambiguity becomes spatial ambiguity — with \
+         RCAD the\nadversary's reconstructed positions drift away from the \
+         asset's true track."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! RCAD vs Chaum-style threshold mixes (the related-work comparison).
+//!
+//! The paper's §6 traces its mechanism to SG-Mixes (per-packet
+//! exponential delay — exactly what an RCAD node does) and notes that
+//! classical pool/threshold mixes "do not extend to networks of queues."
+//! This example makes that concrete: against periodic sensor traffic a
+//! batching mix is nearly transparent — its flush instants are
+//! deterministic functions of the (publicly known) rates — while RCAD's
+//! independent delays leave even an oracle-grade adversary with a large
+//! irreducible error.
+//!
+//! ```text
+//! cargo run --release --example mix_vs_rcad
+//! ```
+
+use temporal_privacy::core::experiment::{mix_comparison_sweep, SweepParams};
+use temporal_privacy::core::{BufferPolicy, DelayPlan, ExperimentConfig};
+use temporal_privacy::net::energy::EnergyModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 8.0, 20.0],
+        ..SweepParams::paper_default()
+    };
+    println!("Privacy floor (oracle MSE), latency, reordering — flow S1\n");
+    println!(
+        "{:<20} {:>9} {:>14} {:>10} {:>12}",
+        "mechanism", "1/lambda", "oracle MSE", "latency", "reordering"
+    );
+    for row in mix_comparison_sweep(&params) {
+        println!(
+            "{:<20} {:>9} {:>14.1} {:>10.1} {:>12.3}",
+            format!("{:?}", row.mechanism),
+            row.inv_lambda,
+            row.oracle_mse,
+            row.mean_latency,
+            row.reordering,
+        );
+    }
+
+    // The energy ledger: delaying is free, radios are not.
+    let model = EnergyModel::mica2();
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.packets_per_source = 500;
+    let rcad = cfg.build()?.run();
+    cfg.delay = DelayPlan::no_delay();
+    cfg.buffer = BufferPolicy::ThresholdMix { threshold: 10 };
+    let mix = cfg.build()?.run();
+    println!("\nradio energy per delivered packet (Mica-2-like costs):");
+    println!("    RCAD             : {:.1}", rcad.energy_per_delivered(&model));
+    println!(
+        "    ThresholdMix(10) : {:.1}  ({} packets stranded in unfilled batches)",
+        mix.energy_per_delivered(&model),
+        mix.total_stranded(),
+    );
+    println!(
+        "\nReading: at equal radio cost, RCAD's oracle floor is orders of \
+         magnitude higher\n— random per-hop delay, not batching, is what \
+         hides timing in convergecast networks."
+    );
+    Ok(())
+}

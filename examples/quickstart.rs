@@ -1,0 +1,65 @@
+//! Quickstart: reproduce the paper's headline comparison in one run.
+//!
+//! Builds the Figure 1 network at the highest traffic rate (1/λ = 2) and
+//! compares the three §5.3 scenarios — no delay, exponential delay with
+//! unlimited buffers, and exponential delay with 10-slot RCAD buffers —
+//! on both axes the paper reports: adversary MSE (privacy, higher is
+//! better) and mean delivery latency (overhead, lower is better).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use temporal_privacy::core::{
+    evaluate_adversary, BaselineAdversary, BufferPolicy, DelayPlan, ExperimentConfig,
+};
+use temporal_privacy::net::FlowId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut base = ExperimentConfig::paper_default();
+    base.packets_per_source = 1000;
+
+    let scenarios = [
+        ("no delay", DelayPlan::no_delay(), BufferPolicy::Unlimited),
+        (
+            "delay, unlimited buffers",
+            DelayPlan::shared_exponential(30.0),
+            BufferPolicy::Unlimited,
+        ),
+        (
+            "delay, RCAD (10 slots)",
+            DelayPlan::shared_exponential(30.0),
+            BufferPolicy::paper_rcad(),
+        ),
+    ];
+
+    println!("Temporal privacy on the paper's Figure-1 network, 1/lambda = 2");
+    println!("(flow S1: 15 hops; adversary: baseline, Kerckhoff-aware)\n");
+    println!(
+        "{:<28} {:>14} {:>12} {:>12}",
+        "scenario", "MSE (units^2)", "latency", "preemptions"
+    );
+
+    for (label, delay, buffer) in scenarios {
+        let mut cfg = base.clone();
+        cfg.delay = delay;
+        cfg.buffer = buffer;
+        let sim = cfg.build()?;
+        let outcome = sim.run();
+        let report = evaluate_adversary(&outcome, &BaselineAdversary, &sim.adversary_knowledge());
+        println!(
+            "{:<28} {:>14.1} {:>12.1} {:>12}",
+            label,
+            report.mse(FlowId(0)),
+            outcome.flows[0].latency.mean(),
+            outcome.total_preemptions(),
+        );
+    }
+
+    println!(
+        "\nReading: RCAD's preemptions break the adversary's delay model \
+         (large MSE)\nwhile keeping latency well below the unlimited-buffer \
+         network."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Theory vs simulation: the §3 information-theoretic story, measured.
+//!
+//! Three checks in one binary:
+//!
+//! 1. the closed-form max-entropy argument — exponential vs uniform vs
+//!    constant delay entropy at equal mean;
+//! 2. the bits-through-queues bound `I(X_j; Z_j) ≤ ln(1 + jμ/λ)` against
+//!    numeric mutual information of the additive-delay channel;
+//! 3. an end-to-end simulated network, with the MSE→MI bridge: the
+//!    adversary's measured MSE implies an upper bound on what it learned.
+//!
+//! ```text
+//! cargo run --release --example theory_vs_sim
+//! ```
+
+use temporal_privacy::core::{evaluate_adversary, BaselineAdversary, ExperimentConfig};
+use temporal_privacy::infotheory::bounds::btq_packet_bound_nats;
+use temporal_privacy::infotheory::distributions::{
+    ContinuousDist, Degenerate, ErlangDist, Exponential, Uniform,
+};
+use temporal_privacy::infotheory::estimators::mi_lower_bound_from_mse_nats;
+use temporal_privacy::infotheory::mutual_information::mi_additive_nats;
+use temporal_privacy::net::FlowId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (lambda, mean_delay) = (0.5, 30.0);
+    let mu = 1.0 / mean_delay;
+
+    // (1) Max-entropy: why the paper buffers with exponential delays.
+    println!("(1) differential entropy at mean delay {mean_delay} (nats):");
+    println!("    exponential: {:+.3}", Exponential::with_mean(mean_delay).entropy_nats());
+    println!("    uniform    : {:+.3}", Uniform::with_mean(mean_delay).entropy_nats());
+    println!("    constant   : {:+.3}", Degenerate::new(mean_delay).entropy_nats());
+
+    // (2) Bits through queues (paper eq. 4 terms).
+    println!("\n(2) leakage of the j-th packet, Poisson source lambda = {lambda}:");
+    println!("    {:>4} {:>18} {:>18}", "j", "numeric I(Xj;Zj)", "bound ln(1+j*mu/l)");
+    for j in [1u32, 2, 4, 8, 16] {
+        let x = ErlangDist::new(j, lambda);
+        let y = Exponential::new(mu);
+        let mi = mi_additive_nats(&x, &y, 4_000);
+        let bound = btq_packet_bound_nats(u64::from(j), mu, lambda);
+        println!("    {j:>4} {mi:>18.4} {bound:>18.4}");
+    }
+
+    // (3) End to end: simulated MSE implies a leakage bound.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.packets_per_source = 1000;
+    let sim = cfg.build()?;
+    let outcome = sim.run();
+    let report = evaluate_adversary(&outcome, &BaselineAdversary, &sim.adversary_knowledge());
+    let mse = report.mse(FlowId(0));
+    // Creation times of a periodic source over the run: variance of a
+    // uniform grid spread over the creation window.
+    let (xs, _) = outcome.creation_arrival_pairs(FlowId(0));
+    let mean_x = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var_x = xs.iter().map(|x| (x - mean_x).powi(2)).sum::<f64>() / xs.len() as f64;
+    println!("\n(3) simulated RCAD network at 1/lambda = 2 (flow S1):");
+    println!("    adversary MSE          : {mse:>12.1} time-units^2");
+    println!("    creation-time variance : {var_x:>12.1} time-units^2");
+    println!(
+        "    => reaching this MSE requires only {:.3} nats of information \
+         per creation time\n       (rate-distortion bound 0.5*ln(Var X / MSE); \
+         0 means the adversary's accuracy\n       is consistent with having \
+         learned nothing at all — the privacy goal)",
+        mi_lower_bound_from_mse_nats(var_x, mse)
+    );
+    Ok(())
+}

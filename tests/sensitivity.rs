@@ -1,0 +1,79 @@
+//! Sensitivity of the headline conclusions to the paper's modelling
+//! simplifications (S1 in EXPERIMENTS.md): the constant-τ MAC.
+
+use temporal_privacy::core::{
+    evaluate_adversary, BaselineAdversary, BufferPolicy, DelayPlan, ExperimentConfig,
+};
+use temporal_privacy::net::FlowId;
+
+fn run_with_jitter(jitter: f64, delay: DelayPlan, buffer: BufferPolicy) -> (f64, f64) {
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.packets_per_source = 600;
+    cfg.link_jitter = jitter;
+    cfg.delay = delay;
+    cfg.buffer = buffer;
+    let sim = cfg.build().unwrap();
+    let outcome = sim.run();
+    let report = evaluate_adversary(&outcome, &BaselineAdversary, &sim.adversary_knowledge());
+    (
+        report.mse(FlowId(0)),
+        outcome.flows[0].latency.mean(),
+    )
+}
+
+#[test]
+fn mac_jitter_gives_baseline_network_nonzero_mse() {
+    // Under the paper's constant-tau abstraction the no-delay network has
+    // exactly zero MSE; real MACs jitter, so the floor is small but
+    // nonzero — and still orders of magnitude below RCAD's.
+    let (mse_ideal, lat_ideal) =
+        run_with_jitter(0.0, DelayPlan::no_delay(), BufferPolicy::Unlimited);
+    let (mse_jittered, lat_jittered) =
+        run_with_jitter(0.5, DelayPlan::no_delay(), BufferPolicy::Unlimited);
+    assert!(mse_ideal < 1e-9);
+    // 15 hops of Uniform[0, 0.5] noise: variance = 15 * 0.25/12 ~ 0.3.
+    assert!(mse_jittered > 0.05 && mse_jittered < 2.0, "MSE {mse_jittered}");
+    assert!((lat_ideal - 15.0).abs() < 1e-9);
+    // Mean latency grows by h * jitter/2 = 3.75, which the adversary's
+    // tau = mean link delay already absorbs.
+    assert!((lat_jittered - 18.75).abs() < 0.2, "latency {lat_jittered}");
+}
+
+#[test]
+fn rcad_conclusions_survive_mac_jitter() {
+    let (mse_smooth, lat_smooth) = run_with_jitter(
+        0.0,
+        DelayPlan::shared_exponential(30.0),
+        BufferPolicy::paper_rcad(),
+    );
+    let (mse_jittered, lat_jittered) = run_with_jitter(
+        0.5,
+        DelayPlan::shared_exponential(30.0),
+        BufferPolicy::paper_rcad(),
+    );
+    // The privacy signal dwarfs MAC noise: within 15% of the smooth MSE.
+    assert!(
+        (mse_jittered - mse_smooth).abs() < 0.15 * mse_smooth,
+        "smooth {mse_smooth} vs jittered {mse_jittered}"
+    );
+    assert!((lat_jittered - lat_smooth).abs() < 20.0);
+}
+
+#[test]
+fn adversary_tau_accounts_for_jitter_mean() {
+    // The deployment-aware adversary's tau is the *mean* per-hop time, so
+    // jitter adds variance, not bias, to its error.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.packets_per_source = 600;
+    cfg.link_jitter = 1.0;
+    cfg.delay = DelayPlan::no_delay();
+    cfg.buffer = BufferPolicy::Unlimited;
+    let sim = cfg.build().unwrap();
+    assert!((sim.adversary_knowledge().tau - 1.5).abs() < 1e-12);
+    let outcome = sim.run();
+    let report = evaluate_adversary(&outcome, &BaselineAdversary, &sim.adversary_knowledge());
+    let flow0 = &report.per_flow[0];
+    assert!(flow0.bias().abs() < 0.2, "bias {}", flow0.bias());
+    // Variance = 15 * 1/12 = 1.25.
+    assert!((flow0.mse() - 1.25).abs() < 0.3, "MSE {}", flow0.mse());
+}
