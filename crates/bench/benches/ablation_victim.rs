@@ -25,7 +25,10 @@ fn print_series() {
             r.preemptions.to_string(),
         ]);
     }
-    eprintln!("\n== A1: victim-policy ablation (flow S1) ==\n{}", s.to_table());
+    eprintln!(
+        "\n== A1: victim-policy ablation (flow S1) ==\n{}",
+        s.to_table()
+    );
 }
 
 fn bench(c: &mut Criterion) {

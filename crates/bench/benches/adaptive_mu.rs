@@ -62,7 +62,11 @@ fn print_series() {
     let layout = Convergecast::paper_figure1();
     let inv_lambda = 4.0;
     let rate = 1.0 / inv_lambda;
-    let uniform = run_plan("uniform 1/mu = 30", DelayPlan::shared_exponential(30.0), inv_lambda);
+    let uniform = run_plan(
+        "uniform 1/mu = 30",
+        DelayPlan::shared_exponential(30.0),
+        inv_lambda,
+    );
     let controlled = run_plan(
         "rate-controlled (alpha = 0.05)",
         rate_controlled_plan(layout.routing(), layout.sources(), rate, 10, 0.05),

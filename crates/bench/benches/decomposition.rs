@@ -18,7 +18,12 @@ fn print_series() {
     for r in &rows {
         s.push_row([
             format!("{:?}", r.shape),
-            if r.limited_buffers { "RCAD k=10" } else { "unlimited" }.to_string(),
+            if r.limited_buffers {
+                "RCAD k=10"
+            } else {
+                "unlimited"
+            }
+            .to_string(),
             fmt_f(r.mse, 1),
             fmt_f(r.mean_latency, 1),
             fmt_f(r.max_mean_occupancy, 2),

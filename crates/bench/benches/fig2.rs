@@ -26,8 +26,14 @@ fn print_series() {
             fmt_f(r.rcad.mean_latency, 1),
         ]);
     }
-    eprintln!("\n== Figure 2(a): adversary MSE (flow S1) ==\n{}", mse.to_table());
-    eprintln!("== Figure 2(b): mean delivery latency (flow S1) ==\n{}", lat.to_table());
+    eprintln!(
+        "\n== Figure 2(a): adversary MSE (flow S1) ==\n{}",
+        mse.to_table()
+    );
+    eprintln!(
+        "== Figure 2(b): mean delivery latency (flow S1) ==\n{}",
+        lat.to_table()
+    );
 }
 
 fn bench(c: &mut Criterion) {

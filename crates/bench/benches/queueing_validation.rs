@@ -19,20 +19,27 @@ fn print_series() {
             fmt_f(check.tv_distance, 4),
         ]);
     }
-    eprintln!("\n== V2: M/M/inf occupancy vs Poisson(rho) ==\n{}", occ.to_table());
+    eprintln!(
+        "\n== V2: M/M/inf occupancy vs Poisson(rho) ==\n{}",
+        occ.to_table()
+    );
 
     // V3: Erlang loss.
-    let rows =
-        erlang_loss_experiment(&[1.0, 2.0, 5.0, 8.0, 12.0, 20.0, 40.0], 10, 10.0, 30_000, 23);
+    let rows = erlang_loss_experiment(
+        &[1.0, 2.0, 5.0, 8.0, 12.0, 20.0, 40.0],
+        10,
+        10.0,
+        30_000,
+        23,
+    );
     let mut erl = Series::new(["rho", "E(rho,10) analytic", "measured drop rate"]);
     for r in &rows {
-        erl.push_row([
-            fmt_f(r.rho, 1),
-            fmt_f(r.analytic, 4),
-            fmt_f(r.measured, 4),
-        ]);
+        erl.push_row([fmt_f(r.rho, 1), fmt_f(r.analytic, 4), fmt_f(r.measured, 4)]);
     }
-    eprintln!("== V3: drop-tail loss vs Erlang formula ==\n{}", erl.to_table());
+    eprintln!(
+        "== V3: drop-tail loss vs Erlang formula ==\n{}",
+        erl.to_table()
+    );
 
     // V4: Burke.
     let check = burke_experiment(0.5, 10.0, 40_000, 25);

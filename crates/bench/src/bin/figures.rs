@@ -59,7 +59,11 @@ fn fig2(which_panel: Option<char>) {
                 fmt_f(r.rcad.mse, 2),
             ]);
         }
-        emit("fig2a", "Figure 2(a): adversary MSE vs 1/lambda (flow S1)", &mse);
+        emit(
+            "fig2a",
+            "Figure 2(a): adversary MSE vs 1/lambda (flow S1)",
+            &mse,
+        );
     }
     if which_panel != Some('a') {
         let mut lat = Series::new(["inv_lambda", "no_delay", "delay_unlimited", "delay_rcad"]);
@@ -114,7 +118,13 @@ fn v1() {
 }
 
 fn v2() {
-    let mut s = Series::new(["lambda", "delay_mean", "rho", "measured_mean", "tv_distance"]);
+    let mut s = Series::new([
+        "lambda",
+        "delay_mean",
+        "rho",
+        "measured_mean",
+        "tv_distance",
+    ]);
     for &(lambda, mean) in &[(0.2f64, 10.0f64), (0.5, 10.0), (0.5, 30.0), (1.0, 30.0)] {
         let check = mm_inf_occupancy_experiment(lambda, mean, 40_000, 21);
         s.push_row([
@@ -140,11 +150,21 @@ fn v3() {
     for r in &rows {
         s.push_row([fmt_f(r.rho, 1), fmt_f(r.analytic, 4), fmt_f(r.measured, 4)]);
     }
-    emit("v3_erlang", "V3: drop-tail loss vs Erlang formula (k = 10)", &s);
+    emit(
+        "v3_erlang",
+        "V3: drop-tail loss vs Erlang formula (k = 10)",
+        &s,
+    );
 }
 
 fn v4() {
-    let mut s = Series::new(["lambda", "cv_squared", "ks_statistic", "ks_critical_5pct", "gaps"]);
+    let mut s = Series::new([
+        "lambda",
+        "cv_squared",
+        "ks_statistic",
+        "ks_critical_5pct",
+        "gaps",
+    ]);
     for &lambda in &[0.2, 0.5, 1.0] {
         let check = burke_experiment(lambda, 10.0, 40_000, 25);
         s.push_row([
@@ -155,12 +175,22 @@ fn v4() {
             check.samples.to_string(),
         ]);
     }
-    emit("v4_burke", "V4: Burke's theorem on simulated departures", &s);
+    emit(
+        "v4_burke",
+        "V4: Burke's theorem on simulated departures",
+        &s,
+    );
 }
 
 fn e1() {
     let rows = adversary_panel_sweep(&SweepParams::paper_default());
-    let mut s = Series::new(["inv_lambda", "baseline", "adaptive", "route_aware", "oracle"]);
+    let mut s = Series::new([
+        "inv_lambda",
+        "baseline",
+        "adaptive",
+        "route_aware",
+        "oracle",
+    ]);
     for r in &rows {
         s.push_row([
             fmt_f(r.inv_lambda, 0),
@@ -190,7 +220,12 @@ fn e2() {
     for r in &rows {
         s.push_row([
             format!("{:?}", r.shape),
-            if r.limited_buffers { "rcad_k10" } else { "unlimited" }.to_string(),
+            if r.limited_buffers {
+                "rcad_k10"
+            } else {
+                "unlimited"
+            }
+            .to_string(),
             fmt_f(r.mse, 2),
             fmt_f(r.mean_latency, 2),
             fmt_f(r.max_mean_occupancy, 3),
@@ -302,15 +337,14 @@ fn a3() {
     let layout = Convergecast::paper_figure1();
     let inv_lambda = 4.0;
     let run = |label: &str, plan: DelayPlan| {
-        let sim =
-            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
-                .traffic(TrafficModel::periodic(inv_lambda))
-                .packets_per_source(1000)
-                .delay_plan(plan)
-                .buffer_policy(BufferPolicy::paper_rcad())
-                .seed(3)
-                .build()
-                .expect("valid simulation");
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .traffic(TrafficModel::periodic(inv_lambda))
+            .packets_per_source(1000)
+            .delay_plan(plan)
+            .buffer_policy(BufferPolicy::paper_rcad())
+            .seed(3)
+            .build()
+            .expect("valid simulation");
         let outcome = sim.run();
         let knowledge = sim.adversary_knowledge();
         let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
@@ -333,9 +367,21 @@ fn a3() {
     let uniform = run("uniform_mu", DelayPlan::shared_exponential(30.0));
     let controlled = run(
         "rate_controlled_alpha_0.05",
-        rate_controlled_plan(layout.routing(), layout.sources(), 1.0 / inv_lambda, 10, 0.05),
+        rate_controlled_plan(
+            layout.routing(),
+            layout.sources(),
+            1.0 / inv_lambda,
+            10,
+            0.05,
+        ),
     );
-    let mut s = Series::new(["plan", "mse_s1", "latency_s1", "preemptions", "max_preempt_rate"]);
+    let mut s = Series::new([
+        "plan",
+        "mse_s1",
+        "latency_s1",
+        "preemptions",
+        "max_preempt_rate",
+    ]);
     for (label, mse, lat, pre, rate) in [uniform, controlled] {
         s.push_row([
             label,
@@ -363,7 +409,8 @@ fn main() -> ExitCode {
     let want = |name: &str| all || selected.contains(&name);
 
     let known = [
-        "all", "fig2a", "fig2b", "fig3", "v1", "v2", "v3", "v4", "a1", "a2", "a3", "e1", "e2", "e3", "e4",
+        "all", "fig2a", "fig2b", "fig3", "v1", "v2", "v3", "v4", "a1", "a2", "a3", "e1", "e2",
+        "e3", "e4",
     ];
     if let Some(bad) = selected.iter().find(|s| !known.contains(s)) {
         eprintln!("unknown selector `{bad}`; valid: {}", known.join(", "));

@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn parses_positional_options_and_flags() {
-        let args = Args::parse(["run", "cfg.json", "--seed", "7", "--quiet", "--out", "o.json"]);
+        let args = Args::parse([
+            "run", "cfg.json", "--seed", "7", "--quiet", "--out", "o.json",
+        ]);
         assert_eq!(args.positional(0), Some("run"));
         assert_eq!(args.positional(1), Some("cfg.json"));
         assert_eq!(args.positional_len(), 2);
@@ -136,7 +138,10 @@ mod tests {
     #[test]
     fn list_option_parsing() {
         let args = Args::parse(["--points", "2, 4,8"]);
-        assert_eq!(args.option_list("points", vec![1.0]), Ok(vec![2.0, 4.0, 8.0]));
+        assert_eq!(
+            args.option_list("points", vec![1.0]),
+            Ok(vec![2.0, 4.0, 8.0])
+        );
         assert_eq!(
             Args::parse(["x"]).option_list("points", vec![1.0f64]),
             Ok(vec![1.0])

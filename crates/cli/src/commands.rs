@@ -5,14 +5,19 @@
 //! processes.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use tempriv_core::config::ExperimentConfig;
-use tempriv_core::experiment::{fig2_sweep, SweepParams};
+use tempriv_core::experiment::{
+    adversary_panel_sweep_with, delay_ablation_sweep_with, fig2_sweep_with, fig3_sweep_with,
+    mix_comparison_sweep_with, victim_ablation_sweep_with, SweepParams,
+};
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
+use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter};
 
 use crate::args::Args;
 
@@ -30,10 +35,21 @@ COMMANDS:
     init-config <path>       write the paper-default config template
     assess <config.json>     replicate a config across seeds; print
         [--replications N]   mean +/- 95% CI per flow (default N = 5)
-    sweep                    fig-2 style traffic sweep on the paper layout
+    sweep                    experiment sweep on the paper layout
+        [--experiment E]     fig2 (default, table), or JSON-rows sweeps:
+                             fig3, adversary-panel, victim-ablation,
+                             delay-ablation, mix-comparison
         [--points 2,4,...]   inter-arrival times (default: 2..20)
         [--packets N]        packets per source (default 1000)
         [--seed N]
+        [--workers N]        worker threads (default: all cores)
+        [--cache-dir DIR]    persist results; warm reruns skip done work
+        [--manifest PATH]    journal the run as JSONL (enables resume)
+        [--quiet]            suppress stderr progress
+    resume <run.jsonl>       finish an interrupted sweep from its manifest
+        [--workers N] [--quiet]
+    cache stats --cache-dir DIR    count cached results
+    cache clear --cache-dir DIR    delete cached results
     calc erlang  --rho R --slots K          Erlang loss E(R, K)
     calc servers --rho R --alpha A          min slots for target loss
     calc mu      --lambda L --slots K --alpha A   rate-controlled mu
@@ -58,6 +74,8 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("assess") => cmd_assess(args, out),
         Some("init-config") => cmd_init_config(args, out),
         Some("sweep") => cmd_sweep(args, out),
+        Some("resume") => cmd_resume(args, out),
+        Some("cache") => cmd_cache(args, out),
         Some("calc") => cmd_calc(args, out),
         Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
     }
@@ -75,7 +93,9 @@ fn cmd_run<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let mut cfg: ExperimentConfig =
         serde_json::from_str(&raw).map_err(|e| format!("invalid config {path}: {e}"))?;
     if let Some(seed) = args.option("seed") {
-        cfg.seed = seed.parse().map_err(|_| format!("invalid --seed `{seed}`"))?;
+        cfg.seed = seed
+            .parse()
+            .map_err(|_| format!("invalid --seed `{seed}`"))?;
     }
     let sim = cfg.build().map_err(|e| e.to_string())?;
     let outcome = sim.run();
@@ -150,10 +170,8 @@ fn cmd_assess<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     });
     writeln!(
         out,
-        "{path}: {} replications (seeds {}..{})",
-        replications,
-        cfg.seed,
-        cfg.seed + u64::from(replications) - 1
+        "{path}: {} replications (seeds derived from base {} via splitmix64)",
+        replications, cfg.seed,
     )
     .map_err(io_err)?;
     writeln!(
@@ -186,10 +204,99 @@ fn cmd_init_config<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         .positional(1)
         .ok_or("usage: tempriv init-config <path>")?;
     let cfg = ExperimentConfig::paper_default();
-    let json =
-        serde_json::to_string_pretty(&cfg).map_err(|e| format!("serialize config: {e}"))?;
+    let json = serde_json::to_string_pretty(&cfg).map_err(|e| format!("serialize config: {e}"))?;
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     writeln!(out, "paper-default config written to {path}").map_err(io_err)?;
+    Ok(())
+}
+
+/// Builds the experiment runtime from CLI flags. `fallback_cache_dir` and
+/// `fallback_manifest` come from a manifest being resumed; explicit flags
+/// win over them.
+fn build_runtime(
+    args: &Args,
+    fallback_cache_dir: Option<&str>,
+    fallback_manifest: Option<&str>,
+) -> Result<Runtime, String> {
+    let mut builder = Runtime::builder();
+    if let Some(raw) = args.option("workers") {
+        let workers: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --workers: `{raw}`"))?;
+        if workers == 0 {
+            return Err("--workers must be positive".into());
+        }
+        builder = builder.workers(workers);
+    }
+    if let Some(dir) = args.option("cache-dir").or(fallback_cache_dir) {
+        builder = builder.cache_dir(dir);
+    }
+    if let Some(path) = args.option("manifest").or(fallback_manifest) {
+        builder = builder.manifest_path(path);
+    }
+    if !args.flag("quiet") {
+        builder = builder.observer(Arc::new(StderrReporter::new()));
+    }
+    builder.build()
+}
+
+/// Runs the named sweep experiment on `runtime` and prints its rows:
+/// `fig2` keeps the classic aligned table, everything else prints one
+/// JSON row per line. The names match the `experiment` field written to
+/// run-manifest headers, so `resume` dispatches through here too.
+fn run_experiment<W: Write>(
+    experiment: &str,
+    params: &SweepParams,
+    runtime: &Runtime,
+    out: &mut W,
+) -> Result<(), String> {
+    match experiment {
+        "fig2" => {
+            writeln!(
+                out,
+                "{:>9} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "1/lambda",
+                "mse_none",
+                "mse_unlim",
+                "mse_rcad",
+                "lat_none",
+                "lat_unlim",
+                "lat_rcad"
+            )
+            .map_err(io_err)?;
+            for row in fig2_sweep_with(params, runtime) {
+                writeln!(
+                    out,
+                    "{:>9} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+                    row.inv_lambda,
+                    row.no_delay.mse,
+                    row.unlimited.mse,
+                    row.rcad.mse,
+                    row.no_delay.mean_latency,
+                    row.unlimited.mean_latency,
+                    row.rcad.mean_latency,
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        "fig3" => print_json_rows(out, &fig3_sweep_with(params, runtime)),
+        "adversary-panel" => print_json_rows(out, &adversary_panel_sweep_with(params, runtime)),
+        "victim-ablation" => print_json_rows(out, &victim_ablation_sweep_with(params, runtime)),
+        "delay-ablation" => print_json_rows(out, &delay_ablation_sweep_with(params, runtime)),
+        "mix-comparison" => print_json_rows(out, &mix_comparison_sweep_with(params, runtime)),
+        other => Err(format!(
+            "unknown experiment `{other}`; expected fig2, fig3, adversary-panel, \
+             victim-ablation, delay-ablation, or mix-comparison"
+        )),
+    }
+}
+
+fn print_json_rows<W: Write, T: serde::Serialize>(out: &mut W, rows: &[T]) -> Result<(), String> {
+    for row in rows {
+        let line = serde_json::to_string(row).map_err(|e| format!("serialize row: {e}"))?;
+        writeln!(out, "{line}").map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -201,27 +308,58 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     if params.inv_lambdas.is_empty() {
         return Err("--points must name at least one inter-arrival time".into());
     }
+    let experiment = args.option("experiment").unwrap_or("fig2").to_string();
+    let runtime = build_runtime(args, None, None)?;
+    run_experiment(&experiment, &params, &runtime, out)
+}
+
+fn cmd_resume<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv resume <run.jsonl> [--workers N] [--quiet]")?;
+    let manifest = ManifestReader::read(path)?;
+    let params: SweepParams = serde_json::from_str(&manifest.header.params_json)
+        .map_err(|e| format!("manifest {path}: cannot parse sweep params: {e}"))?;
     writeln!(
         out,
-        "{:>9} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "1/lambda", "mse_none", "mse_unlim", "mse_rcad", "lat_none", "lat_unlim", "lat_rcad"
+        "resuming {}: {}/{} jobs recorded",
+        manifest.header.experiment,
+        manifest.records.len(),
+        manifest.header.jobs
     )
     .map_err(io_err)?;
-    for row in fig2_sweep(&params) {
+    if manifest.header.cache_dir.is_none() && args.option("cache-dir").is_none() {
         writeln!(
             out,
-            "{:>9} {:>12.1} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
-            row.inv_lambda,
-            row.no_delay.mse,
-            row.unlimited.mse,
-            row.rcad.mse,
-            row.no_delay.mean_latency,
-            row.unlimited.mean_latency,
-            row.rcad.mean_latency,
+            "note: the run had no cache directory, so completed jobs will be re-simulated"
         )
         .map_err(io_err)?;
     }
-    Ok(())
+    // Reattach the recorded cache and rewrite the same manifest; the
+    // cache serves every job the interrupted run finished.
+    let runtime = build_runtime(args, manifest.header.cache_dir.as_deref(), Some(path))?;
+    run_experiment(&manifest.header.experiment, &params, &runtime, out)
+}
+
+fn cmd_cache<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    const CACHE_USAGE: &str = "usage: tempriv cache <stats|clear> --cache-dir DIR";
+    let action = args.positional(1).ok_or(CACHE_USAGE)?;
+    let dir = args.option("cache-dir").ok_or(CACHE_USAGE)?;
+    let cache = ResultCache::on_disk(dir).map_err(|e| format!("cannot open cache {dir}: {e}"))?;
+    match action {
+        "stats" => {
+            writeln!(out, "{} cached results in {dir}", cache.len()).map_err(io_err)?;
+            Ok(())
+        }
+        "clear" => {
+            let removed = cache
+                .clear()
+                .map_err(|e| format!("cannot clear cache {dir}: {e}"))?;
+            writeln!(out, "removed {removed} cached results from {dir}").map_err(io_err)?;
+            Ok(())
+        }
+        _ => Err(CACHE_USAGE.into()),
+    }
 }
 
 fn cmd_calc<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -403,9 +541,140 @@ mod tests {
 
     #[test]
     fn sweep_prints_requested_points() {
-        let out = run(&["sweep", "--points", "2", "--packets", "80"]).unwrap();
+        let out = run(&["sweep", "--points", "2", "--packets", "80", "--quiet"]).unwrap();
         assert!(out.contains("mse_rcad"));
         assert_eq!(out.lines().count(), 2); // header + one row
+    }
+
+    #[test]
+    fn sweep_output_is_identical_for_any_worker_count() {
+        let base = [
+            "sweep",
+            "--points",
+            "2,20",
+            "--packets",
+            "60",
+            "--quiet",
+            "--workers",
+        ];
+        let one = run(&[&base[..], &["1"]].concat()).unwrap();
+        let eight = run(&[&base[..], &["8"]].concat()).unwrap();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn sweep_experiment_fig3_prints_json_rows() {
+        let out = run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\"baseline_mse\""));
+        assert!(out.contains("\"adaptive_mse\""));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_experiment() {
+        let err = run(&["sweep", "--experiment", "fig9", "--quiet"]).unwrap_err();
+        assert!(err.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn resume_completes_truncated_manifest_with_identical_rows() {
+        let dir = std::env::temp_dir().join("tempriv_cli_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = dir.join("cache");
+        let manifest = dir.join("run.jsonl");
+        let cache_str = cache.to_str().unwrap();
+        let man_str = manifest.to_str().unwrap();
+
+        // Single worker so manifest records land in job order.
+        let full = run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2,20",
+            "--packets",
+            "60",
+            "--quiet",
+            "--workers",
+            "1",
+            "--cache-dir",
+            cache_str,
+            "--manifest",
+            man_str,
+        ])
+        .unwrap();
+        assert_eq!(full.lines().count(), 2);
+
+        // Simulate a crash: keep the header and the first job record,
+        // tear the second mid-line, and drop its cached result so the
+        // resume has real work left.
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let lost: tempriv_runtime::JobRecord = serde_json::from_str(lines[2]).unwrap();
+        std::fs::remove_file(cache.join(format!("{}.json", lost.key))).unwrap();
+        std::fs::write(
+            &manifest,
+            format!("{}\n{}\n{{\"index\":1,\"key\":\"to", lines[0], lines[1]),
+        )
+        .unwrap();
+
+        let resumed = run(&["resume", man_str, "--quiet"]).unwrap();
+        assert!(resumed.contains("resuming fig3: 1/2 jobs recorded"));
+        let resumed_rows: Vec<&str> = resumed.lines().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(resumed_rows, full.lines().collect::<Vec<_>>());
+
+        // The manifest is whole again: one cache hit, one recompute.
+        let back = tempriv_runtime::ManifestReader::read(&manifest).unwrap();
+        assert_eq!(back.records.len(), 2);
+        let cached = back
+            .records
+            .iter()
+            .filter(|r| r.status == tempriv_runtime::JobStatus::Cached)
+            .count();
+        assert_eq!(cached, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_stats_and_clear() {
+        let dir = std::env::temp_dir().join("tempriv_cli_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cache");
+        let cache_str = cache.to_str().unwrap().to_string();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--cache-dir",
+            &cache_str,
+        ])
+        .unwrap();
+        let stats = run(&["cache", "stats", "--cache-dir", &cache_str]).unwrap();
+        assert!(stats.contains("1 cached results"));
+        let cleared = run(&["cache", "clear", "--cache-dir", &cache_str]).unwrap();
+        assert!(cleared.contains("removed 1"));
+        let stats = run(&["cache", "stats", "--cache-dir", &cache_str]).unwrap();
+        assert!(stats.contains("0 cached results"));
+        let err = run(&["cache", "stats"]).unwrap_err();
+        assert!(err.contains("--cache-dir"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -122,9 +122,7 @@ mod tests {
         let layout = Convergecast::paper_figure1();
         let plan = rate_controlled_plan(layout.routing(), layout.sources(), 0.5, 10, 0.05);
         let trunk_mean = plan.for_node(NodeId(1)).mean();
-        let source_mean = plan
-            .for_node(layout.source(FlowId(0)))
-            .mean();
+        let source_mean = plan.for_node(layout.source(FlowId(0))).mean();
         // 4x the traffic => 1/4 the delay budget.
         assert!((source_mean / trunk_mean - 4.0).abs() < 1e-6);
     }
@@ -139,6 +137,9 @@ mod tests {
         // 7 private hops at the single-flow mean + 8 trunk hops at 1/4 it.
         let single = plan.for_node(layout.source(FlowId(0))).mean();
         let expected = 7.0 * single + 8.0 * single / 4.0;
-        assert!((total - expected).abs() < 1e-6, "total {total} vs {expected}");
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "total {total} vs {expected}"
+        );
     }
 }

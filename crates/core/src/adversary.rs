@@ -140,9 +140,7 @@ impl Adversary for BaselineAdversary {
             .iter()
             .map(|obs| {
                 let h = knowledge.hops(obs.flow) as f64;
-                obs.arrival.as_units()
-                    - h * knowledge.tau
-                    - knowledge.path_delay_mean(obs.flow)
+                obs.arrival.as_units() - h * knowledge.tau - knowledge.path_delay_mean(obs.flow)
             })
             .collect()
     }
@@ -185,10 +183,7 @@ impl AdaptiveAdversary {
     /// steady-state sink arrival rate equals the creation rate λ).
     /// `None` for flows whose central window is degenerate.
     #[must_use]
-    pub fn estimate_flow_rates(
-        observations: &[Observation],
-        num_flows: usize,
-    ) -> Vec<Option<f64>> {
+    pub fn estimate_flow_rates(observations: &[Observation], num_flows: usize) -> Vec<Option<f64>> {
         let mut arrivals: Vec<Vec<SimTime>> = vec![Vec::new(); num_flows];
         for obs in observations {
             if let Some(per_flow) = arrivals.get_mut(obs.flow.index()) {
@@ -343,9 +338,8 @@ impl Adversary for WindowedAdaptiveAdversary {
                 let h = knowledge.hops(obs.flow) as f64;
                 let per_hop = match per_flow.get(obs.flow.index()) {
                     Some(arrivals) if idx > 0 => {
-                        let cutoff = SimTime::from_ticks(
-                            obs.arrival.ticks().saturating_sub(window.ticks()),
-                        );
+                        let cutoff =
+                            SimTime::from_ticks(obs.arrival.ticks().saturating_sub(window.ticks()));
                         // Count this flow's arrivals in (cutoff, arrival].
                         let start = arrivals[..=idx].partition_point(|&t| t <= cutoff);
                         let count = idx + 1 - start;
@@ -599,7 +593,11 @@ mod tests {
         // adaptive estimate is strictly later than the baseline's.
         assert!(est[0] > base[0]);
         let expected = observations[0].arrival.as_units() - 15.0 * (1.0 + 20.0);
-        assert!((est[0] - expected).abs() < 0.5, "est {} vs {expected}", est[0]);
+        assert!(
+            (est[0] - expected).abs() < 0.5,
+            "est {} vs {expected}",
+            est[0]
+        );
     }
 
     #[test]
@@ -624,8 +622,7 @@ mod tests {
     fn adaptive_degrades_to_baseline_without_buffers() {
         let observations = vec![obs(500.0, 0, 15, 1)];
         let k = knowledge(30.0, None);
-        let est =
-            AdaptiveAdversary::paper_default().estimate_creation_times(&observations, &k);
+        let est = AdaptiveAdversary::paper_default().estimate_creation_times(&observations, &k);
         let base = BaselineAdversary.estimate_creation_times(&observations, &k);
         assert_eq!(est, base);
     }
@@ -644,11 +641,13 @@ mod tests {
         observations.push(obs(210.0, 1, 22, 1001));
         observations.sort_by_key(|o| o.arrival);
         let k = knowledge(30.0, Some(10));
-        let est =
-            AdaptiveAdversary::paper_default().estimate_creation_times(&observations, &k);
+        let est = AdaptiveAdversary::paper_default().estimate_creation_times(&observations, &k);
         let base = BaselineAdversary.estimate_creation_times(&observations, &k);
         // Flow 1's k/lambda = 10/0.005 = 2000 >> 30: capped to baseline.
-        let idx = observations.iter().position(|o| o.flow == FlowId(1)).unwrap();
+        let idx = observations
+            .iter()
+            .position(|o| o.flow == FlowId(1))
+            .unwrap();
         assert!((est[idx] - base[idx]).abs() < 1e-9);
     }
 
@@ -701,8 +700,8 @@ mod tests {
     fn windowed_adversary_baseline_without_buffers() {
         let observations = vec![obs(500.0, 0, 15, 1)];
         let k = knowledge(30.0, None);
-        let est = WindowedAdaptiveAdversary::paper_default()
-            .estimate_creation_times(&observations, &k);
+        let est =
+            WindowedAdaptiveAdversary::paper_default().estimate_creation_times(&observations, &k);
         let base = BaselineAdversary.estimate_creation_times(&observations, &k);
         assert_eq!(est, base);
     }
@@ -725,11 +724,14 @@ mod tests {
         }
         observations.sort_by_key(|o| o.arrival);
         let k = knowledge(30.0, Some(10));
-        let est = RouteAwareAdversary::paper_default()
-            .estimate_creation_times(&observations, &k);
+        let est = RouteAwareAdversary::paper_default().estimate_creation_times(&observations, &k);
         // Flow 0: 15 tau + 7 private * 20 + 8 trunk * 10 = 235 subtracted.
         let expected = observations[0].arrival.as_units() - 15.0 - 140.0 - 80.0;
-        assert!((est[0] - expected).abs() < 2.0, "est {} vs {expected}", est[0]);
+        assert!(
+            (est[0] - expected).abs() < 2.0,
+            "est {} vs {expected}",
+            est[0]
+        );
     }
 
     #[test]
@@ -740,8 +742,7 @@ mod tests {
             observations.push(obs(i as f64 * 80.0 + 11.0, 1, 22, i * 2 + 1));
         }
         let k = knowledge(30.0, Some(10));
-        let est = RouteAwareAdversary::paper_default()
-            .estimate_creation_times(&observations, &k);
+        let est = RouteAwareAdversary::paper_default().estimate_creation_times(&observations, &k);
         let base = BaselineAdversary.estimate_creation_times(&observations, &k);
         for (a, b) in est.iter().zip(&base) {
             assert!((a - b).abs() < 1e-9);
@@ -752,8 +753,7 @@ mod tests {
     fn route_aware_degrades_to_baseline_without_buffers() {
         let observations = vec![obs(500.0, 0, 15, 1)];
         let k = knowledge(30.0, None);
-        let est = RouteAwareAdversary::paper_default()
-            .estimate_creation_times(&observations, &k);
+        let est = RouteAwareAdversary::paper_default().estimate_creation_times(&observations, &k);
         let base = BaselineAdversary.estimate_creation_times(&observations, &k);
         assert_eq!(est, base);
     }

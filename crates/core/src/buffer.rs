@@ -173,20 +173,17 @@ impl NodeBuffer {
             return None;
         }
         let id = match policy {
-            VictimPolicy::ShortestRemaining => {
-                self.entries
-                    .iter()
-                    .min_by_key(|(id, e)| (e.release_at, **id))
-                    .map(|(id, _)| *id)?
-            }
+            VictimPolicy::ShortestRemaining => self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.release_at, **id))
+                .map(|(id, _)| *id)?,
             VictimPolicy::LongestRemaining => {
                 // max by release time, ties toward smallest id.
                 self.entries
                     .iter()
                     .max_by(|(ida, a), (idb, b)| {
-                        a.release_at
-                            .cmp(&b.release_at)
-                            .then_with(|| idb.cmp(ida))
+                        a.release_at.cmp(&b.release_at).then_with(|| idb.cmp(ida))
                     })
                     .map(|(id, _)| *id)?
             }
@@ -194,12 +191,11 @@ impl NodeBuffer {
                 let idx = rng.sample_index(self.entries.len());
                 *self.entries.keys().nth(idx).expect("index in range")
             }
-            VictimPolicy::Oldest => {
-                self.entries
-                    .iter()
-                    .min_by_key(|(id, e)| (e.buffered_at, **id))
-                    .map(|(id, _)| *id)?
-            }
+            VictimPolicy::Oldest => self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.buffered_at, **id))
+                .map(|(id, _)| *id)?,
         };
         Some(id)
     }
@@ -223,12 +219,7 @@ mod tests {
     use tempriv_sim::queue::EventQueue;
     use tempriv_sim::rng::RngFactory;
 
-    fn entry(
-        q: &mut EventQueue<()>,
-        id: u64,
-        buffered_at: f64,
-        release_at: f64,
-    ) -> BufferedPacket {
+    fn entry(q: &mut EventQueue<()>, id: u64, buffered_at: f64, release_at: f64) -> BufferedPacket {
         let timer = Some(q.push(SimTime::from_units(release_at), ()));
         BufferedPacket {
             packet: Packet::new(
@@ -370,7 +361,12 @@ mod tests {
         assert!(BufferPolicy::Unlimited.validate().is_ok());
         assert!(BufferPolicy::DropTail { capacity: 0 }.validate().is_err());
         assert!(BufferPolicy::paper_rcad().validate().is_ok());
-        assert_eq!(BufferPolicy::ThresholdMix { threshold: 5 }.capacity(), Some(5));
-        assert!(BufferPolicy::ThresholdMix { threshold: 0 }.validate().is_err());
+        assert_eq!(
+            BufferPolicy::ThresholdMix { threshold: 5 }.capacity(),
+            Some(5)
+        );
+        assert!(BufferPolicy::ThresholdMix { threshold: 0 }
+            .validate()
+            .is_err());
     }
 }

@@ -98,7 +98,10 @@ pub fn decomposed_plan(
         .iter()
         .map(|&v| shape.weight(routing.hops(v).expect("path node")))
         .sum();
-    assert!(reference_weight > 0.0, "reference flow has no delaying nodes");
+    assert!(
+        reference_weight > 0.0,
+        "reference flow has no delaying nodes"
+    );
     let scale = flow_budget / reference_weight;
     for &src in sources {
         let path = routing.path(src);
@@ -150,12 +153,7 @@ mod tests {
     #[test]
     fn uniform_decomposition_matches_shared_plan() {
         let l = layout();
-        let plan = decomposed_plan(
-            l.routing(),
-            l.sources(),
-            450.0,
-            DecompositionShape::Uniform,
-        );
+        let plan = decomposed_plan(l.routing(), l.sources(), 450.0, DecompositionShape::Uniform);
         // Reference flow (S1, 15 hops): 450/15 = 30 per node.
         let path = l.routing().path(l.source(FlowId(0)));
         for &v in &path[..path.len() - 1] {
@@ -238,7 +236,10 @@ mod tests {
         let uniform = var(DecompositionShape::Uniform);
         assert!((at_source - b * b).abs() < 1e-6);
         assert!((uniform - b * b / 15.0).abs() < 1e-6);
-        assert!(at_source > far && far > uniform, "{at_source} > {far} > {uniform}");
+        assert!(
+            at_source > far && far > uniform,
+            "{at_source} > {far} > {uniform}"
+        );
     }
 
     #[test]

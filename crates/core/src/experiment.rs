@@ -4,19 +4,24 @@
 //! (2 … 20 time units). The functions here run the corresponding
 //! scenarios, score the adversaries, and return plain rows ready for
 //! printing or CSV export. Sweep points are independent simulations and
-//! run on parallel threads.
+//! run as jobs on the [`tempriv_runtime`] worker pool: every sweep has a
+//! `*_with` variant taking an explicit [`Runtime`], through which callers
+//! inject worker counts, result caches, run manifests, and progress
+//! observers. The plain variants run on a machine-sized runtime with an
+//! in-memory cache.
 
 use serde::{Deserialize, Serialize};
 use tempriv_net::ids::FlowId;
 use tempriv_net::traffic::TrafficModel;
+use tempriv_runtime::{content_digest, Runtime, WorkerPool};
 
 use crate::adversary::{
     AdaptiveAdversary, BaselineAdversary, RouteAwareAdversary, WindowedAdaptiveAdversary,
 };
 use crate::buffer::{BufferPolicy, VictimPolicy};
 use crate::config::{ExperimentConfig, LayoutSpec};
-use crate::delay::{DelayPlan, DelayStrategy};
 use crate::decomposition::{decomposed_plan, DecompositionShape};
+use crate::delay::{DelayPlan, DelayStrategy};
 use crate::metrics::evaluate_adversary;
 
 /// Common sweep parameters (defaults = the paper's §5.2 setup).
@@ -77,6 +82,32 @@ impl SweepParams {
             seed: self.seed ^ inv_lambda.to_bits(),
         }
     }
+
+    /// Canonical JSON of these parameters — the `params_json` recorded in
+    /// run-manifest headers and folded into every job's cache key.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("sweep params serialize")
+    }
+}
+
+/// A machine-sized runtime with an in-memory cache — what the plain sweep
+/// functions run on.
+fn default_runtime() -> Runtime {
+    Runtime::new(WorkerPool::new())
+}
+
+/// Cache key of one sweep job: digest over the experiment kind, the full
+/// parameter JSON, and the job's own tag (its point within the sweep).
+/// Anything that can change a job's output must be in here.
+fn job_key(experiment: &str, params_json: &str, job_tag: &str) -> String {
+    content_digest(format!("{experiment}|{params_json}|{job_tag}").as_bytes())
+}
+
+/// Exact (bit-level) tag of a sweep point, so cache keys never go through
+/// lossy float formatting.
+fn point_tag(inv_lambda: f64) -> String {
+    format!("inv_lambda={:016x}", inv_lambda.to_bits())
 }
 
 /// Privacy and overhead of one scenario at one sweep point.
@@ -123,31 +154,25 @@ fn run_point(cfg: &ExperimentConfig, report_flow: FlowId) -> ScenarioMetrics {
     }
 }
 
-/// Runs `f` over the points on parallel threads, preserving order.
-pub fn map_parallel<T, F>(points: &[f64], f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(f64) -> T + Sync,
-{
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .iter()
-            .map(|&p| scope.spawn(move || f(p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-}
-
 /// Regenerates Figure 2 (both panels): MSE and latency versus `1/λ` for
 /// the three scenarios — no delay, delay with unlimited buffers, and
 /// delay with limited buffers (RCAD).
 #[must_use]
 pub fn fig2_sweep(params: &SweepParams) -> Vec<Fig2Row> {
-    map_parallel(&params.inv_lambdas, |inv_lambda| {
+    fig2_sweep_with(params, &default_runtime())
+}
+
+/// [`fig2_sweep`] on an explicit runtime.
+#[must_use]
+pub fn fig2_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<Fig2Row> {
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = params
+        .inv_lambdas
+        .iter()
+        .map(|&l| job_key("fig2", &params_json, &point_tag(l)))
+        .collect();
+    runtime.run("fig2", &params_json, &keys, |i| {
+        let inv_lambda = params.inv_lambdas[i];
         let base = params.config(inv_lambda);
 
         let mut no_delay = base.clone();
@@ -172,7 +197,20 @@ pub fn fig2_sweep(params: &SweepParams) -> Vec<Fig2Row> {
 /// RCAD, versus `1/λ`.
 #[must_use]
 pub fn fig3_sweep(params: &SweepParams) -> Vec<Fig3Row> {
-    map_parallel(&params.inv_lambdas, |inv_lambda| {
+    fig3_sweep_with(params, &default_runtime())
+}
+
+/// [`fig3_sweep`] on an explicit runtime.
+#[must_use]
+pub fn fig3_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<Fig3Row> {
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = params
+        .inv_lambdas
+        .iter()
+        .map(|&l| job_key("fig3", &params_json, &point_tag(l)))
+        .collect();
+    runtime.run("fig3", &params_json, &keys, |i| {
+        let inv_lambda = params.inv_lambdas[i];
         let cfg = params.config(inv_lambda);
         let sim = cfg.build().expect("sweep configs are valid");
         let outcome = sim.run();
@@ -209,7 +247,23 @@ pub struct AdversaryPanelRow {
 /// ordering at high traffic: baseline ≥ adaptive ≥ route-aware ≥ oracle.
 #[must_use]
 pub fn adversary_panel_sweep(params: &SweepParams) -> Vec<AdversaryPanelRow> {
-    map_parallel(&params.inv_lambdas, |inv_lambda| {
+    adversary_panel_sweep_with(params, &default_runtime())
+}
+
+/// [`adversary_panel_sweep`] on an explicit runtime.
+#[must_use]
+pub fn adversary_panel_sweep_with(
+    params: &SweepParams,
+    runtime: &Runtime,
+) -> Vec<AdversaryPanelRow> {
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = params
+        .inv_lambdas
+        .iter()
+        .map(|&l| job_key("adversary-panel", &params_json, &point_tag(l)))
+        .collect();
+    runtime.run("adversary-panel", &params_json, &keys, |i| {
+        let inv_lambda = params.inv_lambdas[i];
         let cfg = params.config(inv_lambda);
         let sim = cfg.build().expect("sweep configs are valid");
         let outcome = sim.run();
@@ -254,35 +308,57 @@ pub struct VictimAblationRow {
 /// Ablation A1: how the victim-selection rule changes privacy/latency.
 #[must_use]
 pub fn victim_ablation_sweep(params: &SweepParams) -> Vec<VictimAblationRow> {
+    victim_ablation_sweep_with(params, &default_runtime())
+}
+
+/// [`victim_ablation_sweep`] on an explicit runtime. The four policies ×
+/// all sweep points form one flat job list, so the pool stays busy across
+/// the policy boundary; rows stay policy-major as before.
+#[must_use]
+pub fn victim_ablation_sweep_with(
+    params: &SweepParams,
+    runtime: &Runtime,
+) -> Vec<VictimAblationRow> {
     let policies = [
         VictimPolicy::ShortestRemaining,
         VictimPolicy::LongestRemaining,
         VictimPolicy::Random,
         VictimPolicy::Oldest,
     ];
-    let mut rows = Vec::new();
-    for victim in policies {
-        let per_point = map_parallel(&params.inv_lambdas, |inv_lambda| {
-            let mut cfg = params.config(inv_lambda);
-            cfg.buffer = BufferPolicy::Rcad {
-                capacity: params.capacity,
-                victim,
-            };
-            let sim = cfg.build().expect("sweep configs are valid");
-            let outcome = sim.run();
-            let knowledge = sim.adversary_knowledge();
-            let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
-            VictimAblationRow {
-                inv_lambda,
-                victim,
-                mse: report.mse(params.report_flow),
-                mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
-                preemptions: outcome.total_preemptions(),
-            }
-        });
-        rows.extend(per_point);
-    }
-    rows
+    let cases: Vec<(VictimPolicy, f64)> = policies
+        .iter()
+        .flat_map(|&victim| params.inv_lambdas.iter().map(move |&l| (victim, l)))
+        .collect();
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = cases
+        .iter()
+        .map(|(victim, l)| {
+            job_key(
+                "victim-ablation",
+                &params_json,
+                &format!("victim={victim:?}|{}", point_tag(*l)),
+            )
+        })
+        .collect();
+    runtime.run("victim-ablation", &params_json, &keys, |i| {
+        let (victim, inv_lambda) = cases[i];
+        let mut cfg = params.config(inv_lambda);
+        cfg.buffer = BufferPolicy::Rcad {
+            capacity: params.capacity,
+            victim,
+        };
+        let sim = cfg.build().expect("sweep configs are valid");
+        let outcome = sim.run();
+        let knowledge = sim.adversary_knowledge();
+        let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
+        VictimAblationRow {
+            inv_lambda,
+            victim,
+            mse: report.mse(params.report_flow),
+            mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
+            preemptions: outcome.total_preemptions(),
+        }
+    })
 }
 
 /// One row of the delay-distribution ablation (A2).
@@ -313,6 +389,12 @@ pub enum DelayDistributionKind {
 /// isolating the distributional effect of §3.1 from preemption.
 #[must_use]
 pub fn delay_ablation_sweep(params: &SweepParams) -> Vec<DelayAblationRow> {
+    delay_ablation_sweep_with(params, &default_runtime())
+}
+
+/// [`delay_ablation_sweep`] on an explicit runtime.
+#[must_use]
+pub fn delay_ablation_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<DelayAblationRow> {
     let kinds = [
         (
             DelayDistributionKind::Exponential,
@@ -324,24 +406,39 @@ pub fn delay_ablation_sweep(params: &SweepParams) -> Vec<DelayAblationRow> {
             DelayStrategy::constant(30.0),
         ),
     ];
-    let mut rows = Vec::new();
-    for (kind, strategy) in kinds {
-        let strategy_plan = DelayPlan::Shared(strategy);
-        let per_point = map_parallel(&params.inv_lambdas, |inv_lambda| {
-            let mut cfg = params.config(inv_lambda);
-            cfg.delay = strategy_plan.clone();
-            cfg.buffer = BufferPolicy::Unlimited;
-            let metrics = run_point(&cfg, params.report_flow);
-            DelayAblationRow {
-                inv_lambda,
-                distribution: kind,
-                mse: metrics.mse,
-                mean_latency: metrics.mean_latency,
-            }
-        });
-        rows.extend(per_point);
-    }
-    rows
+    let cases: Vec<(DelayDistributionKind, DelayStrategy, f64)> = kinds
+        .iter()
+        .flat_map(|(kind, strategy)| {
+            params
+                .inv_lambdas
+                .iter()
+                .map(move |&l| (*kind, *strategy, l))
+        })
+        .collect();
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = cases
+        .iter()
+        .map(|(kind, _, l)| {
+            job_key(
+                "delay-ablation",
+                &params_json,
+                &format!("dist={kind:?}|{}", point_tag(*l)),
+            )
+        })
+        .collect();
+    runtime.run("delay-ablation", &params_json, &keys, |i| {
+        let (kind, strategy, inv_lambda) = cases[i];
+        let mut cfg = params.config(inv_lambda);
+        cfg.delay = DelayPlan::Shared(strategy);
+        cfg.buffer = BufferPolicy::Unlimited;
+        let metrics = run_point(&cfg, params.report_flow);
+        DelayAblationRow {
+            inv_lambda,
+            distribution: kind,
+            mse: metrics.mse,
+            mean_latency: metrics.mean_latency,
+        }
+    })
 }
 
 /// One row of the delay-decomposition experiment (E2, §3.3).
@@ -371,52 +468,75 @@ pub fn decomposition_experiment(
     inv_lambda: f64,
     flow_budget: f64,
 ) -> Vec<DecompositionRow> {
+    decomposition_experiment_with(params, inv_lambda, flow_budget, &default_runtime())
+}
+
+/// [`decomposition_experiment`] on an explicit runtime: the 2 buffer
+/// policies × 4 shapes run as 8 parallel jobs.
+#[must_use]
+pub fn decomposition_experiment_with(
+    params: &SweepParams,
+    inv_lambda: f64,
+    flow_budget: f64,
+    runtime: &Runtime,
+) -> Vec<DecompositionRow> {
     let shapes = [
         DecompositionShape::Uniform,
         DecompositionShape::FarFromSink,
         DecompositionShape::NearSink,
         DecompositionShape::AtSource,
     ];
-    let mut rows = Vec::new();
-    for limited in [false, true] {
-        for shape in shapes {
-            let mut cfg = params.config(inv_lambda);
-            let sim_probe = cfg.build().expect("probe build");
-            let plan = decomposed_plan(
-                sim_probe.routing(),
-                sim_probe.sources(),
-                flow_budget,
-                shape,
-            );
-            cfg.delay = plan;
-            cfg.buffer = if limited {
-                BufferPolicy::Rcad {
-                    capacity: params.capacity,
-                    victim: VictimPolicy::ShortestRemaining,
-                }
-            } else {
-                BufferPolicy::Unlimited
-            };
-            let sim = cfg.build().expect("valid config");
-            let outcome = sim.run();
-            let knowledge = sim.adversary_knowledge();
-            let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
-            let max_mean_occupancy = outcome
-                .nodes
-                .iter()
-                .map(|n| n.mean_occupancy)
-                .fold(0.0f64, f64::max);
-            rows.push(DecompositionRow {
-                shape,
-                limited_buffers: limited,
-                mse: report.mse(params.report_flow),
-                mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
-                max_mean_occupancy,
-                preemptions: outcome.total_preemptions(),
-            });
+    let cases: Vec<(bool, DecompositionShape)> = [false, true]
+        .iter()
+        .flat_map(|&limited| shapes.iter().map(move |&shape| (limited, shape)))
+        .collect();
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = cases
+        .iter()
+        .map(|(limited, shape)| {
+            job_key(
+                "decomposition",
+                &params_json,
+                &format!(
+                    "shape={shape:?}|limited={limited}|{}|budget={:016x}",
+                    point_tag(inv_lambda),
+                    flow_budget.to_bits()
+                ),
+            )
+        })
+        .collect();
+    runtime.run("decomposition", &params_json, &keys, |i| {
+        let (limited, shape) = cases[i];
+        let mut cfg = params.config(inv_lambda);
+        let sim_probe = cfg.build().expect("probe build");
+        let plan = decomposed_plan(sim_probe.routing(), sim_probe.sources(), flow_budget, shape);
+        cfg.delay = plan;
+        cfg.buffer = if limited {
+            BufferPolicy::Rcad {
+                capacity: params.capacity,
+                victim: VictimPolicy::ShortestRemaining,
+            }
+        } else {
+            BufferPolicy::Unlimited
+        };
+        let sim = cfg.build().expect("valid config");
+        let outcome = sim.run();
+        let knowledge = sim.adversary_knowledge();
+        let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
+        let max_mean_occupancy = outcome
+            .nodes
+            .iter()
+            .map(|n| n.mean_occupancy)
+            .fold(0.0f64, f64::max);
+        DecompositionRow {
+            shape,
+            limited_buffers: limited,
+            mse: report.mse(params.report_flow),
+            mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
+            max_mean_occupancy,
+            preemptions: outcome.total_preemptions(),
         }
-    }
-    rows
+    })
 }
 
 /// Mechanisms compared by the E3 experiment.
@@ -453,39 +573,56 @@ pub struct MixComparisonRow {
 /// so their runs use a no-delay plan.
 #[must_use]
 pub fn mix_comparison_sweep(params: &SweepParams) -> Vec<MixComparisonRow> {
+    mix_comparison_sweep_with(params, &default_runtime())
+}
+
+/// [`mix_comparison_sweep`] on an explicit runtime.
+#[must_use]
+pub fn mix_comparison_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<MixComparisonRow> {
     let mechanisms = [
         Mechanism::Rcad,
         Mechanism::ThresholdMix(4),
         Mechanism::ThresholdMix(10),
     ];
-    let mut rows = Vec::new();
-    for mechanism in mechanisms {
-        let per_point = map_parallel(&params.inv_lambdas, |inv_lambda| {
-            let mut cfg = params.config(inv_lambda);
-            match mechanism {
-                Mechanism::Rcad => {}
-                Mechanism::ThresholdMix(threshold) => {
-                    cfg.delay = DelayPlan::no_delay();
-                    cfg.buffer = BufferPolicy::ThresholdMix { threshold };
-                }
+    let cases: Vec<(Mechanism, f64)> = mechanisms
+        .iter()
+        .flat_map(|&m| params.inv_lambdas.iter().map(move |&l| (m, l)))
+        .collect();
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = cases
+        .iter()
+        .map(|(m, l)| {
+            job_key(
+                "mix-comparison",
+                &params_json,
+                &format!("mech={m:?}|{}", point_tag(*l)),
+            )
+        })
+        .collect();
+    runtime.run("mix-comparison", &params_json, &keys, |i| {
+        let (mechanism, inv_lambda) = cases[i];
+        let mut cfg = params.config(inv_lambda);
+        match mechanism {
+            Mechanism::Rcad => {}
+            Mechanism::ThresholdMix(threshold) => {
+                cfg.delay = DelayPlan::no_delay();
+                cfg.buffer = BufferPolicy::ThresholdMix { threshold };
             }
-            let sim = cfg.build().expect("sweep configs are valid");
-            let outcome = sim.run();
-            let knowledge = sim.adversary_knowledge();
-            let oracle = outcome.oracle();
-            let report = evaluate_adversary(&outcome, &oracle, &knowledge);
-            MixComparisonRow {
-                inv_lambda,
-                mechanism,
-                oracle_mse: report.mse(params.report_flow),
-                mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
-                reordering: outcome.reordering_fraction(params.report_flow),
-                stranded: outcome.total_stranded(),
-            }
-        });
-        rows.extend(per_point);
-    }
-    rows
+        }
+        let sim = cfg.build().expect("sweep configs are valid");
+        let outcome = sim.run();
+        let knowledge = sim.adversary_knowledge();
+        let oracle = outcome.oracle();
+        let report = evaluate_adversary(&outcome, &oracle, &knowledge);
+        MixComparisonRow {
+            inv_lambda,
+            mechanism,
+            oracle_mse: report.mse(params.report_flow),
+            mean_latency: outcome.flows[params.report_flow.index()].latency.mean(),
+            reordering: outcome.reordering_fraction(params.report_flow),
+            stranded: outcome.total_stranded(),
+        }
+    })
 }
 
 /// One row of the bursty-traffic experiment (E4): offline versus online
@@ -516,7 +653,37 @@ pub fn burst_adversary_experiment(
     off_time: f64,
     window: f64,
 ) -> Vec<BurstAdversaryRow> {
-    map_parallel(&params.inv_lambdas, |burst_interval| {
+    burst_adversary_experiment_with(params, burst, off_time, window, &default_runtime())
+}
+
+/// [`burst_adversary_experiment`] on an explicit runtime.
+#[must_use]
+pub fn burst_adversary_experiment_with(
+    params: &SweepParams,
+    burst: u32,
+    off_time: f64,
+    window: f64,
+    runtime: &Runtime,
+) -> Vec<BurstAdversaryRow> {
+    let params_json = params.canonical_json();
+    let keys: Vec<String> = params
+        .inv_lambdas
+        .iter()
+        .map(|&l| {
+            job_key(
+                "burst-adversary",
+                &params_json,
+                &format!(
+                    "burst={burst}|off={:016x}|window={:016x}|{}",
+                    off_time.to_bits(),
+                    window.to_bits(),
+                    point_tag(l)
+                ),
+            )
+        })
+        .collect();
+    runtime.run("burst-adversary", &params_json, &keys, |i| {
+        let burst_interval = params.inv_lambdas[i];
         let mut cfg = params.config(burst_interval);
         cfg.traffic = TrafficModel::on_off(burst_interval, burst, off_time);
         let sim = cfg.build().expect("sweep configs are valid");
@@ -526,8 +693,7 @@ pub fn burst_adversary_experiment(
         let oracle = outcome.oracle();
         BurstAdversaryRow {
             burst_interval,
-            baseline_mse: evaluate_adversary(&outcome, &BaselineAdversary, &knowledge)
-                .mse(flow),
+            baseline_mse: evaluate_adversary(&outcome, &BaselineAdversary, &knowledge).mse(flow),
             adaptive_mse: evaluate_adversary(
                 &outcome,
                 &AdaptiveAdversary::paper_default(),
@@ -548,6 +714,8 @@ pub fn burst_adversary_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use tempriv_runtime::CountingObserver;
 
     fn tiny() -> SweepParams {
         SweepParams {
@@ -648,7 +816,10 @@ mod tests {
         };
         let rows = mix_comparison_sweep(&params);
         assert_eq!(rows.len(), 3);
-        let rcad = rows.iter().find(|r| r.mechanism == Mechanism::Rcad).unwrap();
+        let rcad = rows
+            .iter()
+            .find(|r| r.mechanism == Mechanism::Rcad)
+            .unwrap();
         let mix10 = rows
             .iter()
             .find(|r| r.mechanism == Mechanism::ThresholdMix(10))
@@ -665,12 +836,19 @@ mod tests {
 
     #[test]
     fn windowed_adversary_beats_batch_on_bursts() {
+        // Bursts must stay dense at the *sink* for the windowed estimator
+        // to clear its advertised-mean cap (k/lambda_i < 1/mu needs
+        // lambda_i > 1/3 here): 15 hops of exp(30) delay smear a burst
+        // over hundreds of time units, so the source must emit fast, long
+        // bursts. 200 packets at unit spacing gives the windowed model a
+        // ~3x MSE advantage; slower/shorter bursts degenerate to the
+        // baseline estimate for every observation.
         let params = SweepParams {
-            inv_lambdas: vec![2.0],
+            inv_lambdas: vec![1.0],
             packets_per_source: 1200,
             ..SweepParams::paper_default()
         };
-        let rows = burst_adversary_experiment(&params, 60, 600.0, 150.0);
+        let rows = burst_adversary_experiment(&params, 200, 800.0, 200.0);
         let row = &rows[0];
         assert!(
             row.windowed_mse < row.baseline_mse,
@@ -688,9 +866,51 @@ mod tests {
     }
 
     #[test]
-    fn map_parallel_preserves_order() {
-        let out = map_parallel(&[3.0, 1.0, 2.0], |x| x * 10.0);
-        assert_eq!(out, vec![30.0, 10.0, 20.0]);
+    fn sweep_rows_are_identical_for_any_worker_count() {
+        let params = tiny();
+        let one = fig2_sweep_with(&params, &Runtime::new(WorkerPool::with_workers(1)));
+        let eight = fig2_sweep_with(&params, &Runtime::new(WorkerPool::with_workers(8)));
+        // Byte-identical serialized rows, not just approximate equality.
+        assert_eq!(
+            serde_json::to_string(&one).unwrap(),
+            serde_json::to_string(&eight).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_cache_rerun_runs_zero_simulations() {
+        let counter = Arc::new(CountingObserver::new());
+        let runtime = Runtime::builder()
+            .workers(4)
+            .observer(counter.clone())
+            .build()
+            .unwrap();
+        let params = tiny();
+        let first = fig3_sweep_with(&params, &runtime);
+        assert_eq!(counter.computed(), params.inv_lambdas.len());
+        let second = fig3_sweep_with(&params, &runtime);
+        assert_eq!(
+            counter.computed(),
+            params.inv_lambdas.len(),
+            "warm rerun must not simulate"
+        );
+        assert_eq!(counter.cached(), params.inv_lambdas.len());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cache_keys_separate_experiments_and_params() {
+        let params = tiny();
+        let json = params.canonical_json();
+        let mut other = tiny();
+        other.seed += 1;
+        let k1 = job_key("fig2", &json, &point_tag(2.0));
+        assert_ne!(k1, job_key("fig3", &json, &point_tag(2.0)));
+        assert_ne!(
+            k1,
+            job_key("fig2", &other.canonical_json(), &point_tag(2.0))
+        );
+        assert_ne!(k1, job_key("fig2", &json, &point_tag(4.0)));
     }
 
     #[test]

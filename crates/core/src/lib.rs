@@ -62,6 +62,6 @@ pub use buffer::{BufferPolicy, VictimPolicy};
 pub use config::{ConfigError, ExperimentConfig, LayoutSpec};
 pub use delay::{DelayPlan, DelayStrategy};
 pub use metrics::{evaluate_adversary, AdversaryReport, FlowOutcome, NodeReport, SimOutcome};
-pub use replication::{replicate, ReplicatedMetric};
+pub use replication::{replicate, replicate_on, replication_seed, ReplicatedMetric};
 pub use report::{FlowAssessment, PrivacyAssessment};
 pub use sim_driver::{BuildError, NetworkSimulation, NetworkSimulationBuilder, Workload};

@@ -455,8 +455,7 @@ mod tests {
         assert!((report.mse(FlowId(0)) - 100.0).abs() < 1e-9);
         // And that is exactly the latency population variance.
         assert!(
-            (report.mse(FlowId(0)) - outcome.flows[0].latency.population_variance()).abs()
-                < 1e-9
+            (report.mse(FlowId(0)) - outcome.flows[0].latency.population_variance()).abs() < 1e-9
         );
     }
 
@@ -495,7 +494,10 @@ mod tests {
     #[test]
     fn outcome_accessors() {
         let outcome = outcome_with_one_flow();
-        assert_eq!(outcome.creation_time(PacketId(1)), SimTime::from_units(20.0));
+        assert_eq!(
+            outcome.creation_time(PacketId(1)),
+            SimTime::from_units(20.0)
+        );
         assert_eq!(outcome.total_delivered(), 2);
         assert!((outcome.overall_mean_latency() - 100.0).abs() < 1e-9);
         assert_eq!(outcome.total_preemptions(), 0);

@@ -2,15 +2,34 @@
 //!
 //! The paper reports single simulation runs; a production study replicates
 //! each configuration across independent seeds and reports means with
-//! confidence intervals. [`replicate`] runs any per-seed measurement on
-//! parallel threads; [`ReplicatedMetric`] summarizes the results.
+//! confidence intervals. [`replicate`] runs any per-seed measurement on the
+//! bounded worker pool; [`ReplicatedMetric`] summarizes the results.
 
 use serde::{Deserialize, Serialize};
+use tempriv_runtime::WorkerPool;
+use tempriv_sim::rng::splitmix64;
 use tempriv_sim::stats::mean_ci95;
 
-/// Runs `measure(seed)` for `replications` derived seeds on parallel
-/// threads, preserving seed order. Seeds are `base_seed + i` so reruns
-/// are reproducible.
+/// Derives the seed for replication `i` of a study keyed by `base_seed`.
+///
+/// This is the `i`-th output of a splitmix64 stream seeded at
+/// `base_seed` — i.e. `splitmix64(base_seed + (i + 1) · golden)` where
+/// `golden` is the splitmix64 increment. Earlier versions used
+/// `base_seed + i`, which made the seed sets of adjacent studies overlap
+/// almost entirely (base 100 and base 101 share all but one seed) and fed
+/// correlated low-entropy seeds straight into the generators. The hash
+/// gives every `(base_seed, i)` pair a well-mixed, effectively disjoint
+/// seed while staying fully reproducible.
+#[must_use]
+pub fn replication_seed(base_seed: u64, i: u32) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    splitmix64(base_seed.wrapping_add(u64::from(i).wrapping_add(1).wrapping_mul(GOLDEN)))
+}
+
+/// Runs `measure(seed)` for `replications` derived seeds on the bounded
+/// worker pool, preserving replication order. Seeds come from
+/// [`replication_seed`], so reruns are reproducible and independent of
+/// the worker count.
 ///
 /// # Panics
 ///
@@ -21,16 +40,29 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    replicate_on(&WorkerPool::new(), base_seed, replications, measure)
+}
+
+/// [`replicate`] on an explicit worker pool (inject a single-worker pool
+/// for serial debugging or a sized one for batch studies).
+///
+/// # Panics
+///
+/// Panics if `replications == 0` or a worker panics.
+#[must_use]
+pub fn replicate_on<T, F>(
+    pool: &WorkerPool,
+    base_seed: u64,
+    replications: u32,
+    measure: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
     assert!(replications > 0, "need at least one replication");
-    let measure = &measure;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..replications)
-            .map(|i| scope.spawn(move || measure(base_seed.wrapping_add(u64::from(i)))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replication worker panicked"))
-            .collect()
+    pool.map_indexed(replications as usize, |i| {
+        measure(replication_seed(base_seed, i as u32))
     })
 }
 
@@ -86,10 +118,26 @@ mod tests {
 
     #[test]
     fn replicate_is_ordered_and_reproducible() {
-        let a = replicate(100, 4, |seed| seed * 2);
-        assert_eq!(a, vec![200, 202, 204, 206]);
-        let b = replicate(100, 4, |seed| seed * 2);
+        let a = replicate(100, 4, |seed| seed ^ 1);
+        let expected: Vec<u64> = (0..4).map(|i| replication_seed(100, i) ^ 1).collect();
+        assert_eq!(a, expected);
+        let b = replicate(100, 4, |seed| seed ^ 1);
         assert_eq!(a, b);
+        // And the result is independent of the worker count.
+        let serial = replicate_on(&WorkerPool::with_workers(1), 100, 4, |seed| seed ^ 1);
+        assert_eq!(a, serial);
+    }
+
+    #[test]
+    fn replication_seeds_are_well_mixed() {
+        // Adjacent bases must not share seeds (the old `base + i` scheme
+        // overlapped almost entirely), and seeds within a study differ.
+        let study_a: Vec<u64> = (0..8).map(|i| replication_seed(100, i)).collect();
+        let study_b: Vec<u64> = (0..8).map(|i| replication_seed(101, i)).collect();
+        for (i, a) in study_a.iter().enumerate() {
+            assert!(!study_b.contains(a), "seed {i} shared across bases");
+            assert!(!study_a[..i].contains(a), "seed {i} repeated in study");
+        }
     }
 
     #[test]

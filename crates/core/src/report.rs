@@ -76,10 +76,8 @@ impl PrivacyAssessment {
         );
         let knowledge = sim.adversary_knowledge();
         let baseline = evaluate_adversary(outcome, &BaselineAdversary, &knowledge);
-        let adaptive =
-            evaluate_adversary(outcome, &AdaptiveAdversary::paper_default(), &knowledge);
-        let route =
-            evaluate_adversary(outcome, &RouteAwareAdversary::paper_default(), &knowledge);
+        let adaptive = evaluate_adversary(outcome, &AdaptiveAdversary::paper_default(), &knowledge);
+        let route = evaluate_adversary(outcome, &RouteAwareAdversary::paper_default(), &knowledge);
         let oracle_adv = outcome.oracle();
         let oracle = evaluate_adversary(outcome, &oracle_adv, &knowledge);
         let flows = outcome

@@ -487,11 +487,7 @@ impl NetworkSimulation {
                     NodeReport {
                         node: NodeId(i as u32),
                         mean_occupancy: driver.occupancy[i].mean(end_time),
-                        peak_occupancy: occupancy_pmf
-                            .iter()
-                            .map(|&(k, _)| k)
-                            .max()
-                            .unwrap_or(0),
+                        peak_occupancy: occupancy_pmf.iter().map(|&(k, _)| k).max().unwrap_or(0),
                         occupancy_pmf,
                         preemptions: driver.preemptions[i],
                         drops: driver.drops[i],
@@ -625,14 +621,21 @@ impl Driver<'_> {
             }
         }
         let release_at = sched.now() + delay;
-        let timer = sched.schedule_in(delay, Ev::Release { node, packet: packet.id });
+        let timer = sched.schedule_in(
+            delay,
+            Ev::Release {
+                node,
+                packet: packet.id,
+            },
+        );
         self.buffers[node.index()].insert(BufferedPacket {
             packet,
             buffered_at: sched.now(),
             release_at,
             timer: Some(timer),
         });
-        self.occupancy[node.index()].transition(sched.now(), self.buffers[node.index()].len() as u64);
+        self.occupancy[node.index()]
+            .transition(sched.now(), self.buffers[node.index()].len() as u64);
     }
 
     fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: PacketId) {
@@ -728,10 +731,7 @@ mod tests {
 
     #[test]
     fn hop_count_in_observations_matches_route() {
-        let sim = line_sim(7)
-            .packets_per_source(10)
-            .build()
-            .unwrap();
+        let sim = line_sim(7).packets_per_source(10).build().unwrap();
         let out = sim.run();
         for obs in &out.observations {
             assert_eq!(obs.hop_count, 7);
@@ -787,7 +787,12 @@ mod tests {
             .unwrap();
         let out = sim.run();
         for node in &out.nodes {
-            assert!(node.peak_occupancy <= 10, "node {} peak {}", node.node, node.peak_occupancy);
+            assert!(
+                node.peak_occupancy <= 10,
+                "node {} peak {}",
+                node.node,
+                node.peak_occupancy
+            );
         }
     }
 
@@ -848,12 +853,11 @@ mod tests {
     #[test]
     fn figure1_all_flows_deliver_everything_under_rcad() {
         let layout = Convergecast::paper_figure1();
-        let sim =
-            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
-                .traffic(TrafficModel::periodic(2.0))
-                .packets_per_source(300)
-                .build()
-                .unwrap();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .traffic(TrafficModel::periodic(2.0))
+            .packets_per_source(300)
+            .build()
+            .unwrap();
         let out = sim.run();
         for f in &out.flows {
             assert_eq!(f.delivered, 300, "flow {}", f.flow);
@@ -879,10 +883,9 @@ mod tests {
     #[test]
     fn adversary_knowledge_reflects_configuration() {
         let layout = Convergecast::paper_figure1();
-        let sim =
-            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
-                .build()
-                .unwrap();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .build()
+            .unwrap();
         let k = sim.adversary_knowledge();
         assert_eq!(k.flow_hops, vec![15, 22, 9, 11]);
         assert_eq!(k.tau, 1.0);
@@ -944,7 +947,10 @@ mod tests {
         // With no delay, arrivals follow creations by exactly h*tau = 3.
         for obs in &out.observations {
             let truth = out.creation_time(obs.packet);
-            assert_eq!(obs.arrival - truth, tempriv_sim::time::SimDuration::from_units(3.0));
+            assert_eq!(
+                obs.arrival - truth,
+                tempriv_sim::time::SimDuration::from_units(3.0)
+            );
         }
     }
 
@@ -1101,7 +1107,11 @@ mod tests {
         let p50 = flow.latency_p50().unwrap();
         let p95 = flow.latency_p95().unwrap();
         // Erlang(15) latency: median below mean, p95 well above.
-        assert!(p50 < flow.latency.mean(), "p50 {p50} vs mean {}", flow.latency.mean());
+        assert!(
+            p50 < flow.latency.mean(),
+            "p50 {p50} vs mean {}",
+            flow.latency.mean()
+        );
         assert!(p95 > flow.latency.mean());
         assert!(p50 >= 15.0, "nothing beats h*tau");
         // Analytic p95 of 15 * (tau + Exp(30)) is ~672; allow slack for
@@ -1130,11 +1140,10 @@ mod tests {
     #[test]
     fn observations_arrive_in_time_order() {
         let layout = Convergecast::paper_figure1();
-        let sim =
-            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
-                .packets_per_source(200)
-                .build()
-                .unwrap();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .packets_per_source(200)
+            .build()
+            .unwrap();
         let out = sim.run();
         for w in out.observations.windows(2) {
             assert!(w[0].arrival <= w[1].arrival);

@@ -52,9 +52,7 @@ pub fn btq_packet_bound_nats(j: u64, mu: f64, lambda: f64) -> f64 {
 pub fn btq_stream_bound_nats(n: u64, mu: f64, lambda: f64) -> f64 {
     assert!(n > 0, "need at least one packet");
     check_rates(mu, lambda);
-    (1..=n)
-        .map(|j| (1.0 + j as f64 * mu / lambda).ln())
-        .sum()
+    (1..=n).map(|j| (1.0 + j as f64 * mu / lambda).ln()).sum()
 }
 
 /// The delay rate μ that keeps the *first-packet* leakage bound at
@@ -133,10 +131,7 @@ mod tests {
             let y = Exponential::new(mu);
             let mi = mi_additive_nats(&x, &y, 4_000);
             let bound = btq_packet_bound_nats(j as u64, mu, lambda);
-            assert!(
-                mi <= bound + 5e-3,
-                "j = {j}: MI {mi} exceeds bound {bound}"
-            );
+            assert!(mi <= bound + 5e-3, "j = {j}: MI {mi} exceeds bound {bound}");
         }
     }
 

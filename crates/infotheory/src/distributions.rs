@@ -303,10 +303,7 @@ impl ContinuousDist for ErlangDist {
             return if self.k == 1 { self.rate } else { 0.0 };
         }
         let k = self.k as f64;
-        (k * self.rate.ln() + (k - 1.0) * x.ln()
-            - self.rate * x
-            - ln_gamma(k))
-        .exp()
+        (k * self.rate.ln() + (k - 1.0) * x.ln() - self.rate * x - ln_gamma(k)).exp()
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -414,8 +411,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

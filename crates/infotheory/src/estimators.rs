@@ -114,7 +114,10 @@ pub fn mi_lower_bound_from_mse_nats(var_x: f64, mse: f64) -> f64 {
         var_x.is_finite() && var_x > 0.0,
         "source variance must be positive, got {var_x}"
     );
-    assert!(mse.is_finite() && mse > 0.0, "MSE must be positive, got {mse}");
+    assert!(
+        mse.is_finite() && mse > 0.0,
+        "MSE must be positive, got {mse}"
+    );
     (0.5 * (var_x / mse).ln()).max(0.0)
 }
 

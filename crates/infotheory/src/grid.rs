@@ -26,7 +26,10 @@ impl GridDensity {
     #[must_use]
     pub fn from_dist<D: ContinuousDist + ?Sized>(dist: &D, hi: f64, n: usize) -> Self {
         assert!(n >= 2, "grid needs at least two points");
-        assert!(hi.is_finite() && hi > 0.0, "grid end must be positive, got {hi}");
+        assert!(
+            hi.is_finite() && hi > 0.0,
+            "grid end must be positive, got {hi}"
+        );
         let step = hi / (n - 1) as f64;
         let values: Vec<f64> = (0..n).map(|i| dist.pdf(i as f64 * step)).collect();
         let mut g = GridDensity {

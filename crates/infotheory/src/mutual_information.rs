@@ -136,7 +136,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for mean_y in [2.0, 8.0, 32.0, 128.0] {
             let mi = mi_additive_nats(&x, &Exponential::with_mean(mean_y), 4_000);
-            assert!(mi < prev, "MI not decreasing at mean {mean_y}: {mi} vs {prev}");
+            assert!(
+                mi < prev,
+                "MI not decreasing at mean {mean_y}: {mi} vs {prev}"
+            );
             assert!(mi >= -1e-6);
             prev = mi;
         }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, mu_for_packet_bound};
-use tempriv_infotheory::distributions::{ContinuousDist, ErlangDist, Exponential, Gaussian, Uniform};
+use tempriv_infotheory::distributions::{
+    ContinuousDist, ErlangDist, Exponential, Gaussian, Uniform,
+};
 use tempriv_infotheory::estimators::{mi_lower_bound_from_mse_nats, mse_lower_bound_from_mi};
 use tempriv_infotheory::grid::GridDensity;
 use tempriv_infotheory::mutual_information::{epi_lower_bound_nats, gaussian_channel_mi_nats};

@@ -28,7 +28,10 @@ impl EnergyModel {
     #[must_use]
     pub fn new(tx_cost: f64, rx_cost: f64) -> Self {
         for (name, v) in [("tx_cost", tx_cost), ("rx_cost", rx_cost)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be non-negative, got {v}"
+            );
         }
         EnergyModel { tx_cost, rx_cost }
     }

@@ -83,11 +83,7 @@ impl GeometricDeployment {
     ///
     /// Returns the number of attempts made if none were connected (raise
     /// the density or range).
-    pub fn sample_connected(
-        &self,
-        rng: &mut SimRng,
-        attempts: usize,
-    ) -> Result<Topology, usize> {
+    pub fn sample_connected(&self, rng: &mut SimRng, attempts: usize) -> Result<Topology, usize> {
         for _ in 0..attempts {
             let topo = self.sample(rng);
             if topo.is_connected() {

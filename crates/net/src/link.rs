@@ -44,7 +44,10 @@ impl LinkModel {
     /// deliver any experiment).
     #[must_use]
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0,1), got {p}"
+        );
         self.loss_probability = p;
         self
     }

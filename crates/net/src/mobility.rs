@@ -138,9 +138,7 @@ pub fn detections(topology: &Topology, track: &[TrackPoint], sensing_range: f64)
                 panic!("detections requires a positioned topology");
             };
             let d2 = (nx - point.x).powi(2) + (ny - point.y).powi(2);
-            if d2 <= sensing_range * sensing_range
-                && best.is_none_or(|(_, bd2)| d2 < bd2)
-            {
+            if d2 <= sensing_range * sensing_range && best.is_none_or(|(_, bd2)| d2 < bd2) {
                 best = Some((node, d2));
             }
         }
@@ -223,8 +221,7 @@ mod tests {
         let mut rng = RngFactory::new(6).stream(0);
         let track = model.trajectory(300, 1.0, &mut rng);
         let dets = detections(&topo, &track, 1.0);
-        let distinct: std::collections::HashSet<NodeId> =
-            dets.iter().map(|d| d.node).collect();
+        let distinct: std::collections::HashSet<NodeId> = dets.iter().map(|d| d.node).collect();
         assert!(
             distinct.len() > 5,
             "asset should cross several cells, saw {}",

@@ -84,10 +84,7 @@ impl RoutingTree {
     ///
     /// Returns [`RoutingError::Malformed`] if the pointers do not form a
     /// tree rooted at `sink` (cycles, wrong root, dangling parents).
-    pub fn from_parents(
-        sink: NodeId,
-        parents: Vec<Option<NodeId>>,
-    ) -> Result<Self, RoutingError> {
+    pub fn from_parents(sink: NodeId, parents: Vec<Option<NodeId>>) -> Result<Self, RoutingError> {
         let n = parents.len();
         if sink.index() >= n || parents[sink.index()].is_some() {
             return Err(RoutingError::Malformed {
@@ -180,10 +177,7 @@ impl RoutingTree {
     /// Number of routing children of `node` (nodes whose next hop is it).
     #[must_use]
     pub fn child_count(&self, node: NodeId) -> usize {
-        self.next_hop
-            .iter()
-            .filter(|&&nh| nh == Some(node))
-            .count()
+        self.next_hop.iter().filter(|&&nh| nh == Some(node)).count()
     }
 }
 
@@ -307,18 +301,15 @@ mod tests {
 
     #[test]
     fn from_parents_rejects_cycles() {
-        let err = RoutingTree::from_parents(
-            NodeId(0),
-            vec![None, Some(NodeId(2)), Some(NodeId(1))],
-        )
-        .unwrap_err();
+        let err =
+            RoutingTree::from_parents(NodeId(0), vec![None, Some(NodeId(2)), Some(NodeId(1))])
+                .unwrap_err();
         assert!(matches!(err, RoutingError::Malformed { .. }));
     }
 
     #[test]
     fn from_parents_rejects_parentless_non_sink() {
-        let err =
-            RoutingTree::from_parents(NodeId(0), vec![None, None]).unwrap_err();
+        let err = RoutingTree::from_parents(NodeId(0), vec![None, None]).unwrap_err();
         assert!(matches!(err, RoutingError::Malformed { .. }));
     }
 

@@ -107,7 +107,10 @@ impl TrafficModel {
             "intra-burst interval must be positive, got {interval}"
         );
         assert!(burst > 0, "bursts need at least one packet");
-        assert!(off.is_finite() && off > 0.0, "off time must be positive, got {off}");
+        assert!(
+            off.is_finite() && off > 0.0,
+            "off time must be positive, got {off}"
+        );
         TrafficModel::OnOff {
             interval,
             burst,
@@ -119,8 +122,9 @@ impl TrafficModel {
     #[must_use]
     pub fn mean_rate(&self) -> f64 {
         match *self {
-            TrafficModel::Periodic { interval }
-            | TrafficModel::PeriodicJitter { interval, .. } => 1.0 / interval,
+            TrafficModel::Periodic { interval } | TrafficModel::PeriodicJitter { interval, .. } => {
+                1.0 / interval
+            }
             TrafficModel::Poisson { rate } => rate,
             TrafficModel::OnOff {
                 interval,
@@ -265,9 +269,7 @@ mod tests {
         let m = TrafficModel::poisson(0.5);
         let mut r = rng();
         let n = 100_000;
-        let sum: f64 = (0..n)
-            .map(|_| m.next_interarrival(&mut r).as_units())
-            .sum();
+        let sum: f64 = (0..n).map(|_| m.next_interarrival(&mut r).as_units()).sum();
         assert!((sum / n as f64 - 2.0).abs() < 0.05);
     }
 
@@ -294,7 +296,11 @@ mod tests {
             .sum::<f64>()
             / n;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
-        assert!((var / mean - 1.0).abs() < 0.1, "index of dispersion {}", var / mean);
+        assert!(
+            (var / mean - 1.0).abs() < 0.1,
+            "index of dispersion {}",
+            var / mean
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl MmInf {
     /// Panics if `t` is negative or not finite.
     #[must_use]
     pub fn transient_mean_occupancy(&self, t: f64) -> f64 {
-        assert!(t.is_finite() && t >= 0.0, "time must be non-negative, got {t}");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "time must be non-negative, got {t}"
+        );
         self.utilization() * (1.0 - (-self.mu * t).exp())
     }
 
@@ -140,7 +143,10 @@ impl MmInf {
     /// Panics if `frac` is not in `(0, 1)`.
     #[must_use]
     pub fn warmup_time(&self, frac: f64) -> f64 {
-        assert!(frac > 0.0 && frac < 1.0, "fraction must be in (0,1), got {frac}");
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "fraction must be in (0,1), got {frac}"
+        );
         -(1.0 - frac).ln() / self.mu
     }
 }
@@ -164,10 +170,7 @@ mod tests {
         for k in 0..10u64 {
             let manual = rho.powi(k as i32) * (-rho).exp()
                 / (1..=k).map(|i| i as f64).product::<f64>().max(1.0);
-            assert!(
-                (m.occupancy_pmf(k) - manual).abs() < 1e-12,
-                "k = {k}"
-            );
+            assert!((m.occupancy_pmf(k) - manual).abs() < 1e-12, "k = {k}");
         }
     }
 

@@ -75,7 +75,10 @@ impl Poisson {
     /// Panics if `q` is not in `(0, 1)`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!(q > 0.0 && q < 1.0, "quantile level must be in (0,1), got {q}");
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile level must be in (0,1), got {q}"
+        );
         let mut cum = 0.0;
         let mut k = 0u64;
         loop {

@@ -126,7 +126,10 @@ impl Hypoexponential {
     pub fn new(rates: Vec<f64>) -> Self {
         assert!(!rates.is_empty(), "need at least one stage");
         for &r in &rates {
-            assert!(r.is_finite() && r > 0.0, "stage rates must be positive, got {r}");
+            assert!(
+                r.is_finite() && r > 0.0,
+                "stage rates must be positive, got {r}"
+            );
         }
         for i in 0..rates.len() {
             for j in (i + 1)..rates.len() {
@@ -227,7 +230,10 @@ impl TandemPath {
         );
         assert!(!mus.is_empty(), "a path needs at least one station");
         for &mu in &mus {
-            assert!(mu.is_finite() && mu > 0.0, "service rates must be positive, got {mu}");
+            assert!(
+                mu.is_finite() && mu > 0.0,
+                "service rates must be positive, got {mu}"
+            );
         }
         TandemPath { lambda, mus }
     }
@@ -411,8 +417,7 @@ mod tests {
     }
 
     #[test]
-    fn delay_decomposition_preserves_total(
-    ) {
+    fn delay_decomposition_preserves_total() {
         // §3.3: decompose a total delay budget across hops arbitrarily —
         // the path mean is invariant.
         let budget = 450.0;

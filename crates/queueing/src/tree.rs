@@ -163,9 +163,7 @@ impl QueueTree {
         rates
             .iter()
             .enumerate()
-            .map(|(id, &lambda)| {
-                (id != Self::ROOT && lambda > 0.0).then(|| MmInf::new(lambda, mu))
-            })
+            .map(|(id, &lambda)| (id != Self::ROOT && lambda > 0.0).then(|| MmInf::new(lambda, mu)))
             .collect()
     }
 
@@ -210,8 +208,7 @@ impl QueueTree {
             .iter()
             .enumerate()
             .map(|(id, &lambda)| {
-                (id != Self::ROOT && lambda > 0.0)
-                    .then(|| service_rate_for_loss(lambda, k, alpha))
+                (id != Self::ROOT && lambda > 0.0).then(|| service_rate_for_loss(lambda, k, alpha))
             })
             .collect()
     }

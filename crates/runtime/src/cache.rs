@@ -1,0 +1,200 @@
+//! Content-addressed result cache.
+//!
+//! Keys are stable hex digests of whatever identifies a job (experiment
+//! kind + canonical config JSON + seed — computed by the caller via
+//! [`content_digest`]); values are the job outputs serialized as JSON.
+//! The cache is an in-memory map with an optional disk tier (one file per
+//! key), so overlapping re-runs of a sweep only simulate the points they
+//! have not seen before — across processes when a disk directory is
+//! configured.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A 64-bit FNV-1a digest of arbitrary bytes, rendered as fixed-width
+/// hex. The same function family the simulator uses for
+/// `SimOutcome::digest`, so cache keys and outcome fingerprints share one
+/// notion of content identity.
+#[must_use]
+pub fn content_digest(bytes: &[u8]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// A thread-safe key → JSON store with an optional disk tier.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<String, String>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (lives as long as the process).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        ResultCache::default()
+    }
+
+    /// A cache backed by `dir`: entries are written as
+    /// `<dir>/<key>.json` and survive the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir: Some(dir),
+        })
+    }
+
+    /// The disk directory, if this cache has one.
+    #[must_use]
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Looks up a key, falling back to (and re-warming from) disk.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        if let Some(hit) = self.memory.lock().expect("cache lock").get(key) {
+            return Some(hit.clone());
+        }
+        let path = self.entry_path(key)?;
+        let value = std::fs::read_to_string(path).ok()?;
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), value.clone());
+        Some(value)
+    }
+
+    /// Stores a value under a key (memory, then disk if configured).
+    ///
+    /// Disk write failures are reported but do not fail the run — the
+    /// in-memory tier already holds the value.
+    pub fn put(&self, key: &str, value: &str) {
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), value.to_string());
+        if let Some(path) = self.entry_path(key) {
+            if let Err(e) = std::fs::write(&path, value) {
+                eprintln!("warning: cache write {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    /// Number of entries visible to this cache (memory plus any disk
+    /// entries not yet loaded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut keys: std::collections::HashSet<String> = self
+            .memory
+            .lock()
+            .expect("cache lock")
+            .keys()
+            .cloned()
+            .collect();
+        if let Some(dir) = &self.disk_dir {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if let Some(name) = entry.file_name().to_str() {
+                        if let Some(key) = name.strip_suffix(".json") {
+                            keys.insert(key.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        keys.len()
+    }
+
+    /// `true` when the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry, including the disk tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while deleting files.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let removed = self.len();
+        self.memory.lock().expect("cache lock").clear();
+        if let Some(dir) = &self.disk_dir {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                if entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".json"))
+                {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = content_digest(b"fig2:config:seed=7");
+        let b = content_digest(b"fig2:config:seed=7");
+        let c = content_digest(b"fig2:config:seed=8");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|ch| ch.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn memory_cache_round_trips() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("k"), None);
+        cache.put("k", "{\"x\":1}");
+        assert_eq!(cache.get("k").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_persists_across_instances() {
+        let dir = std::env::temp_dir().join("tempriv_runtime_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            cache.put("abc123", "[1,2,3]");
+        }
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            assert_eq!(cache.get("abc123").as_deref(), Some("[1,2,3]"));
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.clear().unwrap(), 1);
+            assert!(cache.is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

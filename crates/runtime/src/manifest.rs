@@ -1,0 +1,213 @@
+//! JSONL run manifests.
+//!
+//! A manifest journals one orchestrated run as newline-delimited JSON:
+//! the first line is a [`ManifestHeader`] naming the experiment and its
+//! verbatim parameter JSON (enough for `tempriv resume` to rebuild the
+//! job list), and each subsequent line is a [`JobRecord`] appended — and
+//! flushed — the moment that job finishes. A crash therefore leaves a
+//! readable prefix; [`ManifestReader`] tolerates a torn final line.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// How a job's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// The job function actually ran.
+    Computed,
+    /// The result came out of the cache; no new simulation happened.
+    Cached,
+}
+
+/// The first line of a manifest: what ran and with which parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestHeader {
+    /// Experiment kind (e.g. `"fig2"`), dispatched on by `resume`.
+    pub experiment: String,
+    /// The experiment's parameters, as the verbatim JSON the caller
+    /// serialized (kept as a string so the runtime stays generic).
+    pub params_json: String,
+    /// Total number of jobs in the run.
+    pub jobs: usize,
+    /// Disk cache directory the run used, if any — `resume` reattaches
+    /// to the same cache.
+    pub cache_dir: Option<String>,
+}
+
+/// One finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job index within the run (also the output row position).
+    pub index: usize,
+    /// Content-addressed cache key of the job.
+    pub key: String,
+    /// Computed or served from cache.
+    pub status: JobStatus,
+    /// Wall-clock time spent on the job, in milliseconds.
+    pub wall_ms: u64,
+    /// Digest of the serialized outcome (same content-identity family as
+    /// the cache keys), for cheap cross-run comparisons.
+    pub outcome_digest: String,
+}
+
+/// An append-only, line-buffered manifest writer (thread-safe: jobs
+/// finish on pool workers).
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: Mutex<std::fs::File>,
+    path: PathBuf,
+}
+
+impl ManifestWriter {
+    /// Creates (truncating) a manifest at `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created or written.
+    pub fn create(path: impl Into<PathBuf>, header: &ManifestHeader) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(&path)?;
+        let line = serde_json::to_string(header).expect("header serializes");
+        writeln!(file, "{line}")?;
+        file.flush()?;
+        Ok(ManifestWriter {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// Appends one job record and flushes it to disk immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the line cannot be written.
+    pub fn record(&self, record: &JobRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record).expect("record serializes");
+        let mut file = self.file.lock().expect("manifest lock");
+        writeln!(file, "{line}")?;
+        file.flush()
+    }
+
+    /// Where this manifest lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A parsed manifest: header plus every intact job record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestReader {
+    /// The run header.
+    pub header: ManifestHeader,
+    /// Every fully written job record, in file order.
+    pub records: Vec<JobRecord>,
+}
+
+impl ManifestReader {
+    /// Reads a manifest, tolerating a truncated (torn) final line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be read or its header line
+    /// is missing/corrupt — a torn *job* line is skipped, a torn header
+    /// is fatal.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+        let mut lines = text.lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| format!("manifest {} is empty", path.display()))?;
+        let header: ManifestHeader = serde_json::from_str(header_line)
+            .map_err(|e| format!("manifest {} has a corrupt header: {e}", path.display()))?;
+        let mut records = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JobRecord>(line) {
+                Ok(record) => records.push(record),
+                // A torn trailing line from an interrupted run: ignore it;
+                // the job will simply be re-run (or served from cache).
+                Err(_) => break,
+            }
+        }
+        Ok(ManifestReader { header, records })
+    }
+
+    /// Indices of jobs the manifest records as finished.
+    #[must_use]
+    pub fn completed_indices(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.index).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ManifestHeader {
+        ManifestHeader {
+            experiment: "fig2".to_string(),
+            params_json: "{\"seed\":2007}".to_string(),
+            jobs: 3,
+            cache_dir: None,
+        }
+    }
+
+    fn record(index: usize) -> JobRecord {
+        JobRecord {
+            index,
+            key: format!("key{index}"),
+            status: JobStatus::Computed,
+            wall_ms: 12,
+            outcome_digest: "00ff".to_string(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let path = std::env::temp_dir().join("tempriv_runtime_manifest_test.jsonl");
+        let writer = ManifestWriter::create(&path, &header()).unwrap();
+        writer.record(&record(0)).unwrap();
+        writer.record(&record(1)).unwrap();
+        drop(writer);
+        let back = ManifestReader::read(&path).unwrap();
+        assert_eq!(back.header, header());
+        assert_eq!(back.records, vec![record(0), record(1)]);
+        assert_eq!(back.completed_indices(), vec![0, 1]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = std::env::temp_dir().join("tempriv_runtime_manifest_torn_test.jsonl");
+        let writer = ManifestWriter::create(&path, &header()).unwrap();
+        writer.record(&record(0)).unwrap();
+        drop(writer);
+        // Simulate a crash mid-write of the second record.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"index\":1,\"key\":\"ke");
+        std::fs::write(&path, text).unwrap();
+        let back = ManifestReader::read(&path).unwrap();
+        assert_eq!(back.records, vec![record(0)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_fatal() {
+        let path = std::env::temp_dir().join("tempriv_runtime_manifest_bad_header.jsonl");
+        std::fs::write(&path, "{\"experiment\":").unwrap();
+        assert!(ManifestReader::read(&path).unwrap_err().contains("header"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,181 @@
+//! Progress and observability hooks.
+//!
+//! The runtime reports queue/running/done transitions through the
+//! [`RunObserver`] trait so front ends can render progress without the
+//! orchestration code knowing about terminals. Shipped implementations:
+//! [`NullObserver`] (silence), [`StderrReporter`] (the CLI's default
+//! live line with throughput and ETA), and [`CountingObserver`] (exact
+//! computed/cached counters, used by tests to prove warm-cache reruns
+//! perform zero new simulations).
+
+use crate::manifest::JobStatus;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Receives run-progress events. Methods default to no-ops so observers
+/// implement only what they need. Called from pool worker threads, so
+/// implementations must be `Sync`.
+pub trait RunObserver: Sync {
+    /// A run of `total` jobs is starting.
+    fn run_started(&self, total: usize) {
+        let _ = total;
+    }
+
+    /// Job `index` began executing (not called for cache hits).
+    fn job_started(&self, index: usize) {
+        let _ = index;
+    }
+
+    /// Job `index` finished with `status` after `wall` of work.
+    fn job_finished(&self, index: usize, status: JobStatus, wall: Duration) {
+        let _ = (index, status, wall);
+    }
+
+    /// The whole run finished.
+    fn run_finished(&self, computed: usize, cached: usize, wall: Duration) {
+        let _ = (computed, cached, wall);
+    }
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// Counts computed versus cache-served jobs. The test hook proving that
+/// a warm-cache rerun performs zero new simulations.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    computed: AtomicUsize,
+    cached: AtomicUsize,
+    started: AtomicUsize,
+}
+
+impl CountingObserver {
+    /// A fresh counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+
+    /// Jobs whose function actually ran.
+    #[must_use]
+    pub fn computed(&self) -> usize {
+        self.computed.load(Ordering::SeqCst)
+    }
+
+    /// Jobs served from the cache.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cached.load(Ordering::SeqCst)
+    }
+
+    /// `job_started` events seen (equals `computed()` once a run ends).
+    #[must_use]
+    pub fn started(&self) -> usize {
+        self.started.load(Ordering::SeqCst)
+    }
+}
+
+impl RunObserver for CountingObserver {
+    fn job_started(&self, _index: usize) {
+        self.started.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn job_finished(&self, _index: usize, status: JobStatus, _wall: Duration) {
+        match status {
+            JobStatus::Computed => self.computed.fetch_add(1, Ordering::SeqCst),
+            JobStatus::Cached => self.cached.fetch_add(1, Ordering::SeqCst),
+        };
+    }
+}
+
+/// The CLI's default progress reporter: one stderr line per completed
+/// job with done/total counts, cache hits, throughput, and a naive ETA
+/// extrapolated from mean job time.
+#[derive(Debug)]
+pub struct StderrReporter {
+    state: Mutex<ReporterState>,
+}
+
+#[derive(Debug)]
+struct ReporterState {
+    total: usize,
+    done: usize,
+    cached: usize,
+    started_at: Instant,
+}
+
+impl StderrReporter {
+    /// A reporter with zeroed counters (they arm on `run_started`).
+    #[must_use]
+    pub fn new() -> Self {
+        StderrReporter {
+            state: Mutex::new(ReporterState {
+                total: 0,
+                done: 0,
+                cached: 0,
+                started_at: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Default for StderrReporter {
+    fn default() -> Self {
+        StderrReporter::new()
+    }
+}
+
+impl RunObserver for StderrReporter {
+    fn run_started(&self, total: usize) {
+        let mut state = self.state.lock().expect("reporter lock");
+        state.total = total;
+        state.done = 0;
+        state.cached = 0;
+        state.started_at = Instant::now();
+        eprintln!("[runtime] {total} jobs queued");
+    }
+
+    fn job_finished(&self, _index: usize, status: JobStatus, _wall: Duration) {
+        let mut state = self.state.lock().expect("reporter lock");
+        state.done += 1;
+        if status == JobStatus::Cached {
+            state.cached += 1;
+        }
+        let elapsed = state.started_at.elapsed();
+        let rate = state.done as f64 / elapsed.as_secs_f64().max(1e-9);
+        let remaining = state.total.saturating_sub(state.done);
+        let eta = remaining as f64 / rate.max(1e-9);
+        eprintln!(
+            "[runtime] {}/{} done ({} cached), {:.1} jobs/s, eta {:.1}s",
+            state.done, state.total, state.cached, rate, eta
+        );
+    }
+
+    fn run_finished(&self, computed: usize, cached: usize, wall: Duration) {
+        eprintln!(
+            "[runtime] run complete: {computed} computed, {cached} cached in {:.2}s",
+            wall.as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_observer_tallies_by_status() {
+        let counter = CountingObserver::new();
+        counter.job_started(0);
+        counter.job_finished(0, JobStatus::Computed, Duration::from_millis(5));
+        counter.job_finished(1, JobStatus::Cached, Duration::ZERO);
+        counter.job_finished(2, JobStatus::Cached, Duration::ZERO);
+        assert_eq!(counter.computed(), 1);
+        assert_eq!(counter.cached(), 2);
+        assert_eq!(counter.started(), 1);
+    }
+}

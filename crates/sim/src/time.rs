@@ -31,7 +31,9 @@ pub const TICKS_PER_UNIT: u64 = 1_000_000;
 /// let t = SimTime::from_units(2.5) + SimDuration::from_units(0.5);
 /// assert_eq!(t.as_units(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 
@@ -45,7 +47,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_units(30.0);
 /// assert_eq!(d * 2, SimDuration::from_units(60.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(u64);
 
@@ -301,7 +305,10 @@ mod tests {
         let a = SimTime::from_units(1.0);
         let b = SimTime::from_units(2.0);
         assert_eq!(a.checked_duration_since(b), None);
-        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_units(1.0)));
+        assert_eq!(
+            b.checked_duration_since(a),
+            Some(SimDuration::from_units(1.0))
+        );
         assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
     }
 

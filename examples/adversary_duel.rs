@@ -28,11 +28,7 @@ fn main() {
     for row in adversary_panel_sweep(&params) {
         println!(
             "{:>9} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
-            row.inv_lambda,
-            row.baseline_mse,
-            row.adaptive_mse,
-            row.route_aware_mse,
-            row.oracle_mse
+            row.inv_lambda, row.baseline_mse, row.adaptive_mse, row.route_aware_mse, row.oracle_mse
         );
     }
     println!(

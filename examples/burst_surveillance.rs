@@ -16,9 +16,7 @@ use temporal_privacy::net::TrafficModel;
 
 fn main() {
     let (burst, off, window) = (200u32, 2_000.0, 300.0);
-    println!(
-        "On/off sources: {burst}-packet bursts, {off}-unit silences; RCAD k = 10, 1/mu = 30"
-    );
+    println!("On/off sources: {burst}-packet bursts, {off}-unit silences; RCAD k = 10, 1/mu = 30");
     let model = TrafficModel::on_off(2.0, burst, off);
     println!(
         "long-run rate at intra-burst interval 2: {:.4} packets/unit\n",

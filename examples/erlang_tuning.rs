@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Head-to-head: uniform 30 vs rate-controlled, same buffers.
-    println!("\n{:<26} {:>12} {:>12} {:>13}", "plan", "MSE (S1)", "latency (S1)", "preemptions");
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>13}",
+        "plan", "MSE (S1)", "latency (S1)", "preemptions"
+    );
     for (label, plan) in [
         ("uniform 1/mu = 30", DelayPlan::shared_exponential(30.0)),
         ("rate-controlled", plan),

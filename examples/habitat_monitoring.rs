@@ -15,8 +15,7 @@
 use std::collections::BTreeMap;
 
 use temporal_privacy::core::{
-    evaluate_adversary, Adversary, BaselineAdversary, BufferPolicy, DelayPlan,
-    NetworkSimulation,
+    evaluate_adversary, Adversary, BaselineAdversary, BufferPolicy, DelayPlan, NetworkSimulation,
 };
 use temporal_privacy::net::mobility::{detections, RandomWaypoint, TrackPoint};
 use temporal_privacy::net::routing::RoutingTree;
@@ -53,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "asset wandered for {} units; {} detections across {} sensors",
         track.last().expect("non-empty").time.as_units(),
         dets.len(),
-        dets.iter().map(|d| d.node).collect::<std::collections::HashSet<_>>().len(),
+        dets.iter()
+            .map(|d| d.node)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
     );
 
     // One flow per sensor that ever detected; its schedule is its

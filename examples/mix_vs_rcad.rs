@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.buffer = BufferPolicy::ThresholdMix { threshold: 10 };
     let mix = cfg.build()?.run();
     println!("\nradio energy per delivered packet (Mica-2-like costs):");
-    println!("    RCAD             : {:.1}", rcad.energy_per_delivered(&model));
+    println!(
+        "    RCAD             : {:.1}",
+        rcad.energy_per_delivered(&model)
+    );
     println!(
         "    ThresholdMix(10) : {:.1}  ({} packets stranded in unfilled batches)",
         mix.energy_per_delivered(&model),

@@ -28,13 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (1) Max-entropy: why the paper buffers with exponential delays.
     println!("(1) differential entropy at mean delay {mean_delay} (nats):");
-    println!("    exponential: {:+.3}", Exponential::with_mean(mean_delay).entropy_nats());
-    println!("    uniform    : {:+.3}", Uniform::with_mean(mean_delay).entropy_nats());
-    println!("    constant   : {:+.3}", Degenerate::new(mean_delay).entropy_nats());
+    println!(
+        "    exponential: {:+.3}",
+        Exponential::with_mean(mean_delay).entropy_nats()
+    );
+    println!(
+        "    uniform    : {:+.3}",
+        Uniform::with_mean(mean_delay).entropy_nats()
+    );
+    println!(
+        "    constant   : {:+.3}",
+        Degenerate::new(mean_delay).entropy_nats()
+    );
 
     // (2) Bits through queues (paper eq. 4 terms).
     println!("\n(2) leakage of the j-th packet, Poisson source lambda = {lambda}:");
-    println!("    {:>4} {:>18} {:>18}", "j", "numeric I(Xj;Zj)", "bound ln(1+j*mu/l)");
+    println!(
+        "    {:>4} {:>18} {:>18}",
+        "j", "numeric I(Xj;Zj)", "bound ln(1+j*mu/l)"
+    );
     for j in [1u32, 2, 4, 8, 16] {
         let x = ErlangDist::new(j, lambda);
         let y = Exponential::new(mu);

@@ -28,7 +28,13 @@ fn rate_controlled_plan_equalizes_preemption_pressure() {
 
     let uniform = run(DelayPlan::shared_exponential(30.0), inv_lambda);
     let controlled = run(
-        rate_controlled_plan(layout.routing(), layout.sources(), 1.0 / inv_lambda, 10, 0.05),
+        rate_controlled_plan(
+            layout.routing(),
+            layout.sources(),
+            1.0 / inv_lambda,
+            10,
+            0.05,
+        ),
         inv_lambda,
     );
 
@@ -64,15 +70,19 @@ fn rate_controlled_plan_equalizes_preemption_pressure() {
 fn rate_controlled_latency_reflects_sharing_structure() {
     let layout = Convergecast::paper_figure1();
     let inv_lambda = 8.0;
-    let plan =
-        rate_controlled_plan(layout.routing(), layout.sources(), 1.0 / inv_lambda, 10, 0.05);
+    let plan = rate_controlled_plan(
+        layout.routing(),
+        layout.sources(),
+        1.0 / inv_lambda,
+        10,
+        0.05,
+    );
     let out = run(plan.clone(), inv_lambda);
     for flow in &out.flows {
         // Expected latency = h*tau + expected plan delay along the path,
         // within a few percent (little preemption at alpha = 0.05).
         let path = layout.routing().path(flow.source);
-        let expected =
-            f64::from(flow.hops) + plan.path_mean_delay(&path[..path.len() - 1]);
+        let expected = f64::from(flow.hops) + plan.path_mean_delay(&path[..path.len() - 1]);
         let measured = flow.latency.mean();
         assert!(
             (measured - expected).abs() / expected < 0.1,

@@ -43,8 +43,7 @@ fn privacy_ordering_holds_on_random_fields() {
         (mse, out)
     };
     let (mse_none, _) = run(DelayPlan::no_delay(), BufferPolicy::Unlimited);
-    let (mse_unlimited, _) =
-        run(DelayPlan::shared_exponential(30.0), BufferPolicy::Unlimited);
+    let (mse_unlimited, _) = run(DelayPlan::shared_exponential(30.0), BufferPolicy::Unlimited);
     let (mse_rcad, out_rcad) = run(
         DelayPlan::shared_exponential(30.0),
         BufferPolicy::paper_rcad(),

@@ -40,7 +40,11 @@ fn mm_inf_occupancy_is_poisson() {
     );
     let outcome = cfg.build().unwrap().run();
     let node = &outcome.nodes[1];
-    assert!((node.mean_occupancy - 10.0).abs() < 0.4, "mean {}", node.mean_occupancy);
+    assert!(
+        (node.mean_occupancy - 10.0).abs() < 0.4,
+        "mean {}",
+        node.mean_occupancy
+    );
     let tv = total_variation_vs_poisson(&node.occupancy_pmf, 10.0);
     assert!(tv < 0.06, "TV distance {tv}");
 }

@@ -26,7 +26,11 @@ fn rcad_conserves_every_packet() {
         let out = paper_sim(inv_lambda, 400, BufferPolicy::paper_rcad(), 61).run();
         for flow in &out.flows {
             assert_eq!(flow.created, 400);
-            assert_eq!(flow.delivered, 400, "flow {} at 1/lambda {inv_lambda}", flow.flow);
+            assert_eq!(
+                flow.delivered, 400,
+                "flow {} at 1/lambda {inv_lambda}",
+                flow.flow
+            );
         }
         assert_eq!(out.total_drops(), 0);
         assert_eq!(out.link_losses, 0);

@@ -15,10 +15,7 @@ fn run_with_jitter(jitter: f64, delay: DelayPlan, buffer: BufferPolicy) -> (f64,
     let sim = cfg.build().unwrap();
     let outcome = sim.run();
     let report = evaluate_adversary(&outcome, &BaselineAdversary, &sim.adversary_knowledge());
-    (
-        report.mse(FlowId(0)),
-        outcome.flows[0].latency.mean(),
-    )
+    (report.mse(FlowId(0)), outcome.flows[0].latency.mean())
 }
 
 #[test]
@@ -32,7 +29,10 @@ fn mac_jitter_gives_baseline_network_nonzero_mse() {
         run_with_jitter(0.5, DelayPlan::no_delay(), BufferPolicy::Unlimited);
     assert!(mse_ideal < 1e-9);
     // 15 hops of Uniform[0, 0.5] noise: variance = 15 * 0.25/12 ~ 0.3.
-    assert!(mse_jittered > 0.05 && mse_jittered < 2.0, "MSE {mse_jittered}");
+    assert!(
+        mse_jittered > 0.05 && mse_jittered < 2.0,
+        "MSE {mse_jittered}"
+    );
     assert!((lat_ideal - 15.0).abs() < 1e-9);
     // Mean latency grows by h * jitter/2 = 3.75, which the adversary's
     // tau = mean link delay already absorbs.

@@ -2,14 +2,11 @@
 //! simulator (DESIGN.md V1 plus the MSE↔MI bridge).
 
 use temporal_privacy::core::{
-    evaluate_adversary, BaselineAdversary, BufferPolicy, DelayPlan, ExperimentConfig,
-    LayoutSpec,
+    evaluate_adversary, BaselineAdversary, BufferPolicy, DelayPlan, ExperimentConfig, LayoutSpec,
 };
 use temporal_privacy::infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use temporal_privacy::infotheory::distributions::{ContinuousDist, ErlangDist, Exponential};
-use temporal_privacy::infotheory::estimators::{
-    mi_from_samples_nats, mse_lower_bound_from_mi,
-};
+use temporal_privacy::infotheory::estimators::{mi_from_samples_nats, mse_lower_bound_from_mi};
 use temporal_privacy::infotheory::mutual_information::{epi_lower_bound_nats, mi_additive_nats};
 use temporal_privacy::net::{FlowId, TrafficModel};
 

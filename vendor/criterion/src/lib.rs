@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API used by this
+//! workspace's benches: [`Criterion::benchmark_group`],
+//! `group.sample_size(..)`, `group.bench_function(name, |b| b.iter(..))`,
+//! `group.finish()`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Instead of upstream's statistical analysis it reports the
+//! per-iteration mean over a small, time-bounded batch.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark harness handle passed to registered bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        eprintln!("group {name}");
+        BenchmarkGroup { sample_size: 10 }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `routine` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            report: None,
+        };
+        routine(&mut bencher);
+        match bencher.report {
+            Some(mean) => eprintln!("  {name}: {mean:?}/iter"),
+            None => eprintln!("  {name}: no measurement (Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is live).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    report: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording the mean wall-clock time per call.
+    ///
+    /// The batch is bounded both by the group's sample size and a wall
+    /// clock budget, so even slow routines finish promptly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up call.
+        black_box(routine());
+        let budget = Duration::from_millis(500);
+        let started = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.sample_size as u32 && started.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.report = Some(started.elapsed() / iters.max(1));
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring
+/// upstream's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench binaries with
+            // `--test`; there is nothing to test here, so exit quickly.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_measurement() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        group.finish();
+        // Warm-up plus at least one timed iteration.
+        assert!(calls >= 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Strategies: samplable descriptions of value spaces.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of a given type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from this strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.sample(rng))
+    }
+}
+
+/// A boxed strategy, erasing the concrete combinator type. Used by
+/// [`prop_oneof!`](crate::prop_oneof) to mix heterogeneous strategies
+/// over a common value type.
+pub struct DynStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> DynStrategy<T> {
+    /// Boxes a concrete strategy.
+    pub fn new<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        DynStrategy {
+            inner: Box::new(strategy),
+        }
+    }
+}
+
+impl<T> Strategy for DynStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// A uniform choice among several strategies of the same value type.
+pub struct Union<T> {
+    options: Vec<DynStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<DynStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against landing exactly on `end` through rounding.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        let wide = (f64::from(self.start)..f64::from(self.end)).sample(rng) as f32;
+        if wide >= self.end {
+            self.start
+        } else {
+            wide
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                // i128 arithmetic covers the full span of every 64-bit
+                // integer type, signed or unsigned.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = rng.below(span);
+                (self.start as i128 + i128::from(offset)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..5_000 {
+            let x = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&y));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = Just(21u64).prop_map(|x| x * 2);
+        assert_eq!(s.sample(&mut rng), 42);
+    }
+
+    #[test]
+    fn union_draws_every_option() {
+        let mut rng = TestRng::from_name("union");
+        let s = Union::new(vec![
+            DynStrategy::new(Just(1u8)),
+            DynStrategy::new(Just(2u8)),
+            DynStrategy::new(Just(3u8)),
+        ]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

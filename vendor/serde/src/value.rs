@@ -1,0 +1,129 @@
+//! The JSON-like value tree used as this framework's data model.
+
+/// A JSON-like value.
+///
+/// `Map` preserves insertion order (struct field order, for derived
+/// impls), which keeps serialized output — and therefore content
+/// digests computed over it — deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (exact up to `u64::MAX`).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in a `Map` value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, accepting integral floats.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(x) => Some(x),
+            Value::Int(x) => u64::try_from(x).ok(),
+            Value::Float(f) if f >= 0.0 && f <= u64::MAX as f64 && f.fract() == 0.0 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, accepting integral floats.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(x) => Some(x),
+            Value::UInt(x) => i64::try_from(x).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    ///
+    /// Accepts the string encodings `"NaN"`, `"inf"`, and `"-inf"` that
+    /// the vendored `serde_json` emits for non-finite floats.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(x) => Some(*x as f64),
+            Value::Int(x) => Some(*x as f64),
+            Value::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// A short name of this value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Creates a "expected X, found Y" error.
+    #[must_use]
+    pub fn mismatch(expected: &str, found: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Prefixes the message with a field/variant context.
+    #[must_use]
+    pub fn context(self, what: &str) -> Self {
+        Error(format!("{what}: {}", self.0))
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,546 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s value-tree data model, without `syn`/`quote`
+//! (unavailable offline). The parser covers the item shapes used in this
+//! workspace:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, newtype/tuple, and struct variants
+//!   (externally-tagged representation, like upstream serde);
+//! * the container attribute `#[serde(transparent)]` and the field
+//!   attribute `#[serde(default)]`;
+//! * `Option<T>` fields deserialize to `None` when missing.
+//!
+//! Generic type parameters are intentionally unsupported (nothing in the
+//! workspace derives on a generic type); the macro panics with a clear
+//! message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny AST
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String, // positional fields use their index as the name
+    is_option: bool,
+    has_default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemShape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: ItemShape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    transparent: bool,
+    default: bool,
+}
+
+/// Consumes leading attributes, returning any serde markers found.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Attrs {
+    let mut attrs = Attrs {
+        transparent: false,
+        default: false,
+    };
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("expected attribute body after `#`");
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(name)) = inner.first() {
+                    if name.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(word) = t {
+                                    match word.to_string().as_str() {
+                                        "transparent" => attrs.transparent = true,
+                                        "default" => attrs.default = true,
+                                        other => panic!(
+                                            "vendored serde_derive: unsupported serde attribute `{other}`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn take_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens up to a top-level `,`, reporting whether the type
+/// is `Option<...>` (the last path segment before the first `<`).
+fn take_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle_depth = 0u32;
+    let mut last_ident = String::new();
+    let mut is_option = false;
+    let mut seen_angle = false;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                if angle_depth == 0 && !seen_angle && last_ident == "Option" {
+                    is_option = true;
+                }
+                seen_angle = true;
+                angle_depth += 1;
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                last_ident = id.to_string();
+                tokens.next();
+            }
+            _ => {
+                tokens.next();
+            }
+        }
+    }
+    is_option
+}
+
+/// Parses `name: Type` fields from the body of a braced group.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut tokens);
+        take_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let is_option = take_type(&mut tokens);
+        fields.push(Field {
+            name: name.to_string(),
+            is_option,
+            has_default: attrs.default,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between fields, found {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut tokens = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = take_attrs(&mut tokens);
+        take_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        take_type(&mut tokens);
+        count += 1;
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between tuple fields, found {other:?}"),
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = take_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else {
+                    unreachable!()
+                };
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let TokenTree::Group(g) = tokens.next().unwrap() else {
+                    unreachable!()
+                };
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                while let Some(tt) = tokens.peek() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == ',' => break,
+                        _ => {
+                            tokens.next();
+                        }
+                    }
+                }
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between variants, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let attrs = take_attrs(&mut tokens);
+    take_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = tokens.next() else {
+        panic!("expected a type name after `{kind}`");
+    };
+    let name = name.to_string();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemShape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemShape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Item {
+        name,
+        transparent: attrs.transparent,
+        shape,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+const ERROR: &str = "::serde::value::Error";
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            if item.transparent {
+                let f = &fields[0].name;
+                format!("::serde::Serialize::to_value(&self.{f})")
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value(&self.{n}))",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                format!("{VALUE}::Map(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        ItemShape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemShape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        ItemShape::UnitStruct => format!("{VALUE}::Null"),
+        ItemShape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => {VALUE}::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => {VALUE}::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => {VALUE}::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 {VALUE}::Seq(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", "),
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {VALUE}::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 {VALUE}::Map(::std::vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> {VALUE} {{ {body} }} }}"
+    )
+}
+
+/// Generates the expression deserializing one named field out of map `src`.
+fn named_field_expr(f: &Field, owner: &str) -> String {
+    let n = &f.name;
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err({ERROR}::new(\
+             \"missing field `{n}` in `{owner}`\"))"
+        )
+    };
+    format!(
+        "{n}: match __src.get(\"{n}\") {{ \
+         ::std::option::Option::Some(__x) => \
+         match ::serde::Deserialize::from_value(__x) {{ \
+         ::std::result::Result::Ok(__v) => __v, \
+         ::std::result::Result::Err(__e) => \
+         return ::std::result::Result::Err(__e.context(\"field `{n}` of `{owner}`\")) }}, \
+         ::std::option::Option::None => {missing} }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            if item.transparent {
+                let f = &fields[0].name;
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_value(__v)? }})"
+                )
+            } else {
+                let field_exprs: Vec<String> =
+                    fields.iter().map(|f| named_field_expr(f, name)).collect();
+                format!(
+                    "match __v {{ \
+                     {VALUE}::Map(_) => {{ let __src = __v; \
+                     ::std::result::Result::Ok({name} {{ {fields} }}) }} \
+                     __other => ::std::result::Result::Err(\
+                     {ERROR}::mismatch(\"map for `{name}`\", __other)) }}",
+                    fields = field_exprs.join(", ")
+                )
+            }
+        }
+        ItemShape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemShape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ {VALUE}::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})), \
+                 __other => ::std::result::Result::Err(\
+                 {ERROR}::mismatch(\"{n}-element sequence for `{name}`\", __other)) }}",
+                items = items.join(", ")
+            )
+        }
+        ItemShape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemShape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => match ::serde::Deserialize::from_value(__inner) {{ \
+                             ::std::result::Result::Ok(__x) => \
+                             ::std::result::Result::Ok({name}::{vn}(__x)), \
+                             ::std::result::Result::Err(__e) => ::std::result::Result::Err(\
+                             __e.context(\"variant `{vn}` of `{name}`\")) }},"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{ \
+                                 {VALUE}::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({items})), \
+                                 __other => ::std::result::Result::Err({ERROR}::mismatch(\
+                                 \"{n}-element sequence for variant `{vn}`\", __other)) }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let field_exprs: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_expr(f, &format!("{name}::{vn}")))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{ \
+                                 {VALUE}::Map(_) => {{ let __src = __inner; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {fields} }}) }} \
+                                 __other => ::std::result::Result::Err({ERROR}::mismatch(\
+                                 \"map for variant `{vn}`\", __other)) }},",
+                                fields = field_exprs.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 {VALUE}::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err({ERROR}::new(::std::format!(\
+                 \"unknown unit variant `{{__other}}` of `{name}`\"))) }}, \
+                 {VALUE}::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __inner) = &__entries[0]; \
+                 match __tag.as_str() {{ {data_arms} \
+                 __other => ::std::result::Result::Err({ERROR}::new(::std::format!(\
+                 \"unknown variant `{{__other}}` of `{name}`\"))) }} }} \
+                 __other => ::std::result::Result::Err({ERROR}::mismatch(\
+                 \"variant of `{name}`\", __other)) }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, {ERROR}> {{ {body} }} }}"
+    )
+}
