@@ -14,10 +14,11 @@ use tempriv_core::experiment::{
 };
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
+use tempriv_core::telemetry::TelemetryExport;
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
-use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter};
+use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
 
 use crate::args::Args;
 
@@ -45,9 +46,14 @@ COMMANDS:
         [--workers N]        worker threads (default: all cores)
         [--cache-dir DIR]    persist results; warm reruns skip done work
         [--manifest PATH]    journal the run as JSONL (enables resume)
+        [--telemetry PATH]   instrument the run; write the aggregated
+                             telemetry export (occupancy, preemptions,
+                             drops, theory cross-checks) as JSON
         [--quiet]            suppress stderr progress
     resume <run.jsonl>       finish an interrupted sweep from its manifest
-        [--workers N] [--quiet]
+        [--workers N] [--telemetry PATH] [--quiet]
+    report <run.jsonl>       aggregate per-job telemetry from a manifest
+        [--format F]         text (default), json, or prometheus
     cache stats --cache-dir DIR    count cached results
     cache clear --cache-dir DIR    delete cached results
     calc erlang  --rho R --slots K          Erlang loss E(R, K)
@@ -75,6 +81,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("init-config") => cmd_init_config(args, out),
         Some("sweep") => cmd_sweep(args, out),
         Some("resume") => cmd_resume(args, out),
+        Some("report") => cmd_report(args, out),
         Some("cache") => cmd_cache(args, out),
         Some("calc") => cmd_calc(args, out),
         Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
@@ -210,14 +217,19 @@ fn cmd_init_config<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// An active telemetry collection: the sink shared with the runtime and
+/// the path the aggregated export will be written to.
+type ActiveTelemetry = (Arc<TelemetrySink>, String);
+
 /// Builds the experiment runtime from CLI flags. `fallback_cache_dir` and
 /// `fallback_manifest` come from a manifest being resumed; explicit flags
-/// win over them.
+/// win over them. When `--telemetry PATH` is given, a sink is wired into
+/// the runtime and returned for export after the run.
 fn build_runtime(
     args: &Args,
     fallback_cache_dir: Option<&str>,
     fallback_manifest: Option<&str>,
-) -> Result<Runtime, String> {
+) -> Result<(Runtime, Option<ActiveTelemetry>), String> {
     let mut builder = Runtime::builder();
     if let Some(raw) = args.option("workers") {
         let workers: usize = raw
@@ -237,7 +249,33 @@ fn build_runtime(
     if !args.flag("quiet") {
         builder = builder.observer(Arc::new(StderrReporter::new()));
     }
-    builder.build()
+    let telemetry = args.option("telemetry").map(|path| {
+        let sink = Arc::new(TelemetrySink::new());
+        (sink, path.to_string())
+    });
+    if let Some((sink, _)) = &telemetry {
+        builder = builder.telemetry_sink(Arc::clone(sink));
+    }
+    Ok((builder.build()?, telemetry))
+}
+
+/// Drains the telemetry sink of a finished instrumented run, aggregates
+/// it, and writes the export JSON. The summary goes to stderr so stdout
+/// stays byte-identical with and without `--telemetry`.
+fn write_telemetry_export(
+    experiment: &str,
+    sink: &TelemetrySink,
+    path: &str,
+    quiet: bool,
+) -> Result<(), String> {
+    let export = TelemetryExport::collect(experiment, &sink.take_all())?;
+    std::fs::write(path, export.to_canonical_json())
+        .map_err(|e| format!("cannot write telemetry export {path}: {e}"))?;
+    if !quiet {
+        eprint!("{}", export.summary_text());
+        eprintln!("[telemetry] export written to {path}");
+    }
+    Ok(())
 }
 
 /// Runs the named sweep experiment on `runtime` and prints its rows:
@@ -309,8 +347,12 @@ fn cmd_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         return Err("--points must name at least one inter-arrival time".into());
     }
     let experiment = args.option("experiment").unwrap_or("fig2").to_string();
-    let runtime = build_runtime(args, None, None)?;
-    run_experiment(&experiment, &params, &runtime, out)
+    let (runtime, telemetry) = build_runtime(args, None, None)?;
+    run_experiment(&experiment, &params, &runtime, out)?;
+    if let Some((sink, path)) = telemetry {
+        write_telemetry_export(&experiment, &sink, &path, args.flag("quiet"))?;
+    }
+    Ok(())
 }
 
 fn cmd_resume<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -337,8 +379,54 @@ fn cmd_resume<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     }
     // Reattach the recorded cache and rewrite the same manifest; the
     // cache serves every job the interrupted run finished.
-    let runtime = build_runtime(args, manifest.header.cache_dir.as_deref(), Some(path))?;
-    run_experiment(&manifest.header.experiment, &params, &runtime, out)
+    let (runtime, telemetry) =
+        build_runtime(args, manifest.header.cache_dir.as_deref(), Some(path))?;
+    run_experiment(&manifest.header.experiment, &params, &runtime, out)?;
+    if let Some((sink, export_path)) = telemetry {
+        write_telemetry_export(
+            &manifest.header.experiment,
+            &sink,
+            &export_path,
+            args.flag("quiet"),
+        )?;
+    }
+    Ok(())
+}
+
+/// `tempriv report <run.jsonl>`: aggregate the per-job telemetry blobs a
+/// manifest journaled and render them as text, JSON, or Prometheus
+/// exposition format.
+fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv report <run.jsonl> [--format text|json|prometheus]")?;
+    let manifest = ManifestReader::read(path)?;
+    let mut blobs: Vec<Option<String>> = vec![None; manifest.header.jobs];
+    for record in &manifest.records {
+        if let Some(slot) = blobs.get_mut(record.index) {
+            slot.clone_from(&record.telemetry);
+        }
+    }
+    let export = TelemetryExport::collect(&manifest.header.experiment, &blobs)?;
+    match args.option("format").unwrap_or("text") {
+        "text" => {
+            write!(out, "{}", export.summary_text()).map_err(io_err)?;
+            if export.instrumented_jobs == 0 {
+                writeln!(
+                    out,
+                    "note: no job attached telemetry (run the sweep with --telemetry \
+                     and --manifest to journal it)"
+                )
+                .map_err(io_err)?;
+            }
+            Ok(())
+        }
+        "json" => writeln!(out, "{}", export.to_canonical_json()).map_err(io_err),
+        "prometheus" => write!(out, "{}", export.metrics.to_prometheus()).map_err(io_err),
+        other => Err(format!(
+            "unknown --format `{other}`; expected text, json, or prometheus"
+        )),
+    }
 }
 
 fn cmd_cache<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -681,5 +769,99 @@ mod tests {
     fn run_rejects_missing_file() {
         let err = run(&["run", "/nonexistent/cfg.json"]).unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn sweep_telemetry_writes_export_with_occupancy_gauges() {
+        let dir = std::env::temp_dir().join("tempriv_cli_telemetry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let export = dir.join("telemetry.json");
+        let export_str = export.to_str().unwrap();
+        let base = ["sweep", "--points", "2", "--packets", "60", "--quiet"];
+
+        let plain = run(&base).unwrap();
+        let instrumented = run(&[&base[..], &["--telemetry", export_str]].concat()).unwrap();
+        // Instrumentation must not change stdout in any way.
+        assert_eq!(plain, instrumented);
+
+        let parsed: tempriv_core::telemetry::TelemetryExport =
+            serde_json::from_str(&std::fs::read_to_string(&export).unwrap()).unwrap();
+        assert_eq!(parsed.experiment, "fig2");
+        assert_eq!(parsed.instrumented_jobs, 1);
+        assert_eq!(parsed.scenarios, 3); // no_delay, unlimited, rcad
+        assert!(parsed
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_node_occupancy_mean{node=")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_manifest_telemetry_in_all_formats() {
+        let dir = std::env::temp_dir().join("tempriv_cli_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let export = dir.join("telemetry.json");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--manifest",
+            man_str,
+            "--telemetry",
+            export.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let text = run(&["report", man_str]).unwrap();
+        assert!(text.contains("experiment=fig3"));
+        assert!(text.contains("theory checks"));
+
+        let json = run(&["report", man_str, "--format", "json"]).unwrap();
+        let parsed: tempriv_core::telemetry::TelemetryExport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.instrumented_jobs, 1);
+
+        let prom = run(&["report", man_str, "--format", "prometheus"]).unwrap();
+        assert!(prom.contains("# TYPE tempriv_deliveries_total counter"));
+        assert!(prom.contains("tempriv_node_occupancy_mean"));
+
+        let err = run(&["report", man_str, "--format", "yaml"]).unwrap_err();
+        assert!(err.contains("unknown --format"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_on_uninstrumented_manifest_notes_missing_telemetry() {
+        let dir = std::env::temp_dir().join("tempriv_cli_report_plain_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--manifest",
+            man_str,
+        ])
+        .unwrap();
+        let text = run(&["report", man_str]).unwrap();
+        assert!(text.contains("instrumented=0"));
+        assert!(text.contains("no job attached telemetry"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

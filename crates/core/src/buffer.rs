@@ -123,6 +123,7 @@ pub struct BufferedPacket {
 #[derive(Debug, Default)]
 pub struct NodeBuffer {
     entries: BTreeMap<PacketId, BufferedPacket>,
+    high_water: usize,
 }
 
 impl NodeBuffer {
@@ -131,6 +132,7 @@ impl NodeBuffer {
     pub fn new() -> Self {
         NodeBuffer {
             entries: BTreeMap::new(),
+            high_water: 0,
         }
     }
 
@@ -146,6 +148,12 @@ impl NodeBuffer {
         self.entries.is_empty()
     }
 
+    /// The most packets this buffer has ever held simultaneously.
+    #[must_use]
+    pub const fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Inserts a packet.
     ///
     /// # Panics
@@ -156,6 +164,7 @@ impl NodeBuffer {
         let id = entry.packet.id;
         let prev = self.entries.insert(id, entry);
         assert!(prev.is_none(), "packet {id} already buffered");
+        self.high_water = self.high_water.max(self.entries.len());
     }
 
     /// Removes and returns the packet with the given id.
@@ -343,6 +352,23 @@ mod tests {
         assert_eq!(drained[0].packet.id, PacketId(3));
         assert_eq!(drained[1].packet.id, PacketId(7));
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::new();
+        assert_eq!(buf.high_water(), 0);
+        buf.insert(entry(&mut q, 1, 0.0, 10.0));
+        buf.insert(entry(&mut q, 2, 0.0, 20.0));
+        buf.insert(entry(&mut q, 3, 0.0, 30.0));
+        assert_eq!(buf.high_water(), 3);
+        let _ = buf.remove(PacketId(1));
+        let _ = buf.remove(PacketId(2));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.high_water(), 3, "draining does not lower the mark");
+        let _ = buf.drain_all();
+        assert_eq!(buf.high_water(), 3);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::config::{ExperimentConfig, LayoutSpec};
 use crate::decomposition::{decomposed_plan, DecompositionShape};
 use crate::delay::{DelayPlan, DelayStrategy};
 use crate::metrics::evaluate_adversary;
+use crate::telemetry::JobTelemetryCollector;
 
 /// Common sweep parameters (defaults = the paper's §5.2 setup).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,9 +144,14 @@ pub struct Fig3Row {
     pub adaptive_mse: f64,
 }
 
-fn run_point(cfg: &ExperimentConfig, report_flow: FlowId) -> ScenarioMetrics {
+fn run_point(
+    cfg: &ExperimentConfig,
+    report_flow: FlowId,
+    telemetry: &mut JobTelemetryCollector<'_>,
+    label: &str,
+) -> ScenarioMetrics {
     let sim = cfg.build().expect("sweep configs are valid");
-    let outcome = sim.run();
+    let outcome = telemetry.run(&sim, label);
     let knowledge = sim.adversary_knowledge();
     let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
     ScenarioMetrics {
@@ -172,6 +178,7 @@ pub fn fig2_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<Fig2Row> 
         .map(|&l| job_key("fig2", &params_json, &point_tag(l)))
         .collect();
     runtime.run("fig2", &params_json, &keys, |i| {
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
         let inv_lambda = params.inv_lambdas[i];
         let base = params.config(inv_lambda);
 
@@ -184,12 +191,14 @@ pub fn fig2_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<Fig2Row> 
 
         let rcad = base;
 
-        Fig2Row {
+        let row = Fig2Row {
             inv_lambda,
-            no_delay: run_point(&no_delay, params.report_flow),
-            unlimited: run_point(&unlimited, params.report_flow),
-            rcad: run_point(&rcad, params.report_flow),
-        }
+            no_delay: run_point(&no_delay, params.report_flow, &mut telemetry, "no_delay"),
+            unlimited: run_point(&unlimited, params.report_flow, &mut telemetry, "unlimited"),
+            rcad: run_point(&rcad, params.report_flow, &mut telemetry, "rcad"),
+        };
+        telemetry.finish();
+        row
     })
 }
 
@@ -210,14 +219,16 @@ pub fn fig3_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec<Fig3Row> 
         .map(|&l| job_key("fig3", &params_json, &point_tag(l)))
         .collect();
     runtime.run("fig3", &params_json, &keys, |i| {
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
         let inv_lambda = params.inv_lambdas[i];
         let cfg = params.config(inv_lambda);
         let sim = cfg.build().expect("sweep configs are valid");
-        let outcome = sim.run();
+        let outcome = telemetry.run(&sim, "rcad");
         let knowledge = sim.adversary_knowledge();
         let baseline = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
         let adaptive =
             evaluate_adversary(&outcome, &AdaptiveAdversary::paper_default(), &knowledge);
+        telemetry.finish();
         Fig3Row {
             inv_lambda,
             baseline_mse: baseline.mse(params.report_flow),
@@ -263,10 +274,12 @@ pub fn adversary_panel_sweep_with(
         .map(|&l| job_key("adversary-panel", &params_json, &point_tag(l)))
         .collect();
     runtime.run("adversary-panel", &params_json, &keys, |i| {
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
         let inv_lambda = params.inv_lambdas[i];
         let cfg = params.config(inv_lambda);
         let sim = cfg.build().expect("sweep configs are valid");
-        let outcome = sim.run();
+        let outcome = telemetry.run(&sim, "rcad");
+        telemetry.finish();
         let knowledge = sim.adversary_knowledge();
         let flow = params.report_flow;
         let oracle = outcome.oracle();
@@ -341,6 +354,7 @@ pub fn victim_ablation_sweep_with(
         })
         .collect();
     runtime.run("victim-ablation", &params_json, &keys, |i| {
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
         let (victim, inv_lambda) = cases[i];
         let mut cfg = params.config(inv_lambda);
         cfg.buffer = BufferPolicy::Rcad {
@@ -348,7 +362,8 @@ pub fn victim_ablation_sweep_with(
             victim,
         };
         let sim = cfg.build().expect("sweep configs are valid");
-        let outcome = sim.run();
+        let outcome = telemetry.run(&sim, &format!("victim={victim:?}"));
+        telemetry.finish();
         let knowledge = sim.adversary_knowledge();
         let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
         VictimAblationRow {
@@ -427,11 +442,18 @@ pub fn delay_ablation_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec
         })
         .collect();
     runtime.run("delay-ablation", &params_json, &keys, |i| {
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
         let (kind, strategy, inv_lambda) = cases[i];
         let mut cfg = params.config(inv_lambda);
         cfg.delay = DelayPlan::Shared(strategy);
         cfg.buffer = BufferPolicy::Unlimited;
-        let metrics = run_point(&cfg, params.report_flow);
+        let metrics = run_point(
+            &cfg,
+            params.report_flow,
+            &mut telemetry,
+            &format!("{kind:?}"),
+        );
+        telemetry.finish();
         DelayAblationRow {
             inv_lambda,
             distribution: kind,
@@ -520,7 +542,9 @@ pub fn decomposition_experiment_with(
             BufferPolicy::Unlimited
         };
         let sim = cfg.build().expect("valid config");
-        let outcome = sim.run();
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
+        let outcome = telemetry.run(&sim, &format!("shape={shape:?}|limited={limited}"));
+        telemetry.finish();
         let knowledge = sim.adversary_knowledge();
         let report = evaluate_adversary(&outcome, &BaselineAdversary, &knowledge);
         let max_mean_occupancy = outcome
@@ -610,7 +634,9 @@ pub fn mix_comparison_sweep_with(params: &SweepParams, runtime: &Runtime) -> Vec
             }
         }
         let sim = cfg.build().expect("sweep configs are valid");
-        let outcome = sim.run();
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
+        let outcome = telemetry.run(&sim, &format!("{mechanism:?}"));
+        telemetry.finish();
         let knowledge = sim.adversary_knowledge();
         let oracle = outcome.oracle();
         let report = evaluate_adversary(&outcome, &oracle, &knowledge);
@@ -687,7 +713,9 @@ pub fn burst_adversary_experiment_with(
         let mut cfg = params.config(burst_interval);
         cfg.traffic = TrafficModel::on_off(burst_interval, burst, off_time);
         let sim = cfg.build().expect("sweep configs are valid");
-        let outcome = sim.run();
+        let mut telemetry = JobTelemetryCollector::for_job(runtime, i);
+        let outcome = telemetry.run(&sim, "on_off");
+        telemetry.finish();
         let knowledge = sim.adversary_knowledge();
         let flow = params.report_flow;
         let oracle = outcome.oracle();

@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod replication;
 pub mod report;
 pub mod sim_driver;
+pub mod telemetry;
 
 pub use adversary::{
     AdaptiveAdversary, Adversary, AdversaryKnowledge, BaselineAdversary, Observation,

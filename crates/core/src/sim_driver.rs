@@ -19,6 +19,7 @@ use tempriv_sim::engine::{Engine, Scheduler};
 use tempriv_sim::rng::{RngFactory, SimRng};
 use tempriv_sim::stats::{Histogram, OnlineStats, StateDwell};
 use tempriv_sim::time::SimTime;
+use tempriv_telemetry::{NullProbe, SimProbe};
 
 use crate::adversary::{AdversaryKnowledge, Observation};
 use crate::buffer::{BufferPolicy, BufferedPacket, NodeBuffer};
@@ -396,16 +397,37 @@ impl NetworkSimulation {
         }
     }
 
+    /// The configured workload.
+    #[must_use]
+    pub const fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
     /// Runs the simulation to completion (all packets created and either
     /// delivered, dropped, or lost) and returns the outcome.
     #[must_use]
     pub fn run(&self) -> SimOutcome {
+        self.run_probed(&mut NullProbe)
+    }
+
+    /// Runs the simulation with a telemetry probe attached.
+    ///
+    /// The probe observes event boundaries (occupancy transitions,
+    /// preemptions, drops, flushes, deliveries) but cannot perturb the
+    /// run: probes receive no access to the scheduler or RNGs, so
+    /// `run_probed` produces exactly the [`SimOutcome`] that
+    /// [`NetworkSimulation::run`] does. The method is generic so the
+    /// [`NullProbe`] path monomorphizes to straight-line code with no
+    /// probe overhead.
+    #[must_use]
+    pub fn run_probed<P: SimProbe>(&self, probe: &mut P) -> SimOutcome {
         let n_nodes = self.routing.len();
         let n_flows = self.sources.len();
         let factory = RngFactory::new(self.seed);
 
         let mut driver = Driver {
             sim: self,
+            probe,
             buffers: (0..n_nodes).map(|_| NodeBuffer::new()).collect(),
             occupancy: (0..n_nodes)
                 .map(|_| StateDwell::new(SimTime::ZERO, 0))
@@ -466,6 +488,11 @@ impl NetworkSimulation {
         engine.run(|sched, ev| driver.handle(sched, ev));
         let end_time = engine.now();
 
+        for (i, buffer) in driver.buffers.iter().enumerate() {
+            driver.probe.on_high_water(i, buffer.high_water() as u64);
+        }
+        driver.probe.on_run_end(end_time);
+
         SimOutcome {
             end_time,
             flows: (0..n_flows)
@@ -503,8 +530,9 @@ impl NetworkSimulation {
     }
 }
 
-struct Driver<'a> {
+struct Driver<'a, P: SimProbe> {
     sim: &'a NetworkSimulation,
+    probe: &'a mut P,
     buffers: Vec<NodeBuffer>,
     occupancy: Vec<StateDwell>,
     preemptions: Vec<u64>,
@@ -528,7 +556,7 @@ struct Driver<'a> {
     reading_rng: SimRng,
 }
 
-impl Driver<'_> {
+impl<P: SimProbe> Driver<'_, P> {
     fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
         match ev {
             Ev::Create { flow } => self.on_create(sched, flow),
@@ -569,20 +597,25 @@ impl Driver<'_> {
         // Threshold mixes batch instead of delaying: the delay plan is
         // ignored at mix nodes.
         if let BufferPolicy::ThresholdMix { threshold } = self.sim.buffer_policy {
+            self.probe.on_arrival(node.index(), sched.now());
             self.buffers[node.index()].insert(BufferedPacket {
                 packet,
                 buffered_at: sched.now(),
                 release_at: SimTime::MAX,
                 timer: None,
             });
-            self.occupancy[node.index()]
-                .transition(sched.now(), self.buffers[node.index()].len() as u64);
+            let depth = self.buffers[node.index()].len() as u64;
+            self.occupancy[node.index()].transition(sched.now(), depth);
+            self.probe.on_occupancy(node.index(), sched.now(), depth);
             if self.buffers[node.index()].len() >= threshold {
                 self.flushes[node.index()] += 1;
+                let batch = self.buffers[node.index()].len() as u64;
+                self.probe.on_flush(node.index(), sched.now(), batch);
                 for entry in self.buffers[node.index()].drain_all() {
                     self.forward(sched, node, entry.packet);
                 }
                 self.occupancy[node.index()].transition(sched.now(), 0);
+                self.probe.on_occupancy(node.index(), sched.now(), 0);
             }
             return;
         }
@@ -591,6 +624,7 @@ impl Driver<'_> {
             self.forward(sched, node, packet);
             return;
         }
+        self.probe.on_arrival(node.index(), sched.now());
         let delay = strategy.sample(&mut self.delay_rngs[node.index()]);
         // Full buffer? Apply the policy before inserting.
         if let Some(cap) = self.sim.buffer_policy.capacity() {
@@ -598,6 +632,7 @@ impl Driver<'_> {
                 match self.sim.buffer_policy {
                     BufferPolicy::DropTail { .. } => {
                         self.drops[node.index()] += 1;
+                        self.probe.on_drop(node.index(), sched.now());
                         return;
                     }
                     BufferPolicy::Rcad { victim, .. } => {
@@ -611,8 +646,10 @@ impl Driver<'_> {
                         let cancelled = sched.cancel(timer);
                         debug_assert!(cancelled, "victim timer must be pending");
                         self.preemptions[node.index()] += 1;
-                        self.occupancy[node.index()]
-                            .transition(sched.now(), self.buffers[node.index()].len() as u64);
+                        self.probe.on_preemption(node.index(), sched.now());
+                        let depth = self.buffers[node.index()].len() as u64;
+                        self.occupancy[node.index()].transition(sched.now(), depth);
+                        self.probe.on_occupancy(node.index(), sched.now(), depth);
                         // "Transmit it immediately rather than drop packets."
                         self.forward(sched, node, entry.packet);
                     }
@@ -634,16 +671,18 @@ impl Driver<'_> {
             release_at,
             timer: Some(timer),
         });
-        self.occupancy[node.index()]
-            .transition(sched.now(), self.buffers[node.index()].len() as u64);
+        let depth = self.buffers[node.index()].len() as u64;
+        self.occupancy[node.index()].transition(sched.now(), depth);
+        self.probe.on_occupancy(node.index(), sched.now(), depth);
     }
 
     fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: PacketId) {
         let entry = self.buffers[node.index()]
             .remove(packet)
             .expect("release timers fire only for buffered packets");
-        self.occupancy[node.index()]
-            .transition(sched.now(), self.buffers[node.index()].len() as u64);
+        let depth = self.buffers[node.index()].len() as u64;
+        self.occupancy[node.index()].transition(sched.now(), depth);
+        self.probe.on_occupancy(node.index(), sched.now(), depth);
         self.forward(sched, node, entry.packet);
     }
 
@@ -671,6 +710,7 @@ impl Driver<'_> {
         self.latency[flow.index()].record(latency);
         self.latency_hist[flow.index()].record(latency);
         self.delivered[flow.index()] += 1;
+        self.probe.on_delivery(flow.index(), now, latency);
         self.observations.push(Observation {
             arrival: now,
             origin: packet.header().origin,

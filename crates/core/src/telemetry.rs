@@ -1,0 +1,692 @@
+//! Instrumented runs: per-job telemetry collection, queueing-theory
+//! cross-checks, and sweep-level aggregation.
+//!
+//! This module is the bridge between the generic probes in
+//! [`tempriv_telemetry`] and this crate's experiment sweeps. A sweep job
+//! that runs through a [`JobTelemetryCollector`] records, per scenario it
+//! simulates, the full [`SimTelemetry`] (occupancy series, preemption and
+//! drop counts, latency) plus a [`TheoryReport`] comparing the measured
+//! queue behaviour against what the paper's queueing model predicts:
+//!
+//! - **Mean occupancy.** Every delaying node is an M/G/∞ server under
+//!   unlimited buffers, so by Little's law its time-weighted mean
+//!   occupancy is `ρ = λ/μ` regardless of the arrival process. With a
+//!   `k`-slot buffer the M/M/k/k mean `ρ·(1 − B(ρ, k))` is used instead.
+//! - **Occupancy distribution.** For Poisson arrivals, exponential
+//!   delays, and unlimited buffers the stationary occupancy is exactly
+//!   Poisson(ρ) (§4 of the paper); the check is an L1 distance on PMFs.
+//! - **Loss / preemption fraction.** A `k`-slot DropTail buffer under
+//!   Poisson arrivals drops the Erlang-B fraction `B(ρ, k)`. RCAD with a
+//!   *random* victim follows the same occupancy chain (a preemption is
+//!   an arrival paired with a forced departure of a uniformly chosen
+//!   packet, which leaves the remaining residuals i.i.d. exponential by
+//!   memorylessness), so its preemption fraction obeys the same formula.
+//!   RCAD's other victim policies bias which residual leaves — e.g.
+//!   ShortestRemaining evicts the packet that would have departed
+//!   soonest, leaving the *larger* order statistics behind — so their
+//!   occupancy chains have no Erlang closed form and get no finite-buffer
+//!   checks (measured preemption runs well above `B(ρ, k)`).
+//!
+//! Collection is strictly opt-in: when the [`Runtime`] has no
+//! [`TelemetrySink`], the collector runs plain [`NetworkSimulation::run`]
+//! and the simulation output is byte-identical to an uninstrumented run.
+
+use serde::{Deserialize, Serialize};
+use tempriv_net::ids::NodeId;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_queueing::erlang::erlang_b;
+use tempriv_runtime::{Runtime, TelemetrySink};
+use tempriv_telemetry::{
+    MetricsRegistry, RecordingProbe, SimTelemetry, SpanSet, TelemetrySnapshot, TheoryCheck,
+    TheoryReport, TheoryTolerance,
+};
+
+use crate::buffer::BufferPolicy;
+use crate::delay::DelayStrategy;
+use crate::metrics::SimOutcome;
+use crate::sim_driver::{NetworkSimulation, Workload};
+
+/// The expected steady-state load at one node, derived from the
+/// simulation's configuration (not from its output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeLoadModel {
+    /// Aggregate packet arrival rate `λ` at the node (flows through it ×
+    /// per-source rate).
+    pub lambda: f64,
+    /// Service rate `μ = 1 / mean delay`.
+    pub mu: f64,
+    /// Offered load `ρ = λ/μ`.
+    pub rho: f64,
+    /// Arrivals are Poisson (source traffic model is Poisson).
+    pub poisson_arrivals: bool,
+    /// Holding times are exponential (delay strategy is exponential).
+    pub exponential_delay: bool,
+}
+
+/// Per-node expected loads for `sim`, indexed by node. `None` for nodes
+/// the model cannot predict: the sink, pass-through (no-delay) nodes,
+/// nodes no flow crosses, threshold-mix nodes (which ignore the delay
+/// plan), and any run driven by explicit schedules instead of a traffic
+/// model.
+#[must_use]
+pub fn expected_loads(sim: &NetworkSimulation) -> Vec<Option<NodeLoadModel>> {
+    let n = sim.routing().len();
+    let mut loads = vec![None; n];
+    let Workload::Model(model) = sim.workload() else {
+        return loads;
+    };
+    if matches!(sim.buffer_policy(), BufferPolicy::ThresholdMix { .. }) {
+        return loads;
+    }
+    let rate = model.mean_rate();
+    if rate <= 0.0 {
+        return loads;
+    }
+    // Flows through each node: every source's path, sink excluded (the
+    // sink consumes packets and never delays them).
+    let mut flows_through = vec![0u32; n];
+    for &src in sim.sources() {
+        let mut path = sim.routing().path(src);
+        path.pop();
+        for hop in path {
+            flows_through[hop.index()] += 1;
+        }
+    }
+    let poisson_arrivals = matches!(model, TrafficModel::Poisson { .. });
+    for (i, load) in loads.iter_mut().enumerate() {
+        let flows = flows_through[i];
+        if flows == 0 {
+            continue;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let strategy = sim.delay_plan().for_node(NodeId(i as u32));
+        if strategy.is_none() {
+            continue;
+        }
+        let mean = strategy.mean();
+        if mean <= 0.0 {
+            continue;
+        }
+        let lambda = f64::from(flows) * rate;
+        let mu = 1.0 / mean;
+        *load = Some(NodeLoadModel {
+            lambda,
+            mu,
+            rho: lambda / mu,
+            poisson_arrivals,
+            exponential_delay: matches!(strategy, DelayStrategy::Exponential { .. }),
+        });
+    }
+    loads
+}
+
+/// Builds the theory cross-check report for one instrumented run:
+/// measured telemetry versus the per-node [`expected_loads`] of `sim`.
+///
+/// Checks are only emitted where the model applies (see the module docs
+/// for the exact conditions); a run with no predictable nodes yields an
+/// empty — vacuously passing — report.
+#[must_use]
+pub fn theory_report(
+    sim: &NetworkSimulation,
+    telemetry: &SimTelemetry,
+    tol: &TheoryTolerance,
+) -> TheoryReport {
+    let mut report = TheoryReport::new();
+    // Which station model the buffer policy admits: `None` boxes the
+    // infinite-server model, `Some((k, event))` the Erlang M/M/k/k loss
+    // model. Policies with no closed form (RCAD with a biased victim)
+    // get no node checks at all.
+    let finite: Option<Option<(usize, &str)>> = match sim.buffer_policy() {
+        BufferPolicy::Unlimited => Some(None),
+        BufferPolicy::DropTail { capacity } => Some(Some((capacity, "drop"))),
+        BufferPolicy::Rcad {
+            capacity,
+            victim: crate::buffer::VictimPolicy::Random,
+        } => Some(Some((capacity, "preemption"))),
+        BufferPolicy::Rcad { .. } | BufferPolicy::ThresholdMix { .. } => None,
+    };
+    let Some(finite) = finite else {
+        return report;
+    };
+    for (i, load) in expected_loads(sim).iter().enumerate() {
+        let Some(load) = load else { continue };
+        let Some(node) = telemetry.nodes.get(i) else {
+            continue;
+        };
+        // A node the model expects traffic at but that saw none: the run
+        // was too short to measure anything meaningful there.
+        if node.arrivals == 0 {
+            continue;
+        }
+        match finite {
+            None => {
+                // Infinite-server station: Little's law gives mean
+                // occupancy ρ = λ/μ for *any* arrival process.
+                report.push(TheoryCheck::mean_occupancy(
+                    format!("node{i}_mean_occupancy"),
+                    load.rho,
+                    node.mean_occupancy,
+                    tol,
+                ));
+                // The full Poisson(ρ) occupancy distribution needs the
+                // M/M/∞ assumptions.
+                if load.poisson_arrivals && load.exponential_delay {
+                    report.push(TheoryCheck::poisson_occupancy_pmf(
+                        format!("node{i}_occupancy_pmf"),
+                        load.rho,
+                        &node.occupancy_pmf,
+                        tol,
+                    ));
+                }
+            }
+            // Erlang's loss model needs Poisson arrivals; a finite
+            // buffer under other traffic has no closed form here.
+            Some((capacity, event)) if load.poisson_arrivals => {
+                #[allow(clippy::cast_possible_truncation)]
+                let k = capacity as u32;
+                report.push(TheoryCheck::mean_occupancy(
+                    format!("node{i}_mean_occupancy"),
+                    load.rho * (1.0 - erlang_b(load.rho, k)),
+                    node.mean_occupancy,
+                    tol,
+                ));
+                let measured = if event == "drop" {
+                    node.drop_fraction()
+                } else {
+                    node.preemption_fraction()
+                };
+                report.push(TheoryCheck::erlang_loss(
+                    format!("node{i}_{event}_fraction"),
+                    load.rho,
+                    k,
+                    measured,
+                    tol,
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    report
+}
+
+/// One instrumented scenario within a job (a sweep point may simulate
+/// several — e.g. Figure 2 runs no-delay, unlimited, and RCAD per point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTelemetry {
+    /// Scenario label within the job (e.g. `"rcad"`).
+    pub label: String,
+    /// The recorded simulation telemetry.
+    pub sim: SimTelemetry,
+    /// Queueing-theory cross-checks for this scenario.
+    pub theory: TheoryReport,
+}
+
+/// Everything one job attaches to its manifest record when telemetry is
+/// on: per-scenario telemetry plus wall-time spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobTelemetry {
+    /// One entry per simulated scenario, in execution order.
+    pub scenarios: Vec<ScenarioTelemetry>,
+    /// Wall-clock time per scenario (profiling metadata; excluded from
+    /// all deterministic outputs).
+    pub spans: SpanSet,
+}
+
+impl JobTelemetry {
+    /// Total theory checks across all scenarios.
+    #[must_use]
+    pub fn theory_checks(&self) -> usize {
+        self.scenarios.iter().map(|s| s.theory.checks.len()).sum()
+    }
+
+    /// Theory checks that exceeded their tolerance.
+    #[must_use]
+    pub fn theory_flagged(&self) -> usize {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.theory.checks)
+            .filter(|c| !c.passed)
+            .count()
+    }
+}
+
+/// Runs a job's simulations, recording telemetry when the runtime has a
+/// [`TelemetrySink`] and running the plain, probe-free path otherwise.
+///
+/// Construct one per job with [`JobTelemetryCollector::for_job`], route
+/// every `sim.run()` through [`JobTelemetryCollector::run`], and call
+/// [`JobTelemetryCollector::finish`] before returning the row. When the
+/// sink is absent this is a zero-cost pass-through: the simulation runs
+/// with [`NullProbe`](tempriv_telemetry::NullProbe) exactly as an
+/// uninstrumented build would.
+#[derive(Debug)]
+pub struct JobTelemetryCollector<'a> {
+    sink: Option<(&'a TelemetrySink, usize)>,
+    tolerance: TheoryTolerance,
+    job: JobTelemetry,
+}
+
+impl<'a> JobTelemetryCollector<'a> {
+    /// A collector for job `index` of a run on `runtime`. Collection is
+    /// active only when the runtime carries a telemetry sink.
+    #[must_use]
+    pub fn for_job(runtime: &'a Runtime, index: usize) -> Self {
+        JobTelemetryCollector {
+            sink: runtime.telemetry_sink().map(|sink| (sink, index)),
+            tolerance: TheoryTolerance::default(),
+            job: JobTelemetry::default(),
+        }
+    }
+
+    /// Whether telemetry is being recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Runs `sim`, probed iff collection is active. The returned
+    /// [`SimOutcome`] is identical either way: probes observe the event
+    /// loop, they never consume randomness or reorder events.
+    pub fn run(&mut self, sim: &NetworkSimulation, label: &str) -> SimOutcome {
+        if self.sink.is_none() {
+            return sim.run();
+        }
+        let started = std::time::Instant::now();
+        let mut probe = RecordingProbe::new(sim.routing().len());
+        let outcome = sim.run_probed(&mut probe);
+        let telemetry = probe.finish(outcome.end_time);
+        let theory = theory_report(sim, &telemetry, &self.tolerance);
+        self.job
+            .spans
+            .record(label, started.elapsed().as_secs_f64());
+        self.job.scenarios.push(ScenarioTelemetry {
+            label: label.to_string(),
+            sim: telemetry,
+            theory,
+        });
+        outcome
+    }
+
+    /// Serializes the collected telemetry and attaches it to the job's
+    /// sink slot. No-op when collection is inactive.
+    pub fn finish(self) {
+        if let Some((sink, index)) = self.sink {
+            let json = serde_json::to_string(&self.job).expect("job telemetry serializes");
+            sink.attach(index, json);
+        }
+    }
+}
+
+/// Sweep-level telemetry: every job's [`JobTelemetry`] plus aggregate
+/// counters, per-node gauges, and the flagged theory checks — what
+/// `tempriv sweep --telemetry` writes and `tempriv report` renders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryExport {
+    /// Experiment kind the telemetry came from (e.g. `"fig2"`).
+    pub experiment: String,
+    /// Jobs in the run.
+    pub jobs: usize,
+    /// Jobs that attached telemetry (cache-served jobs attach none).
+    pub instrumented_jobs: usize,
+    /// Scenarios recorded across all instrumented jobs.
+    pub scenarios: usize,
+    /// Theory checks evaluated across all scenarios.
+    pub theory_checks: usize,
+    /// Theory checks that exceeded tolerance.
+    pub theory_flagged: usize,
+    /// The failing checks themselves, in job order.
+    pub flagged: Vec<TheoryCheck>,
+    /// Aggregated metrics registry snapshot (canonical JSON +
+    /// Prometheus-exportable).
+    pub metrics: TelemetrySnapshot,
+    /// Raw per-job telemetry, indexed by job (None = not instrumented).
+    pub job_telemetry: Vec<Option<JobTelemetry>>,
+}
+
+impl TelemetryExport {
+    /// Aggregates per-job telemetry blobs (as journaled in a manifest or
+    /// drained from a [`TelemetrySink`]) into one export.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the job whose blob fails to parse.
+    pub fn collect(experiment: &str, blobs: &[Option<String>]) -> Result<Self, String> {
+        let mut job_telemetry: Vec<Option<JobTelemetry>> = Vec::with_capacity(blobs.len());
+        for (i, blob) in blobs.iter().enumerate() {
+            match blob {
+                None => job_telemetry.push(None),
+                Some(json) => job_telemetry.push(Some(
+                    serde_json::from_str(json)
+                        .map_err(|e| format!("job {i}: bad telemetry blob: {e}"))?,
+                )),
+            }
+        }
+
+        let mut registry = MetricsRegistry::new();
+        let deliveries = registry.counter(
+            "tempriv_deliveries_total",
+            "Packets delivered to the sink across instrumented scenarios",
+        );
+        let preemptions = registry.counter(
+            "tempriv_preemptions_total",
+            "RCAD victim preemptions across instrumented scenarios",
+        );
+        let drops = registry.counter(
+            "tempriv_drops_total",
+            "DropTail rejections across instrumented scenarios",
+        );
+        let flushes = registry.counter(
+            "tempriv_flushes_total",
+            "Threshold-mix batch flushes across instrumented scenarios",
+        );
+        let evicted = registry.counter(
+            "tempriv_trace_evicted_total",
+            "Probe trace records evicted by the bounded ring buffer",
+        );
+        let checks_total = registry.counter(
+            "tempriv_theory_checks_total",
+            "Queueing-theory cross-checks evaluated",
+        );
+        let flagged_total = registry.counter(
+            "tempriv_theory_flagged_total",
+            "Queueing-theory cross-checks outside tolerance",
+        );
+        let latency_hist = registry.histogram(
+            "tempriv_scenario_mean_latency",
+            "Mean end-to-end delivery latency per instrumented scenario (time units)",
+            0.0,
+            1000.0,
+            20,
+        );
+
+        // Per-node aggregates across every instrumented scenario: the
+        // occupancy gauge averages scenario means, peak and high-water
+        // take the max.
+        let n_nodes = job_telemetry
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .map(|s| s.sim.nodes.len())
+            .max()
+            .unwrap_or(0);
+        let mut occ_sum = vec![0.0f64; n_nodes];
+        let mut occ_count = vec![0u64; n_nodes];
+        let mut peak = vec![0u64; n_nodes];
+        let mut high_water = vec![0u64; n_nodes];
+
+        let mut instrumented_jobs = 0;
+        let mut scenarios = 0;
+        let mut theory_checks = 0;
+        let mut theory_flagged = 0;
+        let mut flagged = Vec::new();
+        for job in job_telemetry.iter().flatten() {
+            instrumented_jobs += 1;
+            scenarios += job.scenarios.len();
+            theory_checks += job.theory_checks();
+            theory_flagged += job.theory_flagged();
+            for scenario in &job.scenarios {
+                registry.inc(deliveries, scenario.sim.deliveries);
+                registry.inc(preemptions, scenario.sim.total_preemptions());
+                registry.inc(drops, scenario.sim.total_drops());
+                registry.inc(flushes, scenario.sim.total_flushes());
+                registry.inc(evicted, scenario.sim.trace_evicted);
+                if scenario.sim.deliveries > 0 {
+                    registry.observe(latency_hist, scenario.sim.mean_latency);
+                }
+                for node in &scenario.sim.nodes {
+                    let i = node.node;
+                    occ_sum[i] += node.mean_occupancy;
+                    occ_count[i] += 1;
+                    peak[i] = peak[i].max(node.peak_occupancy);
+                    high_water[i] = high_water[i].max(node.high_water);
+                }
+                flagged.extend(scenario.theory.checks.iter().filter(|c| !c.passed).cloned());
+            }
+        }
+        registry.inc(checks_total, theory_checks as u64);
+        registry.inc(flagged_total, theory_flagged as u64);
+        for i in 0..n_nodes {
+            if occ_count[i] == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let mean = occ_sum[i] / occ_count[i] as f64;
+            let g = registry.gauge(
+                format!("tempriv_node_occupancy_mean{{node=\"{i}\"}}"),
+                "Time-weighted mean buffer occupancy, averaged over instrumented scenarios",
+            );
+            registry.set(g, mean);
+            let g = registry.gauge(
+                format!("tempriv_node_occupancy_peak{{node=\"{i}\"}}"),
+                "Peak instantaneous buffer occupancy across instrumented scenarios",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, peak[i] as f64);
+            let g = registry.gauge(
+                format!("tempriv_node_high_water{{node=\"{i}\"}}"),
+                "Buffer high-water mark across instrumented scenarios",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, high_water[i] as f64);
+        }
+
+        Ok(TelemetryExport {
+            experiment: experiment.to_string(),
+            jobs: blobs.len(),
+            instrumented_jobs,
+            scenarios,
+            theory_checks,
+            theory_flagged,
+            flagged,
+            metrics: registry.snapshot(),
+            job_telemetry,
+        })
+    }
+
+    /// Canonical JSON of the export — what `--telemetry PATH` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (it cannot for this type).
+    #[must_use]
+    pub fn to_canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("telemetry export serializes")
+    }
+
+    /// Human-readable summary for the console.
+    #[must_use]
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry: experiment={} jobs={} instrumented={} scenarios={}\n",
+            self.experiment, self.jobs, self.instrumented_jobs, self.scenarios
+        ));
+        out.push_str(&format!(
+            "theory checks: {} evaluated, {} flagged\n",
+            self.theory_checks, self.theory_flagged
+        ));
+        for check in &self.flagged {
+            out.push_str(&format!(
+                "  FLAGGED {}: predicted {:.4}, measured {:.4}, deviation {:.4} > tol {:.4}\n",
+                check.name, check.predicted, check.measured, check.deviation, check.tolerance
+            ));
+        }
+        for gauge in &self.metrics.gauges {
+            out.push_str(&format!("  {} = {:.4}\n", gauge.name, gauge.value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::VictimPolicy;
+    use crate::delay::DelayPlan;
+    use tempriv_net::convergecast::Convergecast;
+
+    fn paper_sim(buffer: BufferPolicy, traffic: TrafficModel) -> NetworkSimulation {
+        let layout = Convergecast::paper_figure1();
+        NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .traffic(traffic)
+            .packets_per_source(50)
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(buffer)
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expected_loads_follow_route_fan_in() {
+        let sim = paper_sim(BufferPolicy::Unlimited, TrafficModel::poisson(0.5));
+        let loads = expected_loads(&sim);
+        // Every load present is λ = flows·rate, μ = 1/30.
+        let present: Vec<&NodeLoadModel> = loads.iter().flatten().collect();
+        assert!(!present.is_empty());
+        for load in &present {
+            assert!((load.mu - 1.0 / 30.0).abs() < 1e-12);
+            assert!(load.poisson_arrivals);
+            assert!(load.exponential_delay);
+        }
+        // Fan-in: some node carries more than one flow, so the max λ
+        // exceeds the single-flow λ.
+        let max_lambda = present.iter().map(|l| l.lambda).fold(0.0, f64::max);
+        assert!(max_lambda > 0.5 + 1e-12);
+        // The sink never delays: its slot is None.
+        let sink = sim.routing().sink();
+        assert!(loads[sink.index()].is_none());
+    }
+
+    #[test]
+    fn schedules_and_mixes_have_no_model() {
+        let layout = Convergecast::paper_figure1();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .schedules(vec![
+                vec![tempriv_sim::time::SimTime::from_units(1.0)];
+                layout.sources().len()
+            ])
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert!(expected_loads(&sim).iter().all(Option::is_none));
+
+        let mix = paper_sim(
+            BufferPolicy::ThresholdMix { threshold: 4 },
+            TrafficModel::poisson(0.5),
+        );
+        assert!(expected_loads(&mix).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn collector_is_pass_through_without_a_sink() {
+        let runtime = Runtime::new(tempriv_runtime::WorkerPool::with_workers(1));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        assert!(!collector.enabled());
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::periodic(2.0));
+        let probed = collector.run(&sim, "rcad");
+        collector.finish();
+        assert_eq!(probed, sim.run());
+    }
+
+    #[test]
+    fn collector_attaches_one_blob_per_job() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.reset(2);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let sim = paper_sim(BufferPolicy::Unlimited, TrafficModel::poisson(0.5));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 1);
+        assert!(collector.enabled());
+        let _ = collector.run(&sim, "unlimited");
+        collector.finish();
+        assert_eq!(sink.get(0), None);
+        let blob = sink.get(1).expect("job 1 attached telemetry");
+        let job: JobTelemetry = serde_json::from_str(&blob).unwrap();
+        assert_eq!(job.scenarios.len(), 1);
+        assert_eq!(job.scenarios[0].label, "unlimited");
+        assert!(job.scenarios[0].sim.deliveries > 0);
+        assert!(job.theory_checks() > 0);
+    }
+
+    #[test]
+    fn export_aggregates_and_exposes_node_gauges() {
+        let sim = paper_sim(BufferPolicy::Unlimited, TrafficModel::poisson(0.5));
+        let mut probe = RecordingProbe::new(sim.routing().len());
+        let outcome = sim.run_probed(&mut probe);
+        let telemetry = probe.finish(outcome.end_time);
+        let theory = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+        let job = JobTelemetry {
+            scenarios: vec![ScenarioTelemetry {
+                label: "rcad".to_string(),
+                sim: telemetry,
+                theory,
+            }],
+            spans: SpanSet::new(),
+        };
+        let blob = serde_json::to_string(&job).unwrap();
+        let export = TelemetryExport::collect("fig2", &[Some(blob), None]).unwrap();
+        assert_eq!(export.jobs, 2);
+        assert_eq!(export.instrumented_jobs, 1);
+        assert_eq!(export.scenarios, 1);
+        assert!(export.theory_checks > 0);
+        assert!(export
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_node_occupancy_mean{node=")));
+        // Round-trips through canonical JSON.
+        let back: TelemetryExport = serde_json::from_str(&export.to_canonical_json()).unwrap();
+        assert_eq!(back, export);
+        // The summary renders without panicking and names the experiment.
+        assert!(export.summary_text().contains("experiment=fig2"));
+    }
+
+    #[test]
+    fn bad_blob_is_a_named_error() {
+        let err = TelemetryExport::collect("fig2", &[Some("not json".to_string())]).unwrap_err();
+        assert!(err.contains("job 0"));
+    }
+
+    #[test]
+    fn rcad_preemption_fraction_checks_against_erlang() {
+        let sim = paper_sim(
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::Random,
+            },
+            TrafficModel::poisson(0.5),
+        );
+        let mut probe = RecordingProbe::new(sim.routing().len());
+        let outcome = sim.run_probed(&mut probe);
+        let telemetry = probe.finish(outcome.end_time);
+        let report = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name.ends_with("_preemption_fraction")));
+        assert!(
+            !report
+                .checks
+                .iter()
+                .any(|c| c.name.ends_with("_occupancy_pmf")),
+            "pmf check requires unlimited buffers"
+        );
+
+        // A biased victim policy breaks the memoryless occupancy chain:
+        // no Erlang prediction is emitted for it.
+        let biased = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let mut probe = RecordingProbe::new(biased.routing().len());
+        let outcome = biased.run_probed(&mut probe);
+        let telemetry = probe.finish(outcome.end_time);
+        let report = theory_report(&biased, &telemetry, &TheoryTolerance::default());
+        assert!(report.checks.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end validation of the telemetry probes against queueing
+//! theory: the instrumented simulator must reproduce the M/M/∞ and
+//! Erlang-loss predictions the paper's analysis rests on, and the
+//! probes must never perturb the simulation itself.
+
+use tempriv_core::buffer::{BufferPolicy, VictimPolicy};
+use tempriv_core::delay::DelayPlan;
+use tempriv_core::sim_driver::NetworkSimulation;
+use tempriv_core::telemetry::{theory_report, TelemetryExport};
+use tempriv_net::convergecast::Convergecast;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_queueing::erlang::erlang_b;
+use tempriv_telemetry::{RecordingProbe, SimTelemetry, TheoryTolerance};
+
+/// A single source one hop from the sink: the source node is one queue,
+/// which makes it a textbook single-station system.
+fn single_queue(
+    buffer: BufferPolicy,
+    rate: f64,
+    delay_mean: f64,
+    packets: u32,
+) -> NetworkSimulation {
+    let layout = Convergecast::builder().flow(1).build().unwrap();
+    NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::poisson(rate))
+        .packets_per_source(packets)
+        .delay_plan(DelayPlan::shared_exponential(delay_mean))
+        .buffer_policy(buffer)
+        .seed(42)
+        .build()
+        .unwrap()
+}
+
+fn probed(sim: &NetworkSimulation) -> SimTelemetry {
+    let mut probe = RecordingProbe::new(sim.routing().len());
+    let outcome = sim.run_probed(&mut probe);
+    probe.finish(outcome.end_time)
+}
+
+#[test]
+fn mm_inf_occupancy_matches_rho() {
+    // λ = 0.5, 1/μ = 10 => ρ = 5. With unlimited buffers the source is
+    // an M/M/∞ station: mean occupancy ρ, occupancy PMF Poisson(ρ).
+    let sim = single_queue(BufferPolicy::Unlimited, 0.5, 10.0, 4000);
+    let telemetry = probed(&sim);
+    let source = &telemetry.nodes[sim.sources()[0].index()];
+    let rho = 5.0;
+    assert!(
+        (source.mean_occupancy - rho).abs() / rho < 0.15,
+        "measured mean occupancy {} should be within 15% of rho {rho}",
+        source.mean_occupancy
+    );
+    // And the full theory report agrees: occupancy mean + Poisson PMF.
+    let report = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+    assert!(report
+        .checks
+        .iter()
+        .any(|c| c.name.ends_with("_occupancy_pmf")));
+    assert!(
+        report.passed(),
+        "all checks should pass, flagged: {:?}",
+        report.flagged()
+    );
+}
+
+#[test]
+fn drop_tail_loss_matches_erlang_b() {
+    // ρ = 5 offered to a k = 4 buffer: Erlang-B predicts B(5, 4) ≈ 0.398
+    // of arrivals rejected.
+    let sim = single_queue(BufferPolicy::DropTail { capacity: 4 }, 0.5, 10.0, 4000);
+    let telemetry = probed(&sim);
+    let source = &telemetry.nodes[sim.sources()[0].index()];
+    let predicted = erlang_b(5.0, 4);
+    let measured = source.drop_fraction();
+    assert!(
+        (measured - predicted).abs() < 0.05,
+        "measured drop fraction {measured} vs Erlang-B {predicted}"
+    );
+    let report = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+    assert!(report
+        .checks
+        .iter()
+        .any(|c| c.name.ends_with("_drop_fraction")));
+    assert!(report.passed(), "flagged: {:?}", report.flagged());
+}
+
+#[test]
+fn rcad_random_victim_preemption_matches_erlang_b() {
+    // With a *random* victim, RCAD's buffer follows the same occupancy
+    // chain as M/M/k/k: a preemption pairs an arrival with a forced
+    // departure of a uniformly chosen packet, and by memorylessness the
+    // surviving residuals stay i.i.d. exponential. Its preemption
+    // fraction therefore obeys the Erlang-B formula.
+    let sim = single_queue(
+        BufferPolicy::Rcad {
+            capacity: 4,
+            victim: VictimPolicy::Random,
+        },
+        0.5,
+        10.0,
+        4000,
+    );
+    let telemetry = probed(&sim);
+    let source = &telemetry.nodes[sim.sources()[0].index()];
+    let predicted = erlang_b(5.0, 4);
+    let measured = source.preemption_fraction();
+    assert!(
+        (measured - predicted).abs() < 0.05,
+        "measured preemption fraction {measured} vs Erlang-B {predicted}"
+    );
+    let report = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+    assert!(report.passed(), "flagged: {:?}", report.flagged());
+}
+
+#[test]
+fn biased_victim_preempts_more_than_erlang_b() {
+    // ShortestRemaining evicts the packet that would have departed
+    // soonest, leaving the larger order statistics of the residuals in
+    // the buffer: departures slow down, the buffer stays full longer,
+    // and the preemption fraction runs well above B(ρ, k). The theory
+    // report must therefore emit no Erlang prediction for it.
+    let sim = single_queue(
+        BufferPolicy::Rcad {
+            capacity: 4,
+            victim: VictimPolicy::ShortestRemaining,
+        },
+        0.5,
+        10.0,
+        4000,
+    );
+    let telemetry = probed(&sim);
+    let source = &telemetry.nodes[sim.sources()[0].index()];
+    assert!(
+        source.preemption_fraction() > erlang_b(5.0, 4) + 0.1,
+        "the order-statistics bias should be clearly visible"
+    );
+    let report = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+    assert!(report.checks.is_empty(), "no closed-form model applies");
+}
+
+#[test]
+fn mistuned_model_is_flagged() {
+    // Simulate with mean delay 10 (ρ = 5) but check against a config
+    // claiming mean delay 30 (ρ = 15): the cross-check must flag the
+    // discrepancy rather than rubber-stamp it.
+    let actual = single_queue(BufferPolicy::Unlimited, 0.5, 10.0, 3000);
+    let claimed = single_queue(BufferPolicy::Unlimited, 0.5, 30.0, 3000);
+    let telemetry = probed(&actual);
+    let report = theory_report(&claimed, &telemetry, &TheoryTolerance::default());
+    assert!(
+        !report.passed(),
+        "a 3x-mistuned occupancy prediction must be flagged"
+    );
+    assert!(!report.flagged().is_empty());
+}
+
+#[test]
+fn probes_do_not_perturb_the_simulation() {
+    // The recorded run and the plain run must produce identical
+    // outcomes: probes observe the event loop, they never consume
+    // randomness or reorder events.
+    let layout = Convergecast::paper_figure1();
+    let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::poisson(0.5))
+        .packets_per_source(400)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::paper_rcad())
+        .seed(2007)
+        .build()
+        .unwrap();
+    let plain = sim.run();
+    let mut probe = RecordingProbe::new(sim.routing().len());
+    let recorded = sim.run_probed(&mut probe);
+    assert_eq!(plain, recorded, "probed run must be byte-identical");
+    // And the probe actually saw the run.
+    let telemetry = probe.finish(recorded.end_time);
+    assert!(telemetry.deliveries > 0);
+    assert!(telemetry.total_preemptions() > 0);
+}
+
+#[test]
+fn export_round_trips_through_manifest_blobs() {
+    use tempriv_core::experiment::{fig2_sweep_with, SweepParams};
+    use tempriv_runtime::{Runtime, TelemetrySink, WorkerPool};
+
+    let sink = std::sync::Arc::new(TelemetrySink::new());
+    let runtime = Runtime::builder()
+        .pool(WorkerPool::with_workers(2))
+        .telemetry_sink(sink.clone())
+        .build()
+        .unwrap();
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 20.0],
+        packets_per_source: 200,
+        ..SweepParams::paper_default()
+    };
+    let rows = fig2_sweep_with(&params, &runtime);
+    assert_eq!(rows.len(), 2);
+    let blobs = sink.take_all();
+    assert_eq!(blobs.len(), 2);
+    assert!(blobs.iter().all(Option::is_some), "every job instruments");
+    let export = TelemetryExport::collect("fig2", &blobs).unwrap();
+    assert_eq!(export.instrumented_jobs, 2);
+    // Three scenarios per fig2 point: no_delay, unlimited, rcad.
+    assert_eq!(export.scenarios, 6);
+    assert!(export
+        .metrics
+        .gauges
+        .iter()
+        .any(|g| g.name.starts_with("tempriv_node_occupancy_mean{node=")));
+}
+
+#[test]
+fn telemetry_does_not_change_sweep_rows() {
+    use tempriv_core::experiment::{fig2_sweep_with, SweepParams};
+    use tempriv_runtime::{Runtime, TelemetrySink, WorkerPool};
+
+    let params = SweepParams {
+        inv_lambdas: vec![2.0, 20.0],
+        packets_per_source: 200,
+        ..SweepParams::paper_default()
+    };
+    let plain = fig2_sweep_with(&params, &Runtime::new(WorkerPool::with_workers(2)));
+    let sink = std::sync::Arc::new(TelemetrySink::new());
+    let instrumented_runtime = Runtime::builder()
+        .pool(WorkerPool::with_workers(2))
+        .telemetry_sink(sink)
+        .build()
+        .unwrap();
+    let instrumented = fig2_sweep_with(&params, &instrumented_runtime);
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&instrumented).unwrap(),
+        "telemetry collection must not change experiment outputs"
+    );
+}

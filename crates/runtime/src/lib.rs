@@ -38,9 +38,11 @@ pub mod manifest;
 pub mod observer;
 pub mod pool;
 pub mod runner;
+pub mod telemetry;
 
 pub use cache::{content_digest, ResultCache};
 pub use manifest::{JobRecord, JobStatus, ManifestHeader, ManifestReader, ManifestWriter};
 pub use observer::{CountingObserver, NullObserver, RunObserver, StderrReporter};
 pub use pool::WorkerPool;
 pub use runner::{Runtime, RuntimeBuilder};
+pub use telemetry::TelemetrySink;

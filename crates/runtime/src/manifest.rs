@@ -50,6 +50,12 @@ pub struct JobRecord {
     /// Digest of the serialized outcome (same content-identity family as
     /// the cache keys), for cheap cross-run comparisons.
     pub outcome_digest: String,
+    /// Per-job telemetry blob (JSON, produced by an instrumented run),
+    /// attached only when the run collected telemetry and the job was
+    /// actually computed. `None` for cache-served jobs and for manifests
+    /// written before telemetry existed.
+    #[serde(default)]
+    pub telemetry: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -171,7 +177,28 @@ mod tests {
             status: JobStatus::Computed,
             wall_ms: 12,
             outcome_digest: "00ff".to_string(),
+            telemetry: None,
         }
+    }
+
+    #[test]
+    fn pre_telemetry_records_still_parse() {
+        // Manifests written before the telemetry field existed must stay
+        // readable: the field defaults to None when absent.
+        let line = "{\"index\":0,\"key\":\"k\",\"status\":\"Computed\",\
+                    \"wall_ms\":5,\"outcome_digest\":\"ab\"}";
+        let old: JobRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(old.telemetry, None);
+        assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn telemetry_blob_round_trips() {
+        let mut r = record(0);
+        r.telemetry = Some("{\"nodes\":[]}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::cache::{content_digest, ResultCache};
 use crate::manifest::{JobRecord, JobStatus, ManifestHeader, ManifestWriter};
 use crate::observer::{NullObserver, RunObserver};
 use crate::pool::WorkerPool;
+use crate::telemetry::TelemetrySink;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,6 +19,7 @@ pub struct RuntimeBuilder {
     observer: Option<Arc<dyn RunObserver + Send + Sync>>,
     manifest_path: Option<PathBuf>,
     deferred_cache_dir: Option<PathBuf>,
+    telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl RuntimeBuilder {
@@ -73,6 +75,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Collects per-job telemetry blobs into `sink`. Jobs reach the sink
+    /// through [`Runtime::telemetry_sink`]; the runner journals each
+    /// attached blob into the job's manifest record.
+    #[must_use]
+    pub fn telemetry_sink(mut self, sink: Arc<TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -90,6 +101,7 @@ impl RuntimeBuilder {
             cache,
             observer: self.observer.unwrap_or_else(|| Arc::new(NullObserver)),
             manifest_path: self.manifest_path,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -103,6 +115,7 @@ pub struct Runtime {
     cache: ResultCache,
     observer: Arc<dyn RunObserver + Send + Sync>,
     manifest_path: Option<PathBuf>,
+    telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl Runtime {
@@ -115,6 +128,7 @@ impl Runtime {
             cache: ResultCache::in_memory(),
             observer: Arc::new(NullObserver),
             manifest_path: None,
+            telemetry: None,
         }
     }
 
@@ -134,6 +148,13 @@ impl Runtime {
     #[must_use]
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The telemetry sink, when this runtime collects telemetry. Job
+    /// closures use this to attach per-job instrumentation blobs.
+    #[must_use]
+    pub fn telemetry_sink(&self) -> Option<&TelemetrySink> {
+        self.telemetry.as_deref()
     }
 
     /// Runs `keys.len()` jobs on the pool, serving repeats from the
@@ -175,6 +196,9 @@ impl Runtime {
             }
         });
 
+        if let Some(sink) = &self.telemetry {
+            sink.reset(keys.len());
+        }
         self.observer.run_started(keys.len());
         let computed = AtomicUsize::new(0);
         let cached = AtomicUsize::new(0);
@@ -190,7 +214,7 @@ impl Runtime {
                     let wall = job_started.elapsed();
                     self.observer.job_finished(index, JobStatus::Cached, wall);
                     if let Some(writer) = &manifest {
-                        Self::journal(writer, index, key, JobStatus::Cached, wall, &json);
+                        self.journal(writer, index, key, JobStatus::Cached, wall, &json);
                     }
                     return value;
                 }
@@ -206,7 +230,7 @@ impl Runtime {
             let wall = job_started.elapsed();
             self.observer.job_finished(index, JobStatus::Computed, wall);
             if let Some(writer) = &manifest {
-                Self::journal(writer, index, key, JobStatus::Computed, wall, &json);
+                self.journal(writer, index, key, JobStatus::Computed, wall, &json);
             }
             value
         });
@@ -231,6 +255,7 @@ impl Runtime {
     }
 
     fn journal(
+        &self,
         writer: &ManifestWriter,
         index: usize,
         key: &str,
@@ -238,12 +263,18 @@ impl Runtime {
         wall: std::time::Duration,
         json: &str,
     ) {
+        // Cached jobs did no instrumented work, so they carry no blob.
+        let telemetry = match status {
+            JobStatus::Computed => self.telemetry.as_ref().and_then(|sink| sink.get(index)),
+            JobStatus::Cached => None,
+        };
         let record = JobRecord {
             index,
             key: key.to_string(),
             status,
             wall_ms: wall.as_millis() as u64,
             outcome_digest: content_digest(json.as_bytes()),
+            telemetry,
         };
         if let Err(e) = writer.record(&record) {
             eprintln!(

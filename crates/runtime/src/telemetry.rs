@@ -1,0 +1,114 @@
+//! Per-job telemetry collection for instrumented runs.
+//!
+//! The runtime stays generic over what jobs compute, so telemetry flows
+//! through it as opaque JSON blobs: a job that instruments its work
+//! attaches one blob to its slot in the [`TelemetrySink`], and the
+//! runner journals the blob into that job's manifest record. Cache-served
+//! jobs do no work, so they attach nothing — telemetry describes what
+//! actually ran, never what a previous run measured.
+//!
+//! The sink never participates in cache keys or result digests, so
+//! enabling telemetry cannot change experiment outputs.
+
+use std::sync::Mutex;
+
+/// A slot-per-job mailbox for telemetry blobs, shared between the
+/// runtime and job closures.
+///
+/// Thread-safe: jobs run on pool workers, each writing only its own
+/// slot.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    slots: Mutex<Vec<Option<String>>>,
+}
+
+impl TelemetrySink {
+    /// An empty sink; [`TelemetrySink::reset`] sizes it per run.
+    #[must_use]
+    pub fn new() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// Clears the sink and resizes it to `jobs` empty slots. Called by
+    /// the runtime at the start of each run.
+    pub fn reset(&self, jobs: usize) {
+        let mut slots = self.slots.lock().expect("telemetry sink lock");
+        slots.clear();
+        slots.resize(jobs, None);
+    }
+
+    /// Attaches job `index`'s telemetry blob (JSON). Silently ignored if
+    /// the sink was not sized for `index` — a job can always attach
+    /// without caring whether telemetry collection is active this run.
+    pub fn attach(&self, index: usize, json: impl Into<String>) {
+        let mut slots = self.slots.lock().expect("telemetry sink lock");
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s blob, if one was attached.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<String> {
+        let slots = self.slots.lock().expect("telemetry sink lock");
+        slots.get(index).and_then(Clone::clone)
+    }
+
+    /// Number of slots (jobs) the sink is currently sized for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("telemetry sink lock").len()
+    }
+
+    /// `true` when the sink has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All blobs in job order (one entry per slot), draining the sink.
+    #[must_use]
+    pub fn take_all(&self) -> Vec<Option<String>> {
+        let mut slots = self.slots.lock().expect("telemetry sink lock");
+        std::mem::take(&mut *slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_take_in_job_order() {
+        let sink = TelemetrySink::new();
+        sink.reset(3);
+        sink.attach(2, "{\"c\":1}");
+        sink.attach(0, "{\"a\":1}");
+        assert_eq!(sink.get(0).as_deref(), Some("{\"a\":1}"));
+        assert_eq!(sink.get(1), None);
+        let all = sink.take_all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].as_deref(), Some("{\"a\":1}"));
+        assert_eq!(all[1], None);
+        assert_eq!(all[2].as_deref(), Some("{\"c\":1}"));
+        assert!(sink.is_empty(), "take_all drains");
+    }
+
+    #[test]
+    fn attach_out_of_range_is_ignored() {
+        let sink = TelemetrySink::new();
+        sink.reset(1);
+        sink.attach(5, "{}");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.get(5), None);
+    }
+
+    #[test]
+    fn reset_clears_previous_run() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach(0, "old");
+        sink.reset(2);
+        assert_eq!(sink.get(0), None);
+    }
+}

@@ -100,9 +100,12 @@ impl<E> Trace<E> {
         self.dropped
     }
 
-    /// Removes all retained records.
+    /// Removes all retained records and resets the eviction count,
+    /// returning the trace to its freshly constructed state — intended
+    /// for reuse between runs.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.dropped = 0;
     }
 }
 
@@ -136,11 +139,18 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets_records() {
-        let mut tr = Trace::with_capacity(4);
-        tr.record(t(1.0), 1);
+    fn clear_resets_records_and_eviction_count() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5 {
+            tr.record(t(i as f64), i);
+        }
+        assert_eq!(tr.dropped(), 3);
         tr.clear();
         assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        // The trace is reusable after clearing.
+        tr.record(t(9.0), 9);
+        assert_eq!(tr.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Observability for the temporal-privacy stack.
+//!
+//! The paper's queueing analysis (§4) predicts exactly what a healthy run
+//! looks like: M/M/∞ node occupancy is Poisson(ρ = λ/μ), finite buffers
+//! drop at the Erlang loss rate `E(ρ, k)`, and RCAD converts those drops
+//! into preemptions. This crate makes those quantities observable:
+//!
+//! * [`registry`] — a dependency-free metrics registry (counters, gauges,
+//!   fixed-bin histograms) with cheap index handles and snapshot export to
+//!   canonical JSON and the Prometheus text exposition format;
+//! * [`probe`] — the [`SimProbe`] trait the simulation driver calls at
+//!   event boundaries, a zero-overhead [`NullProbe`] default, and a
+//!   [`RecordingProbe`] that accumulates per-node occupancy dwell
+//!   statistics, decimated occupancy time series, preemption/drop/flush
+//!   counts, buffer high-water marks, and a bounded event trace;
+//! * [`theory`] — [`TheoryCheck`] comparisons of measured telemetry
+//!   against the `crates/queueing` predictions, with configurable
+//!   tolerances, collected into a [`TheoryReport`];
+//! * [`span`] — wall-clock spans for timing pipeline stages.
+//!
+//! # Determinism contract
+//!
+//! Probes observe; they never act. A probe must not consume RNG draws,
+//! schedule or cancel events, or otherwise perturb the simulation.
+//! [`RecordingProbe`] honors this by construction (it only accumulates),
+//! and the driver-side integration is verified by byte-identical-output
+//! tests with probes on vs. off.
+
+#![warn(missing_docs)]
+
+pub mod probe;
+pub mod registry;
+pub mod span;
+pub mod theory;
+
+pub use probe::{NodeTelemetry, NullProbe, ProbeEvent, RecordingProbe, SimProbe, SimTelemetry};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, TelemetrySnapshot};
+pub use span::SpanSet;
+pub use theory::{TheoryCheck, TheoryReport, TheoryTolerance};

@@ -1,0 +1,92 @@
+//! Wall-clock spans for timing pipeline stages.
+//!
+//! Spans measure host time (build, simulate, score, …), not simulated
+//! time; they are profiling metadata and are deliberately excluded from
+//! anything that must be deterministic (cache keys, result digests,
+//! byte-identical output checks).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A named collection of wall-time measurements.
+///
+/// # Examples
+///
+/// ```
+/// use tempriv_telemetry::SpanSet;
+///
+/// let mut spans = SpanSet::new();
+/// let answer = spans.time("simulate", || 6 * 7);
+/// assert_eq!(answer, 42);
+/// assert_eq!(spans.spans().len(), 1);
+/// assert_eq!(spans.spans()[0].0, "simulate");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SpanSet {
+    spans: Vec<(String, f64)>,
+}
+
+impl SpanSet {
+    /// An empty span set.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanSet::default()
+    }
+
+    /// Runs `f`, recording its wall time under `name`.
+    pub fn time<R>(&mut self, name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = f();
+        self.record(name, started.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Records an externally measured duration (seconds) under `name`.
+    pub fn record(&mut self, name: impl Into<String>, seconds: f64) {
+        self.spans.push((name.into(), seconds));
+    }
+
+    /// The recorded `(name, seconds)` pairs, in recording order.
+    #[must_use]
+    pub fn spans(&self) -> &[(String, f64)] {
+        &self.spans
+    }
+
+    /// Total seconds across all spans.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.spans.iter().map(|(_, s)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_in_order() {
+        let mut spans = SpanSet::new();
+        spans.record("build", 0.5);
+        spans.record("simulate", 1.5);
+        assert_eq!(spans.spans().len(), 2);
+        assert_eq!(spans.spans()[1].0, "simulate");
+        assert!((spans.total_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut spans = SpanSet::new();
+        let got = spans.time("work", || "done");
+        assert_eq!(got, "done");
+        assert!(spans.spans()[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn span_set_round_trips_through_json() {
+        let mut spans = SpanSet::new();
+        spans.record("a", 0.25);
+        let json = serde_json::to_string(&spans).unwrap();
+        let back: SpanSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spans);
+    }
+}

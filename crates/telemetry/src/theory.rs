@@ -1,0 +1,271 @@
+//! Theory checks: measured telemetry vs. the paper's queueing predictions.
+//!
+//! §4 of the paper gives closed forms for what a healthy simulation must
+//! show: an M/M/∞ delaying node holds Poisson(ρ = λ/μ) packets (so its
+//! time-weighted mean occupancy is ρ — by Little's law the mean holds for
+//! *any* stationary arrival process), and a finite buffer of `k` slots
+//! under Poisson load blocks an `erlang_b(ρ, k)` fraction of arrivals;
+//! RCAD converts exactly that blocked fraction into preemptions. Each
+//! [`TheoryCheck`] compares one measured statistic against one such
+//! prediction and flags deviations beyond a [`TheoryTolerance`].
+
+use serde::{Deserialize, Serialize};
+use tempriv_queueing::erlang::erlang_b;
+use tempriv_queueing::poisson::Poisson;
+
+/// Tolerances for the theory comparisons.
+///
+/// Finite runs carry transient (cold-start/drain) bias and sampling
+/// noise, so the defaults are loose enough for a few thousand packets yet
+/// tight enough to flag a mis-tuned scenario (e.g. a λ or μ off by 2×).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoryTolerance {
+    /// Max relative deviation of mean occupancy from ρ.
+    pub occupancy_rel: f64,
+    /// Max absolute deviation of a drop/preemption fraction from
+    /// `erlang_b(ρ, k)`.
+    pub loss_abs: f64,
+    /// Max L1 distance between the sampled occupancy PMF and Poisson(ρ).
+    pub pmf_l1: f64,
+}
+
+impl Default for TheoryTolerance {
+    fn default() -> Self {
+        TheoryTolerance {
+            occupancy_rel: 0.15,
+            loss_abs: 0.05,
+            pmf_l1: 0.25,
+        }
+    }
+}
+
+/// One comparison between a measured statistic and a theoretical value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TheoryCheck {
+    /// What was checked, e.g. `node 0 mean occupancy vs rho`.
+    pub name: String,
+    /// The closed-form prediction.
+    pub predicted: f64,
+    /// The measured statistic.
+    pub measured: f64,
+    /// Deviation in the units the tolerance is expressed in (relative
+    /// for occupancy, absolute for loss fractions, L1 for PMFs).
+    pub deviation: f64,
+    /// The tolerance the deviation was compared against.
+    pub tolerance: f64,
+    /// `deviation <= tolerance`.
+    pub passed: bool,
+}
+
+impl TheoryCheck {
+    fn new(name: String, predicted: f64, measured: f64, deviation: f64, tolerance: f64) -> Self {
+        TheoryCheck {
+            name,
+            predicted,
+            measured,
+            deviation,
+            tolerance,
+            passed: deviation <= tolerance,
+        }
+    }
+
+    /// Mean-occupancy check: measured time-weighted mean vs. ρ, judged on
+    /// relative deviation. Valid for any stationary arrival process by
+    /// Little's law (`N̄ = λ·(1/μ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is non-positive or not finite.
+    #[must_use]
+    pub fn mean_occupancy(
+        name: impl Into<String>,
+        rho: f64,
+        measured: f64,
+        tol: &TheoryTolerance,
+    ) -> Self {
+        assert!(
+            rho.is_finite() && rho > 0.0,
+            "rho must be positive, got {rho}"
+        );
+        let deviation = (measured - rho).abs() / rho;
+        TheoryCheck::new(name.into(), rho, measured, deviation, tol.occupancy_rel)
+    }
+
+    /// Erlang-loss check: a measured loss fraction (drops or RCAD
+    /// preemptions over arrivals) vs. `erlang_b(rho, k)`, judged on
+    /// absolute deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is non-positive or not finite (see [`erlang_b`]).
+    #[must_use]
+    pub fn erlang_loss(
+        name: impl Into<String>,
+        rho: f64,
+        k: u32,
+        measured_fraction: f64,
+        tol: &TheoryTolerance,
+    ) -> Self {
+        let predicted = erlang_b(rho, k);
+        let deviation = (measured_fraction - predicted).abs();
+        TheoryCheck::new(
+            name.into(),
+            predicted,
+            measured_fraction,
+            deviation,
+            tol.loss_abs,
+        )
+    }
+
+    /// Occupancy-distribution check: L1 distance between a time-weighted
+    /// occupancy PMF (`(depth, fraction)` pairs) and Poisson(ρ). Only
+    /// meaningful for M/M/∞ nodes (Poisson arrivals, exponential delays,
+    /// no admission control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is non-positive or not finite.
+    #[must_use]
+    pub fn poisson_occupancy_pmf(
+        name: impl Into<String>,
+        rho: f64,
+        pmf: &[(u64, f64)],
+        tol: &TheoryTolerance,
+    ) -> Self {
+        assert!(
+            rho.is_finite() && rho > 0.0,
+            "rho must be positive, got {rho}"
+        );
+        let poisson = Poisson::new(rho);
+        // Compare over the union of the measured support and the bulk of
+        // the predicted mass; unmatched mass on either side counts fully.
+        let k_max = pmf
+            .iter()
+            .map(|&(k, _)| k)
+            .max()
+            .unwrap_or(0)
+            .max(poisson.quantile(0.9999));
+        let mut l1 = 0.0;
+        for k in 0..=k_max {
+            let measured = pmf
+                .iter()
+                .find(|&&(depth, _)| depth == k)
+                .map_or(0.0, |&(_, p)| p);
+            l1 += (measured - poisson.pmf(k)).abs();
+        }
+        // Mean-matched scalar summary for the report columns.
+        let measured_mean: f64 = pmf.iter().map(|&(k, p)| k as f64 * p).sum();
+        TheoryCheck::new(name.into(), rho, measured_mean, l1, tol.pmf_l1)
+    }
+}
+
+/// A collection of [`TheoryCheck`]s for one instrumented run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TheoryReport {
+    /// The individual comparisons, in evaluation order.
+    pub checks: Vec<TheoryCheck>,
+}
+
+impl TheoryReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        TheoryReport::default()
+    }
+
+    /// Appends a check.
+    pub fn push(&mut self, check: TheoryCheck) {
+        self.checks.push(check);
+    }
+
+    /// `true` when every check passed (vacuously true when empty).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// The checks that exceeded tolerance.
+    #[must_use]
+    pub fn flagged(&self) -> Vec<&TheoryCheck> {
+        self.checks.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Merges another report's checks into this one.
+    pub fn extend(&mut self, other: TheoryReport) {
+        self.checks.extend(other.checks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_within_tolerance_passes() {
+        let tol = TheoryTolerance::default();
+        let c = TheoryCheck::mean_occupancy("n0", 15.0, 14.2, &tol);
+        assert!(c.passed);
+        assert!((c.deviation - 0.8 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mistuned_occupancy_is_flagged() {
+        let tol = TheoryTolerance::default();
+        // A 2x-wrong mu shows up as a ~2x-wrong mean.
+        let c = TheoryCheck::mean_occupancy("n0", 15.0, 7.4, &tol);
+        assert!(!c.passed);
+    }
+
+    #[test]
+    fn erlang_loss_uses_absolute_deviation() {
+        let tol = TheoryTolerance::default();
+        let predicted = erlang_b(5.0, 4);
+        let c = TheoryCheck::erlang_loss("n0 drops", 5.0, 4, predicted + 0.03, &tol);
+        assert!(c.passed);
+        let c = TheoryCheck::erlang_loss("n0 drops", 5.0, 4, predicted + 0.2, &tol);
+        assert!(!c.passed);
+    }
+
+    #[test]
+    fn exact_poisson_pmf_has_zero_l1() {
+        let tol = TheoryTolerance::default();
+        let rho = 3.0;
+        let poisson = Poisson::new(rho);
+        let pmf: Vec<(u64, f64)> = (0..=20).map(|k| (k, poisson.pmf(k))).collect();
+        let c = TheoryCheck::poisson_occupancy_pmf("pmf", rho, &pmf, &tol);
+        assert!(c.passed);
+        assert!(c.deviation < 1e-6);
+        assert!((c.measured - rho).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shifted_pmf_is_flagged() {
+        let tol = TheoryTolerance::default();
+        let poisson = Poisson::new(8.0);
+        let pmf: Vec<(u64, f64)> = (0..=30).map(|k| (k, poisson.pmf(k))).collect();
+        let c = TheoryCheck::poisson_occupancy_pmf("pmf", 2.0, &pmf, &tol);
+        assert!(!c.passed);
+    }
+
+    #[test]
+    fn report_aggregates_flags() {
+        let tol = TheoryTolerance::default();
+        let mut report = TheoryReport::new();
+        report.push(TheoryCheck::mean_occupancy("ok", 10.0, 10.1, &tol));
+        assert!(report.passed());
+        report.push(TheoryCheck::mean_occupancy("bad", 10.0, 20.0, &tol));
+        assert!(!report.passed());
+        assert_eq!(report.flagged().len(), 1);
+        assert_eq!(report.flagged()[0].name, "bad");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let tol = TheoryTolerance::default();
+        let mut report = TheoryReport::new();
+        report.push(TheoryCheck::erlang_loss("loss", 5.0, 4, 0.4, &tol));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TheoryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}
