@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Valid selectors: `fig2a`, `fig2b`, `fig3`, `v1`, `v2`, `v3`, `v4`,
-//! `a1`, `a2`, `a3`, `e1`, `e2`, `e3`, `e4`, `all`.
+//! `a1`, `a2`, `a3`, `e1`, `e2`, `e3`, `e4`, `t1`, `all`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +30,7 @@ use tempriv_core::sim_driver::NetworkSimulation;
 use tempriv_net::convergecast::Convergecast;
 use tempriv_net::ids::FlowId;
 use tempriv_net::traffic::TrafficModel;
+use tempriv_telemetry::FlightRecorder;
 
 fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
@@ -398,6 +399,59 @@ fn a3() {
     );
 }
 
+fn t1() {
+    // A traced run of the paper's four-flow Figure-1 layout: end-to-end
+    // latency CDFs per flow, resolved from packet lineages. Path lengths
+    // differ per flow (15/22/9/11 hops), so the CDFs separate cleanly.
+    let layout = Convergecast::paper_figure1();
+    let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::periodic(2.0))
+        .packets_per_source(1000)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::paper_rcad())
+        .seed(2007)
+        .build()
+        .expect("valid simulation");
+    let mut recorder = FlightRecorder::new();
+    let outcome = sim.run_probed(&mut recorder);
+    let log = recorder.finish(outcome.end_time);
+
+    let flows = sim.sources().len();
+    let mut per_flow: Vec<Vec<f64>> = vec![Vec::new(); flows];
+    for (flow, span) in log.end_to_end_samples() {
+        per_flow[flow].push(span);
+    }
+    for samples in &mut per_flow {
+        samples.sort_by(f64::total_cmp);
+    }
+    let max = per_flow
+        .iter()
+        .filter_map(|s| s.last().copied())
+        .fold(0.0f64, f64::max);
+
+    // Empirical CDFs on a common latency grid, one column per flow.
+    let headers: Vec<String> = std::iter::once("latency".to_string())
+        .chain((1..=flows).map(|i| format!("cdf_s{i}")))
+        .collect();
+    let mut s = Series::new(headers);
+    let steps = 120;
+    for step in 0..=steps {
+        let latency = max * f64::from(step) / f64::from(steps);
+        let mut row = vec![fmt_f(latency, 1)];
+        for samples in &per_flow {
+            let below = samples.partition_point(|&x| x <= latency);
+            let cdf = below as f64 / samples.len().max(1) as f64;
+            row.push(fmt_f(cdf, 4));
+        }
+        s.push_row(row);
+    }
+    emit(
+        "t1_latency_cdf",
+        "T1: end-to-end latency CDF per flow from a traced run (hops 15/22/9/11)",
+        &s,
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() {
@@ -410,7 +464,7 @@ fn main() -> ExitCode {
 
     let known = [
         "all", "fig2a", "fig2b", "fig3", "v1", "v2", "v3", "v4", "a1", "a2", "a3", "e1", "e2",
-        "e3", "e4",
+        "e3", "e4", "t1",
     ];
     if let Some(bad) = selected.iter().find(|s| !known.contains(s)) {
         eprintln!("unknown selector `{bad}`; valid: {}", known.join(", "));
@@ -459,6 +513,9 @@ fn main() -> ExitCode {
     }
     if want("e4") {
         e4();
+    }
+    if want("t1") {
+        t1();
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,226 @@
+//! Perf baseline for the observability layer: times the four-flow
+//! Figure-1 sweep probes-off vs metrics vs full tracing and writes
+//! `BENCH_trace.json`, pinning the tracing overhead (<10% target for
+//! ring-buffer mode).
+//!
+//! ```text
+//! cargo run --release -p tempriv-bench --bin perf_baseline
+//! cargo run --release -p tempriv-bench --bin perf_baseline -- \
+//!     --packets 100 --points 2,20 --repeats 2 --out BENCH_trace.json
+//! ```
+//!
+//! Each mode runs the identical deterministic sweep (same seeds, same
+//! event sequence — the probe layer observes and never samples), so the
+//! wall-clock deltas isolate instrumentation cost. Per point the minimum
+//! over `--repeats` runs is kept, the standard guard against scheduler
+//! noise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+use tempriv_core::buffer::BufferPolicy;
+use tempriv_core::delay::DelayPlan;
+use tempriv_core::sim_driver::NetworkSimulation;
+use tempriv_net::convergecast::Convergecast;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_telemetry::{FlightRecorder, RecordingProbe};
+
+/// One instrumentation mode's timings across the sweep.
+#[derive(Debug, Serialize)]
+struct ModeTiming {
+    /// Mode name: `probes_off`, `metrics`, or `tracing`.
+    mode: String,
+    /// Best-of-repeats seconds per sweep point, in point order.
+    point_secs: Vec<f64>,
+    /// Sum of the per-point times.
+    total_secs: f64,
+}
+
+/// The `BENCH_trace.json` payload.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Inter-arrival times of the sweep points.
+    points: Vec<f64>,
+    /// Packets per source per point.
+    packets_per_source: u32,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// Per-mode timings: probes_off, metrics, tracing.
+    modes: Vec<ModeTiming>,
+    /// `metrics total / probes_off total`.
+    metrics_over_probes_off: f64,
+    /// `tracing total / probes_off total`.
+    tracing_over_probes_off: f64,
+    /// `tracing total / metrics total` — the ring-buffer increment.
+    tracing_over_metrics: f64,
+    /// Ring-buffer overhead in percent: `(tracing/metrics - 1) * 100`.
+    tracing_overhead_pct: f64,
+}
+
+fn figure1_sim(inv_lambda: f64, packets: u32) -> NetworkSimulation {
+    let layout = Convergecast::paper_figure1();
+    NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::periodic(inv_lambda))
+        .packets_per_source(packets)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::paper_rcad())
+        .seed(2007)
+        .build()
+        .expect("paper Figure-1 config is valid")
+}
+
+/// Wall-clock seconds for one run of `f`.
+fn time_once<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+/// Times the three instrumentation modes over the sweep. Within each
+/// repeat the modes run back-to-back, so ambient machine load skews them
+/// equally rather than biasing whichever mode happened to run during a
+/// busy stretch; the minimum per mode over `repeats` is kept.
+fn time_modes(points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
+    let mut secs = [vec![], vec![], vec![]];
+    // The ring is allocated once and reset between runs, as a long-lived
+    // flight recorder would be: the steady-state cost is the per-event
+    // record, not the one-time arena allocation.
+    let mut flight = FlightRecorder::new();
+    for &inv_lambda in points {
+        let sim = figure1_sim(inv_lambda, packets);
+        let nodes = sim.routing().len();
+        let mut best = [f64::INFINITY; 3];
+        for _ in 0..repeats {
+            best[0] = best[0].min(time_once(|| {
+                std::hint::black_box(sim.run());
+            }));
+            best[1] = best[1].min(time_once(|| {
+                let mut probe = RecordingProbe::new(nodes);
+                std::hint::black_box(sim.run_probed(&mut probe));
+                std::hint::black_box(&probe);
+            }));
+            best[2] = best[2].min(time_once(|| {
+                flight.reset();
+                let mut pair = (RecordingProbe::new(nodes), &mut flight);
+                std::hint::black_box(sim.run_probed(&mut pair));
+                std::hint::black_box(&pair);
+            }));
+        }
+        for (mode, &s) in secs.iter_mut().zip(&best) {
+            mode.push(s);
+        }
+    }
+    let timing = |name: &str, point_secs: Vec<f64>| {
+        let total_secs: f64 = point_secs.iter().sum();
+        eprintln!(
+            "[perf] {name}: {total_secs:.3}s over {} points",
+            point_secs.len()
+        );
+        ModeTiming {
+            mode: name.to_string(),
+            point_secs,
+            total_secs,
+        }
+    };
+    let [off, met, tra] = secs;
+    [
+        timing("probes_off", off),
+        timing("metrics", met),
+        timing("tracing", tra),
+    ]
+}
+
+fn parse_args() -> Result<(Vec<f64>, u32, u32, PathBuf), String> {
+    let mut points: Vec<f64> = vec![2.0, 8.0, 14.0, 20.0];
+    let mut packets: u32 = 1000;
+    let mut repeats: u32 = 5;
+    let mut out =
+        PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+            .join("BENCH_trace.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{} needs a value", args[i]))?;
+        match args[i].as_str() {
+            "--points" => {
+                points = value
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|_| format!("bad point `{p}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--packets" => {
+                packets = value
+                    .parse()
+                    .map_err(|_| format!("bad --packets `{value}`"))?;
+            }
+            "--repeats" => {
+                repeats = value
+                    .parse()
+                    .map_err(|_| format!("bad --repeats `{value}`"))?;
+            }
+            "--out" => out = PathBuf::from(value),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    if points.is_empty() || repeats == 0 {
+        return Err("--points and --repeats must be non-empty/positive".into());
+    }
+    Ok((points, packets, repeats, out))
+}
+
+fn main() -> ExitCode {
+    let (points, packets, repeats, out) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("perf_baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Warm caches so the first timed mode pays no cold-start penalty.
+    std::hint::black_box(figure1_sim(points[0], packets.min(100)).run());
+
+    let [probes_off, metrics, tracing] = time_modes(&points, packets, repeats);
+
+    let ratio = |a: &ModeTiming, b: &ModeTiming| a.total_secs / b.total_secs;
+    let report = BenchReport {
+        bench: "figure1_sweep_tracing_overhead".to_string(),
+        points,
+        packets_per_source: packets,
+        repeats,
+        metrics_over_probes_off: ratio(&metrics, &probes_off),
+        tracing_over_probes_off: ratio(&tracing, &probes_off),
+        tracing_over_metrics: ratio(&tracing, &metrics),
+        tracing_overhead_pct: (ratio(&tracing, &metrics) - 1.0) * 100.0,
+        modes: vec![probes_off, metrics, tracing],
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("perf_baseline: serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("perf_baseline: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ring-buffer tracing overhead: {:+.2}% vs metrics, {:+.2}% vs probes-off \
+         [written {}]",
+        report.tracing_overhead_pct,
+        (report.tracing_over_probes_off - 1.0) * 100.0,
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

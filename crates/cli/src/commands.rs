@@ -19,6 +19,7 @@ use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
 use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
+use tempriv_telemetry::{FlightRecorder, LineageOutcome, DEFAULT_FLIGHT_CAPACITY};
 
 use crate::args::Args;
 
@@ -49,11 +50,23 @@ COMMANDS:
         [--telemetry PATH]   instrument the run; write the aggregated
                              telemetry export (occupancy, preemptions,
                              drops, theory cross-checks) as JSON
+        [--trace-capacity N] also flight-record packet lifecycles into
+                             a ring of N events per job (needs
+                             --telemetry; blobs journal to --manifest)
         [--quiet]            suppress stderr progress
     resume <run.jsonl>       finish an interrupted sweep from its manifest
-        [--workers N] [--telemetry PATH] [--quiet]
-    report <run.jsonl>       aggregate per-job telemetry from a manifest
+        [--workers N] [--telemetry PATH] [--trace-capacity N] [--quiet]
+    report <run.jsonl|dir>   aggregate per-job telemetry from a manifest,
+                             or from every *.jsonl manifest in a directory
         [--format F]         text (default), json, or prometheus
+    trace [config.json]      flight-record one run (paper default config
+                             when omitted) and dump packet lifecycles
+        [--seed N] [--packets N]  override the config
+        [--capacity N]       ring-buffer capacity (default 262144)
+        [--flow F] [--node N] [--packet P]  keep matching events only
+        [--format F]         text (default), jsonl, or chrome
+                             (chrome loads in chrome://tracing / Perfetto)
+        [--out PATH]         write the dump to a file instead of stdout
     cache stats --cache-dir DIR    count cached results
     cache clear --cache-dir DIR    delete cached results
     calc erlang  --rho R --slots K          Erlang loss E(R, K)
@@ -82,6 +95,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("sweep") => cmd_sweep(args, out),
         Some("resume") => cmd_resume(args, out),
         Some("report") => cmd_report(args, out),
+        Some("trace") => cmd_trace(args, out),
         Some("cache") => cmd_cache(args, out),
         Some("calc") => cmd_calc(args, out),
         Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
@@ -256,6 +270,18 @@ fn build_runtime(
     if let Some((sink, _)) = &telemetry {
         builder = builder.telemetry_sink(Arc::clone(sink));
     }
+    if let Some(raw) = args.option("trace-capacity") {
+        let capacity: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --trace-capacity: `{raw}`"))?;
+        if capacity == 0 {
+            return Err("--trace-capacity must be positive".into());
+        }
+        let Some((sink, _)) = &telemetry else {
+            return Err("--trace-capacity requires --telemetry".into());
+        };
+        sink.set_trace_capacity(capacity);
+    }
     Ok((builder.build()?, telemetry))
 }
 
@@ -393,21 +419,56 @@ fn cmd_resume<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
-/// `tempriv report <run.jsonl>`: aggregate the per-job telemetry blobs a
-/// manifest journaled and render them as text, JSON, or Prometheus
-/// exposition format.
-fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
-    let path = args
-        .positional(1)
-        .ok_or("usage: tempriv report <run.jsonl> [--format text|json|prometheus]")?;
-    let manifest = ManifestReader::read(path)?;
+/// Per-job telemetry blobs of one manifest, in job order.
+fn manifest_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
     let mut blobs: Vec<Option<String>> = vec![None; manifest.header.jobs];
     for record in &manifest.records {
         if let Some(slot) = blobs.get_mut(record.index) {
             slot.clone_from(&record.telemetry);
         }
     }
-    let export = TelemetryExport::collect(&manifest.header.experiment, &blobs)?;
+    blobs
+}
+
+/// `tempriv report <run.jsonl|dir>`: aggregate the per-job telemetry
+/// blobs journaled by one manifest — or by every `*.jsonl` manifest in a
+/// directory, concatenated in file-name order — and render them as text,
+/// JSON, or Prometheus exposition format.
+fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args
+        .positional(1)
+        .ok_or("usage: tempriv report <run.jsonl|dir> [--format text|json|prometheus]")?;
+    let (experiment, blobs) = if std::path::Path::new(path).is_dir() {
+        let entries =
+            std::fs::read_dir(path).map_err(|e| format!("cannot read directory {path}: {e}"))?;
+        let mut manifests: Vec<std::path::PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect();
+        manifests.sort();
+        if manifests.is_empty() {
+            return Err(format!(
+                "no .jsonl manifests in {path}; point report at a manifest \
+                 file or a directory of them"
+            ));
+        }
+        let mut experiments: Vec<String> = Vec::new();
+        let mut blobs = Vec::new();
+        for manifest_path in &manifests {
+            let manifest = ManifestReader::read(manifest_path)?;
+            blobs.extend(manifest_blobs(&manifest));
+            if !experiments.contains(&manifest.header.experiment) {
+                experiments.push(manifest.header.experiment.clone());
+            }
+        }
+        (experiments.join("+"), blobs)
+    } else {
+        let manifest = ManifestReader::read(path)?;
+        let blobs = manifest_blobs(&manifest);
+        (manifest.header.experiment, blobs)
+    };
+    let export = TelemetryExport::collect(&experiment, &blobs)?;
     match args.option("format").unwrap_or("text") {
         "text" => {
             write!(out, "{}", export.summary_text()).map_err(io_err)?;
@@ -427,6 +488,97 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             "unknown --format `{other}`; expected text, json, or prometheus"
         )),
     }
+}
+
+/// Parses optional `--key` as `T`, distinguishing "absent" from "bad".
+fn optional<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, String> {
+    args.option(key)
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("invalid value for --{key}: `{raw}`"))
+        })
+        .transpose()
+}
+
+/// One spectrum line of the `trace` text summary: sample count plus
+/// p50/p90/p99 quantiles.
+fn spectrum_line(label: &str, h: &tempriv_telemetry::HistogramSample) -> String {
+    let q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+    format!(
+        "{label}: n={} p50={} p90={} p99={}",
+        h.total,
+        q(h.p50()),
+        q(h.p90()),
+        q(h.p99()),
+    )
+}
+
+/// `tempriv trace [config.json]`: run one experiment under the flight
+/// recorder and dump the packet-lifecycle recording as a text summary,
+/// JSONL events, or a Chrome `trace_event` file.
+fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let mut cfg = match args.positional(1) {
+        Some(path) => {
+            let raw =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str::<ExperimentConfig>(&raw)
+                .map_err(|e| format!("invalid config {path}: {e}"))?
+        }
+        None => ExperimentConfig::paper_default(),
+    };
+    cfg.seed = args.option_as("seed", cfg.seed)?;
+    cfg.packets_per_source = args.option_as("packets", cfg.packets_per_source)?;
+    let capacity: usize = args.option_as("capacity", DEFAULT_FLIGHT_CAPACITY)?;
+    if capacity == 0 {
+        return Err("--capacity must be positive".into());
+    }
+    let sim = cfg.build().map_err(|e| e.to_string())?;
+    let mut recorder = FlightRecorder::with_capacity(capacity);
+    let outcome = sim.run_probed(&mut recorder);
+    let log = recorder.finish(outcome.end_time).filtered(
+        optional(args, "flow")?,
+        optional(args, "node")?,
+        optional(args, "packet")?,
+    );
+
+    let body = match args.option("format").unwrap_or("text") {
+        "text" => {
+            let lineages = log.lineages();
+            let count = |o: LineageOutcome| lineages.iter().filter(|l| l.outcome == o).count();
+            let preemptions: u32 = lineages.iter().map(|l| l.preemptions).sum();
+            let spectra = log.latency_spectra(40);
+            format!(
+                "flight recording: {} events retained, {} evicted \
+                 (capacity {}), end time {:.1}\n\
+                 packets: {} total; {} delivered, {} dropped, {} in flight; \
+                 {} preemptions\n{}\n{}\n",
+                log.events.len(),
+                log.evicted,
+                log.capacity,
+                log.end_time,
+                lineages.len(),
+                count(LineageOutcome::Delivered),
+                count(LineageOutcome::Dropped),
+                count(LineageOutcome::InFlight),
+                preemptions,
+                spectrum_line("per-hop residence", &spectra.per_hop),
+                spectrum_line("end-to-end latency", &spectra.end_to_end),
+            )
+        }
+        "jsonl" => log.to_jsonl(),
+        "chrome" => log.to_chrome_trace(),
+        other => Err(format!(
+            "unknown --format `{other}`; expected text, jsonl, or chrome"
+        ))?,
+    };
+    match args.option("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(out, "[trace written to {path}]").map_err(io_err)?;
+        }
+        None => write!(out, "{body}").map_err(io_err)?,
+    }
+    Ok(())
 }
 
 fn cmd_cache<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -837,6 +989,175 @@ mod tests {
         let err = run(&["report", man_str, "--format", "yaml"]).unwrap_err();
         assert!(err.contains("unknown --format"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_aggregates_a_directory_of_manifests() {
+        let dir = std::env::temp_dir().join("tempriv_cli_report_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runs = dir.join("runs");
+        std::fs::create_dir_all(&runs).unwrap();
+        for (i, point) in ["2", "20"].iter().enumerate() {
+            let manifest = runs.join(format!("run{i}.jsonl"));
+            run(&[
+                "sweep",
+                "--experiment",
+                "fig3",
+                "--points",
+                point,
+                "--packets",
+                "60",
+                "--quiet",
+                "--manifest",
+                manifest.to_str().unwrap(),
+                "--telemetry",
+                dir.join(format!("t{i}.json")).to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let text = run(&["report", runs.to_str().unwrap()]).unwrap();
+        assert!(text.contains("experiment=fig3"));
+        assert!(text.contains("instrumented=2"));
+
+        let json = run(&["report", runs.to_str().unwrap(), "--format", "json"]).unwrap();
+        let parsed: tempriv_core::telemetry::TelemetryExport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.instrumented_jobs, 2);
+
+        // An empty directory is a clear error, not "0 jobs".
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&["report", empty.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no .jsonl manifests"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_capacity_journals_blobs_and_requires_telemetry() {
+        let dir = std::env::temp_dir().join("tempriv_cli_trace_capacity_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--manifest",
+            man_str,
+            "--telemetry",
+            dir.join("t.json").to_str().unwrap(),
+            "--trace-capacity",
+            "65536",
+        ])
+        .unwrap();
+        let back = tempriv_runtime::ManifestReader::read(&manifest).unwrap();
+        assert_eq!(back.records.len(), 1);
+        let blob = back.records[0].trace.as_deref().expect("trace journaled");
+        let trace: tempriv_core::telemetry::JobTrace = serde_json::from_str(blob).unwrap();
+        assert!(!trace.scenarios.is_empty());
+        assert!(trace.scenarios.iter().all(|s| !s.log.events.is_empty()));
+
+        let err = run(&["sweep", "--quiet", "--trace-capacity", "100"]).unwrap_err();
+        assert!(err.contains("requires --telemetry"));
+        let err = run(&[
+            "sweep",
+            "--quiet",
+            "--telemetry",
+            "t.json",
+            "--trace-capacity",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("must be positive"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_text_summary_reports_lifecycles() {
+        let out = run(&["trace", "--packets", "60", "--seed", "3"]).unwrap();
+        assert!(out.contains("flight recording:"));
+        assert!(out.contains("240 total"));
+        assert!(out.contains("per-hop residence: n="));
+        assert!(out.contains("end-to-end latency: n="));
+    }
+
+    #[test]
+    fn trace_jsonl_filters_by_flow() {
+        let out = run(&[
+            "trace",
+            "--packets",
+            "40",
+            "--seed",
+            "3",
+            "--flow",
+            "1",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            assert!(line.starts_with("{\"t\":"), "one JSON object per line");
+            assert!(line.ends_with('}'));
+            assert!(line.contains("\"flow\":1"), "filter kept only flow 1");
+            assert!(line.contains("\"kind\":\""));
+        }
+    }
+
+    #[test]
+    fn trace_chrome_output_is_valid_trace_event_json() {
+        let dir = std::env::temp_dir().join("tempriv_cli_trace_chrome_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run(&[
+            "trace",
+            "--packets",
+            "40",
+            "--seed",
+            "3",
+            "--format",
+            "chrome",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("[trace written to"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Structural validity: the trace_event envelope, balanced
+        // braces/brackets, and all three event phases present.
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        let balance = |open: char, close: char| {
+            text.chars().filter(|&c| c == open).count()
+                - text.chars().filter(|&c| c == close).count()
+        };
+        assert_eq!(balance('{', '}'), 0);
+        assert_eq!(balance('[', ']'), 0);
+        assert!(text.matches("\"ph\":\"M\"").count() > 4, "metadata events");
+        assert!(
+            text.matches("\"ph\":\"X\"").count() > 100,
+            "complete events"
+        );
+        assert!(text.matches("\"ph\":\"i\"").count() > 100, "instant events");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_bad_arguments() {
+        let err = run(&["trace", "--capacity", "0"]).unwrap_err();
+        assert!(err.contains("--capacity must be positive"));
+        let err = run(&["trace", "--format", "svg"]).unwrap_err();
+        assert!(err.contains("unknown --format"));
+        let err = run(&["trace", "--flow", "abc"]).unwrap_err();
+        assert!(err.contains("invalid value for --flow"));
+        let err = run(&["trace", "/nonexistent/cfg.json"]).unwrap_err();
+        assert!(err.contains("cannot read"));
     }
 
     #[test]

@@ -101,6 +101,19 @@ pub enum VictimPolicy {
     Oldest,
 }
 
+impl VictimPolicy {
+    /// Stable snake_case name, used to label preemption trace events.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            VictimPolicy::ShortestRemaining => "shortest_remaining",
+            VictimPolicy::LongestRemaining => "longest_remaining",
+            VictimPolicy::Random => "random",
+            VictimPolicy::Oldest => "oldest",
+        }
+    }
+}
+
 /// One buffered packet with its scheduled release.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BufferedPacket {

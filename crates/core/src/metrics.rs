@@ -123,6 +123,13 @@ pub struct SimOutcome {
     pub nodes: Vec<NodeReport>,
     /// Packets lost on the radio (lossy-link experiments only).
     pub link_losses: u64,
+    /// Total RNG draws consumed across every stream of the run. Probes
+    /// observe without sampling, so this count must be identical with any
+    /// probe attached — the determinism tests assert exactly that.
+    /// Defaults to 0 when deserializing outcomes recorded before the
+    /// counter existed.
+    #[serde(default)]
+    pub rng_draws: u64,
 }
 
 impl SimOutcome {
@@ -420,6 +427,7 @@ mod tests {
             truth,
             nodes: vec![],
             link_losses: 0,
+            rng_draws: 0,
         }
     }
 

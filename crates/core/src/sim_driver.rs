@@ -19,7 +19,7 @@ use tempriv_sim::engine::{Engine, Scheduler};
 use tempriv_sim::rng::{RngFactory, SimRng};
 use tempriv_sim::stats::{Histogram, OnlineStats, StateDwell};
 use tempriv_sim::time::SimTime;
-use tempriv_telemetry::{NullProbe, SimProbe};
+use tempriv_telemetry::{NullProbe, PacketEvent, SimProbe};
 
 use crate::adversary::{AdversaryKnowledge, Observation};
 use crate::buffer::{BufferPolicy, BufferedPacket, NodeBuffer};
@@ -493,6 +493,12 @@ impl NetworkSimulation {
         }
         driver.probe.on_run_end(end_time);
 
+        let rng_draws = driver.delay_rngs.iter().map(SimRng::draws).sum::<u64>()
+            + driver.traffic_rngs.iter().map(SimRng::draws).sum::<u64>()
+            + driver.victim_rng.draws()
+            + driver.link_rng.draws()
+            + driver.reading_rng.draws();
+
         SimOutcome {
             end_time,
             flows: (0..n_flows)
@@ -526,6 +532,7 @@ impl NetworkSimulation {
                 })
                 .collect(),
             link_losses: driver.link_losses,
+            rng_draws,
         }
     }
 }
@@ -579,6 +586,14 @@ impl<P: SimProbe> Driver<'_, P> {
             flow,
             created_at: sched.now(),
         });
+        self.probe.on_packet(
+            sched.now(),
+            PacketEvent::Created {
+                packet: id.0,
+                flow: i,
+                node: source.index(),
+            },
+        );
         if matches!(self.sim.workload, Workload::Model(_))
             && self.seq[i] < self.sim.packets_per_source
         {
@@ -598,6 +613,14 @@ impl<P: SimProbe> Driver<'_, P> {
         // ignored at mix nodes.
         if let BufferPolicy::ThresholdMix { threshold } = self.sim.buffer_policy {
             self.probe.on_arrival(node.index(), sched.now());
+            self.probe.on_packet(
+                sched.now(),
+                PacketEvent::Enqueued {
+                    packet: packet.id.0,
+                    flow: packet.flow.index(),
+                    node: node.index(),
+                },
+            );
             self.buffers[node.index()].insert(BufferedPacket {
                 packet,
                 buffered_at: sched.now(),
@@ -633,6 +656,14 @@ impl<P: SimProbe> Driver<'_, P> {
                     BufferPolicy::DropTail { .. } => {
                         self.drops[node.index()] += 1;
                         self.probe.on_drop(node.index(), sched.now());
+                        self.probe.on_packet(
+                            sched.now(),
+                            PacketEvent::Dropped {
+                                packet: packet.id.0,
+                                flow: packet.flow.index(),
+                                node: node.index(),
+                            },
+                        );
                         return;
                     }
                     BufferPolicy::Rcad { victim, .. } => {
@@ -647,6 +678,15 @@ impl<P: SimProbe> Driver<'_, P> {
                         debug_assert!(cancelled, "victim timer must be pending");
                         self.preemptions[node.index()] += 1;
                         self.probe.on_preemption(node.index(), sched.now());
+                        self.probe.on_packet(
+                            sched.now(),
+                            PacketEvent::Preempted {
+                                packet: entry.packet.id.0,
+                                flow: entry.packet.flow.index(),
+                                node: node.index(),
+                                victim_policy: victim.name(),
+                            },
+                        );
                         let depth = self.buffers[node.index()].len() as u64;
                         self.occupancy[node.index()].transition(sched.now(), depth);
                         self.probe.on_occupancy(node.index(), sched.now(), depth);
@@ -663,6 +703,14 @@ impl<P: SimProbe> Driver<'_, P> {
             Ev::Release {
                 node,
                 packet: packet.id,
+            },
+        );
+        self.probe.on_packet(
+            sched.now(),
+            PacketEvent::Enqueued {
+                packet: packet.id.0,
+                flow: packet.flow.index(),
+                node: node.index(),
             },
         );
         self.buffers[node.index()].insert(BufferedPacket {
@@ -687,6 +735,14 @@ impl<P: SimProbe> Driver<'_, P> {
     }
 
     fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, mut packet: Packet) {
+        self.probe.on_packet(
+            sched.now(),
+            PacketEvent::Departed {
+                packet: packet.id.0,
+                flow: packet.flow.index(),
+                node: node.index(),
+            },
+        );
         packet.record_hop(node);
         let next = self
             .sim
@@ -711,6 +767,14 @@ impl<P: SimProbe> Driver<'_, P> {
         self.latency_hist[flow.index()].record(latency);
         self.delivered[flow.index()] += 1;
         self.probe.on_delivery(flow.index(), now, latency);
+        self.probe.on_packet(
+            now,
+            PacketEvent::ArrivedAtSink {
+                packet: packet.id.0,
+                flow: flow.index(),
+                node: self.sim.routing.sink().index(),
+            },
+        );
         self.observations.push(Observation {
             arrival: now,
             origin: packet.header().origin,

@@ -37,8 +37,8 @@ use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
 use tempriv_runtime::{Runtime, TelemetrySink};
 use tempriv_telemetry::{
-    MetricsRegistry, RecordingProbe, SimTelemetry, SpanSet, TelemetrySnapshot, TheoryCheck,
-    TheoryReport, TheoryTolerance,
+    FlightLog, FlightRecorder, MetricsRegistry, RecordingProbe, SimTelemetry, SpanSet,
+    TelemetrySnapshot, TheoryCheck, TheoryReport, TheoryTolerance,
 };
 
 use crate::buffer::BufferPolicy;
@@ -210,6 +210,52 @@ pub fn theory_report(
     report
 }
 
+/// Exp(μ) cross-checks of the empirical per-hop residence distribution
+/// (reconstructed from a flight recording) against the delay plan — the
+/// §4 tandem-network assumption made testable.
+///
+/// Checks are only emitted where the recorded residences *are* the
+/// sampled delays: under `Unlimited` and `DropTail` buffers every
+/// enqueued packet sits for exactly its sampled delay, so a node with an
+/// exponential strategy must show Exp(μ) residences. RCAD eviction
+/// biases which sampled delays survive (ShortestRemaining removes the
+/// small order statistics), and threshold mixes ignore the delay plan,
+/// so neither gets a check. Nodes with fewer than 200 completed
+/// residences are skipped: the expected sampling L1 alone (~2/√n over
+/// these bins) would swamp the tolerance.
+#[must_use]
+pub fn residence_checks(
+    sim: &NetworkSimulation,
+    log: &FlightLog,
+    tol: &TheoryTolerance,
+) -> Vec<TheoryCheck> {
+    const MIN_SAMPLES: usize = 200;
+    let mut checks = Vec::new();
+    if !matches!(
+        sim.buffer_policy(),
+        BufferPolicy::Unlimited | BufferPolicy::DropTail { .. }
+    ) {
+        return checks;
+    }
+    for (node, samples) in log.residence_by_node() {
+        if samples.len() < MIN_SAMPLES {
+            continue;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let strategy = sim.delay_plan().for_node(NodeId(node as u32));
+        let DelayStrategy::Exponential { mean } = strategy else {
+            continue;
+        };
+        checks.push(TheoryCheck::exponential_residence(
+            format!("node{node}_residence_exp"),
+            mean,
+            &samples,
+            tol,
+        ));
+    }
+    checks
+}
+
 /// One instrumented scenario within a job (a sweep point may simulate
 /// several — e.g. Figure 2 runs no-delay, unlimited, and RCAD per point).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -251,6 +297,24 @@ impl JobTelemetry {
     }
 }
 
+/// One traced scenario within a job: the label plus its frozen flight
+/// recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTrace {
+    /// Scenario label within the job (matches the telemetry label).
+    pub label: String,
+    /// The frozen flight recording.
+    pub log: FlightLog,
+}
+
+/// Everything one job attaches as its manifest *trace* blob when flight
+/// recording is on: one [`FlightLog`] per simulated scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobTrace {
+    /// One entry per traced scenario, in execution order.
+    pub scenarios: Vec<ScenarioTrace>,
+}
+
 /// Runs a job's simulations, recording telemetry when the runtime has a
 /// [`TelemetrySink`] and running the plain, probe-free path otherwise.
 ///
@@ -263,19 +327,26 @@ impl JobTelemetry {
 #[derive(Debug)]
 pub struct JobTelemetryCollector<'a> {
     sink: Option<(&'a TelemetrySink, usize)>,
+    trace_capacity: usize,
     tolerance: TheoryTolerance,
     job: JobTelemetry,
+    trace: JobTrace,
 }
 
 impl<'a> JobTelemetryCollector<'a> {
     /// A collector for job `index` of a run on `runtime`. Collection is
-    /// active only when the runtime carries a telemetry sink.
+    /// active only when the runtime carries a telemetry sink; flight
+    /// recording additionally requires the sink's
+    /// [`trace_capacity`](TelemetrySink::trace_capacity) to be non-zero.
     #[must_use]
     pub fn for_job(runtime: &'a Runtime, index: usize) -> Self {
+        let sink = runtime.telemetry_sink();
         JobTelemetryCollector {
-            sink: runtime.telemetry_sink().map(|sink| (sink, index)),
+            sink: sink.map(|sink| (sink, index)),
+            trace_capacity: sink.map_or(0, TelemetrySink::trace_capacity),
             tolerance: TheoryTolerance::default(),
             job: JobTelemetry::default(),
+            trace: JobTrace::default(),
         }
     }
 
@@ -294,9 +365,26 @@ impl<'a> JobTelemetryCollector<'a> {
         }
         let started = std::time::Instant::now();
         let mut probe = RecordingProbe::new(sim.routing().len());
-        let outcome = sim.run_probed(&mut probe);
+        let (outcome, flight_log) = if self.trace_capacity > 0 {
+            // The pair probe fans every hook out to both halves in one
+            // monomorphized pass.
+            let mut pair = (probe, FlightRecorder::with_capacity(self.trace_capacity));
+            let outcome = sim.run_probed(&mut pair);
+            let (rec, flight) = pair;
+            probe = rec;
+            let log = flight.finish(outcome.end_time);
+            (outcome, Some(log))
+        } else {
+            let outcome = sim.run_probed(&mut probe);
+            (outcome, None)
+        };
         let telemetry = probe.finish(outcome.end_time);
-        let theory = theory_report(sim, &telemetry, &self.tolerance);
+        let mut theory = theory_report(sim, &telemetry, &self.tolerance);
+        if let Some(log) = &flight_log {
+            for check in residence_checks(sim, log, &self.tolerance) {
+                theory.push(check);
+            }
+        }
         self.job
             .spans
             .record(label, started.elapsed().as_secs_f64());
@@ -305,15 +393,26 @@ impl<'a> JobTelemetryCollector<'a> {
             sim: telemetry,
             theory,
         });
+        if let Some(log) = flight_log {
+            self.trace.scenarios.push(ScenarioTrace {
+                label: label.to_string(),
+                log,
+            });
+        }
         outcome
     }
 
-    /// Serializes the collected telemetry and attaches it to the job's
-    /// sink slot. No-op when collection is inactive.
+    /// Serializes the collected telemetry (and, when flight recording
+    /// was on, the trace blob) and attaches them to the job's sink
+    /// slots. No-op when collection is inactive.
     pub fn finish(self) {
         if let Some((sink, index)) = self.sink {
             let json = serde_json::to_string(&self.job).expect("job telemetry serializes");
             sink.attach(index, json);
+            if !self.trace.scenarios.is_empty() {
+                let json = serde_json::to_string(&self.trace).expect("job trace serializes");
+                sink.attach_trace(index, json);
+            }
         }
     }
 }
@@ -647,6 +746,69 @@ mod tests {
         assert_eq!(back, export);
         // The summary renders without panicking and names the experiment.
         assert!(export.summary_text().contains("experiment=fig2"));
+    }
+
+    #[test]
+    fn collector_traces_when_capacity_is_set() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_trace_capacity(1 << 16);
+        sink.reset(1);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let layout = Convergecast::paper_figure1();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .traffic(TrafficModel::poisson(0.5))
+            .packets_per_source(300)
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        let outcome = collector.run(&sim, "unlimited");
+        collector.finish();
+        // Tracing observes without perturbing the outcome.
+        assert_eq!(outcome, sim.run());
+        let blob = sink.get_trace(0).expect("trace attached");
+        let trace: JobTrace = serde_json::from_str(&blob).unwrap();
+        assert_eq!(trace.scenarios.len(), 1);
+        let log = &trace.scenarios[0].log;
+        assert!(!log.events.is_empty());
+        assert_eq!(log.capacity, 1 << 16);
+        // Delivered lineages reconstruct with a full span.
+        let delivered = log.lineages().iter().filter(|l| l.span().is_some()).count();
+        assert!(delivered > 0);
+        // The Exp(mu) residence checks rode into the theory report and
+        // pass on an unlimited-buffer exponential run.
+        let telemetry_blob = sink.get(0).unwrap();
+        let job: JobTelemetry = serde_json::from_str(&telemetry_blob).unwrap();
+        let residence: Vec<&TheoryCheck> = job.scenarios[0]
+            .theory
+            .checks
+            .iter()
+            .filter(|c| c.name.ends_with("_residence_exp"))
+            .collect();
+        assert!(!residence.is_empty());
+        assert!(
+            residence.iter().all(|c| c.passed),
+            "residence checks flagged: {residence:?}"
+        );
+    }
+
+    #[test]
+    fn residence_checks_skip_rcad_and_sparse_nodes() {
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let mut flight = FlightRecorder::new();
+        let _ = sim.run_probed(&mut flight);
+        let log = flight.finish(tempriv_sim::time::SimTime::from_units(1.0));
+        assert!(
+            residence_checks(&sim, &log, &TheoryTolerance::default()).is_empty(),
+            "RCAD eviction biases survivors: no Exp check applies"
+        );
     }
 
     #[test]

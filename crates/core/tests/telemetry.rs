@@ -10,7 +10,7 @@ use tempriv_core::telemetry::{theory_report, TelemetryExport};
 use tempriv_net::convergecast::Convergecast;
 use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
-use tempriv_telemetry::{RecordingProbe, SimTelemetry, TheoryTolerance};
+use tempriv_telemetry::{FlightRecorder, RecordingProbe, SimTelemetry, TheoryTolerance};
 
 /// A single source one hop from the sink: the source node is one queue,
 /// which makes it a textbook single-station system.
@@ -176,6 +176,65 @@ fn probes_do_not_perturb_the_simulation() {
     let telemetry = probe.finish(recorded.end_time);
     assert!(telemetry.deliveries > 0);
     assert!(telemetry.total_preemptions() > 0);
+}
+
+#[test]
+fn flight_recording_does_not_perturb_the_simulation() {
+    // Byte-identical outcomes AND identical RNG draw counts with the
+    // flight recorder attached: tracing observes, it never samples.
+    let layout = Convergecast::paper_figure1();
+    let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::poisson(0.5))
+        .packets_per_source(400)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::paper_rcad())
+        .seed(2007)
+        .build()
+        .unwrap();
+    let plain = sim.run();
+    let mut flight = FlightRecorder::new();
+    let traced = sim.run_probed(&mut flight);
+    assert_eq!(plain, traced, "traced run must be byte-identical");
+    assert_eq!(
+        plain.rng_draws, traced.rng_draws,
+        "tracing must not consume randomness"
+    );
+    assert!(plain.rng_draws > 0, "the run consumed randomness");
+    // A tiny ring that evicts heavily must not perturb the run either.
+    let mut tiny = FlightRecorder::with_capacity(8);
+    let evicting = sim.run_probed(&mut tiny);
+    assert_eq!(plain, evicting, "eviction pressure must not leak");
+    assert!(tiny.evicted() > 0, "the tiny ring actually evicted");
+    // And the full recording reconstructs every created packet.
+    let log = flight.finish(traced.end_time);
+    assert_eq!(log.evicted, 0, "default capacity holds the whole run");
+    let lineages = log.lineages();
+    let created: u64 = plain.flows.iter().map(|f| f.created).sum();
+    assert_eq!(lineages.len() as u64, created);
+    let delivered = lineages.iter().filter(|l| l.span().is_some()).count() as u64;
+    assert_eq!(delivered, plain.total_delivered());
+}
+
+#[test]
+fn pair_probe_halves_see_the_same_run() {
+    // (RecordingProbe, FlightRecorder) in one pass agrees with each
+    // probe run separately — and the outcome stays identical.
+    let sim = single_queue(BufferPolicy::Unlimited, 0.5, 10.0, 500);
+    let plain = sim.run();
+    let mut pair = (
+        RecordingProbe::new(sim.routing().len()),
+        FlightRecorder::new(),
+    );
+    let outcome = sim.run_probed(&mut pair);
+    assert_eq!(plain, outcome);
+    let (rec, flight) = pair;
+    assert_eq!(rec.finish(outcome.end_time), probed(&sim));
+    let solo = {
+        let mut f = FlightRecorder::new();
+        let out = sim.run_probed(&mut f);
+        f.finish(out.end_time)
+    };
+    assert_eq!(flight.finish(outcome.end_time), solo);
 }
 
 #[test]

@@ -56,6 +56,12 @@ pub struct JobRecord {
     /// written before telemetry existed.
     #[serde(default)]
     pub telemetry: Option<String>,
+    /// Per-job flight-recorder trace blob (JSON), attached only when the
+    /// run traced packet lifecycles and the job was actually computed.
+    /// `None` for cache-served jobs and for manifests written before
+    /// tracing existed.
+    #[serde(default)]
+    pub trace: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -178,6 +184,7 @@ mod tests {
             wall_ms: 12,
             outcome_digest: "00ff".to_string(),
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -189,7 +196,17 @@ mod tests {
                     \"wall_ms\":5,\"outcome_digest\":\"ab\"}";
         let old: JobRecord = serde_json::from_str(line).unwrap();
         assert_eq!(old.telemetry, None);
+        assert_eq!(old.trace, None);
         assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn trace_blob_round_trips() {
+        let mut r = record(1);
+        r.trace = Some("{\"traceEvents\":[]}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -263,10 +263,12 @@ impl Runtime {
         wall: std::time::Duration,
         json: &str,
     ) {
-        // Cached jobs did no instrumented work, so they carry no blob.
-        let telemetry = match status {
-            JobStatus::Computed => self.telemetry.as_ref().and_then(|sink| sink.get(index)),
-            JobStatus::Cached => None,
+        // Cached jobs did no instrumented work, so they carry no blobs.
+        let (telemetry, trace) = match status {
+            JobStatus::Computed => self.telemetry.as_ref().map_or((None, None), |sink| {
+                (sink.get(index), sink.get_trace(index))
+            }),
+            JobStatus::Cached => (None, None),
         };
         let record = JobRecord {
             index,
@@ -275,6 +277,7 @@ impl Runtime {
             wall_ms: wall.as_millis() as u64,
             outcome_digest: content_digest(json.as_bytes()),
             telemetry,
+            trace,
         };
         if let Err(e) = writer.record(&record) {
             eprintln!(

@@ -10,16 +10,22 @@
 //! The sink never participates in cache keys or result digests, so
 //! enabling telemetry cannot change experiment outputs.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A slot-per-job mailbox for telemetry blobs, shared between the
 /// runtime and job closures.
 ///
 /// Thread-safe: jobs run on pool workers, each writing only its own
-/// slot.
+/// slot. Next to the telemetry slots the sink keeps a parallel set of
+/// *trace* slots for flight-recorder blobs, plus the ring capacity the
+/// run's recorders should use ([`TelemetrySink::trace_capacity`], 0 =
+/// tracing off).
 #[derive(Debug, Default)]
 pub struct TelemetrySink {
     slots: Mutex<Vec<Option<String>>>,
+    trace_slots: Mutex<Vec<Option<String>>>,
+    trace_capacity: AtomicUsize,
 }
 
 impl TelemetrySink {
@@ -35,6 +41,22 @@ impl TelemetrySink {
         let mut slots = self.slots.lock().expect("telemetry sink lock");
         slots.clear();
         slots.resize(jobs, None);
+        drop(slots);
+        let mut traces = self.trace_slots.lock().expect("trace sink lock");
+        traces.clear();
+        traces.resize(jobs, None);
+    }
+
+    /// Sets the flight-recorder ring capacity jobs should trace with.
+    /// Zero (the default) disables tracing.
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        self.trace_capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The flight-recorder ring capacity for this run (0 = tracing off).
+    #[must_use]
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity.load(Ordering::Relaxed)
     }
 
     /// Attaches job `index`'s telemetry blob (JSON). Silently ignored if
@@ -71,6 +93,29 @@ impl TelemetrySink {
     pub fn take_all(&self) -> Vec<Option<String>> {
         let mut slots = self.slots.lock().expect("telemetry sink lock");
         std::mem::take(&mut *slots)
+    }
+
+    /// Attaches job `index`'s flight-recorder trace blob (JSON). Like
+    /// [`TelemetrySink::attach`], silently ignored when out of range.
+    pub fn attach_trace(&self, index: usize, json: impl Into<String>) {
+        let mut traces = self.trace_slots.lock().expect("trace sink lock");
+        if let Some(slot) = traces.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s trace blob, if one was attached.
+    #[must_use]
+    pub fn get_trace(&self, index: usize) -> Option<String> {
+        let traces = self.trace_slots.lock().expect("trace sink lock");
+        traces.get(index).and_then(Clone::clone)
+    }
+
+    /// All trace blobs in job order, draining the trace slots.
+    #[must_use]
+    pub fn take_all_traces(&self) -> Vec<Option<String>> {
+        let mut traces = self.trace_slots.lock().expect("trace sink lock");
+        std::mem::take(&mut *traces)
     }
 }
 
@@ -110,5 +155,28 @@ mod tests {
         sink.attach(0, "old");
         sink.reset(2);
         assert_eq!(sink.get(0), None);
+    }
+
+    #[test]
+    fn trace_slots_mirror_telemetry_slots() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach_trace(1, "{\"events\":[]}");
+        assert_eq!(sink.get_trace(0), None);
+        assert_eq!(sink.get_trace(1).as_deref(), Some("{\"events\":[]}"));
+        sink.attach_trace(7, "{}"); // out of range: ignored
+        let all = sink.take_all_traces();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].as_deref(), Some("{\"events\":[]}"));
+        sink.reset(1);
+        assert_eq!(sink.get_trace(1), None, "reset clears trace slots");
+    }
+
+    #[test]
+    fn trace_capacity_defaults_to_off() {
+        let sink = TelemetrySink::new();
+        assert_eq!(sink.trace_capacity(), 0);
+        sink.set_trace_capacity(4096);
+        assert_eq!(sink.trace_capacity(), 4096);
     }
 }

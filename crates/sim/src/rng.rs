@@ -65,15 +65,31 @@ impl RngFactory {
 ///
 /// A platform-independent, seedable generator (ChaCha-based [`StdRng`])
 /// wrapped so that the concrete algorithm is an implementation detail.
+/// Every draw is counted (see [`SimRng::draws`]) so determinism tests can
+/// assert that observers — probes, tracing — never consume randomness.
 #[derive(Debug, Clone)]
-pub struct SimRng(StdRng);
+pub struct SimRng {
+    inner: StdRng,
+    draws: u64,
+}
 
 impl SimRng {
     /// Creates a stream directly from a seed. Prefer [`RngFactory::stream`]
     /// for anything that is part of an experiment.
     #[must_use]
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng(StdRng::seed_from_u64(seed))
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// How many times this stream has been advanced (one per sample or
+    /// [`RngCore`] call). Purely observational; reading it never perturbs
+    /// the stream.
+    #[must_use]
+    pub const fn draws(&self) -> u64 {
+        self.draws
     }
 
     /// Samples an exponential random variable with the given mean.
@@ -91,7 +107,8 @@ impl SimRng {
             "exponential mean must be positive, got {mean}"
         );
         // Inverse-CDF sampling; 1 - u is in (0, 1] so ln is finite.
-        let u: f64 = self.0.gen::<f64>();
+        self.draws += 1;
+        let u: f64 = self.inner.gen::<f64>();
         -mean * (1.0 - u).ln()
     }
 
@@ -108,7 +125,8 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.0.gen_range(lo..hi)
+        self.draws += 1;
+        self.inner.gen_range(lo..hi)
     }
 
     /// Samples `true` with probability `p`.
@@ -118,7 +136,8 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn sample_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.0.gen::<f64>() < p
+        self.draws += 1;
+        self.inner.gen::<f64>() < p
     }
 
     /// Samples an index uniformly from `0..n`.
@@ -128,25 +147,30 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn sample_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample from an empty range");
-        self.0.gen_range(0..n)
+        self.draws += 1;
+        self.inner.gen_range(0..n)
     }
 }
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
-        self.0.next_u32()
+        self.draws += 1;
+        self.inner.next_u32()
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        self.draws += 1;
+        self.inner.next_u64()
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest);
+        self.draws += 1;
+        self.inner.fill_bytes(dest);
     }
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.0.try_fill_bytes(dest)
+        self.draws += 1;
+        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -234,6 +258,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn exp_rejects_non_positive_mean() {
         RngFactory::new(0).stream(0).sample_exp(0.0);
+    }
+
+    #[test]
+    fn draws_count_every_advance() {
+        let mut rng = RngFactory::new(29).stream(0);
+        assert_eq!(rng.draws(), 0);
+        rng.sample_exp(5.0);
+        rng.sample_uniform(0.0, 1.0);
+        rng.sample_bool(0.5);
+        rng.sample_index(3);
+        rng.next_u64();
+        assert_eq!(rng.draws(), 5);
+        // A degenerate uniform consumes nothing and counts nothing.
+        rng.sample_uniform(2.0, 2.0);
+        assert_eq!(rng.draws(), 5);
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl<E> Trace<E> {
     }
 
     /// Appends a record, evicting the oldest if at capacity.
+    #[inline]
     pub fn record(&mut self, time: SimTime, event: E) {
         if !self.enabled {
             return;
@@ -98,6 +99,12 @@ impl<E> Trace<E> {
     #[must_use]
     pub const fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Maximum number of records retained before eviction starts.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Removes all retained records and resets the eviction count,

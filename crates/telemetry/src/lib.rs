@@ -13,6 +13,9 @@
 //!   [`RecordingProbe`] that accumulates per-node occupancy dwell
 //!   statistics, decimated occupancy time series, preemption/drop/flush
 //!   counts, buffer high-water marks, and a bounded event trace;
+//! * [`flight`] — a [`FlightRecorder`] ring buffer of per-packet
+//!   lifecycle [`PacketEvent`]s with lineage reconstruction, latency
+//!   spectra, and export to JSONL and Chrome `trace_event` JSON;
 //! * [`theory`] — [`TheoryCheck`] comparisons of measured telemetry
 //!   against the `crates/queueing` predictions, with configurable
 //!   tolerances, collected into a [`TheoryReport`];
@@ -28,12 +31,19 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod probe;
 pub mod registry;
 pub mod span;
 pub mod theory;
 
+pub use flight::{
+    FlightEvent, FlightLog, FlightRecorder, HopResidence, LatencySpectra, LineageOutcome,
+    PacketEvent, PacketEventKind, PacketLineage, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use probe::{NodeTelemetry, NullProbe, ProbeEvent, RecordingProbe, SimProbe, SimTelemetry};
-pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, TelemetrySnapshot};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, HistogramSample, MetricsRegistry, TelemetrySnapshot,
+};
 pub use span::SpanSet;
 pub use theory::{TheoryCheck, TheoryReport, TheoryTolerance};

@@ -14,6 +14,8 @@ use tempriv_sim::stats::{OnlineStats, StateDwell};
 use tempriv_sim::time::SimTime;
 use tempriv_sim::trace::Trace;
 
+use crate::flight::PacketEvent;
+
 /// Observer hooks called by the simulation driver at event boundaries.
 ///
 /// Every method has a no-op default, so a probe implements only what it
@@ -60,6 +62,14 @@ pub trait SimProbe {
         let _ = (node, high_water);
     }
 
+    /// A packet crossed a lifecycle boundary (created, enqueued,
+    /// preempted, departed, dropped, or arrived at the sink). Fired for
+    /// every packet on every hop, so implementations should be cheap; the
+    /// [`crate::flight::FlightRecorder`] retains these in a bounded ring.
+    fn on_packet(&mut self, now: SimTime, event: PacketEvent) {
+        let _ = (now, event);
+    }
+
     /// The run ended at `end` (stop reason already resolved).
     fn on_run_end(&mut self, end: SimTime) {
         let _ = end;
@@ -73,6 +83,98 @@ pub trait SimProbe {
 pub struct NullProbe;
 
 impl SimProbe for NullProbe {}
+
+/// A mutable reference to a probe is itself a probe, so long-lived
+/// probes can be lent to a run (e.g. inside a pair) without moving
+/// ownership.
+impl<P: SimProbe + ?Sized> SimProbe for &mut P {
+    fn on_occupancy(&mut self, node: usize, now: SimTime, depth: u64) {
+        (**self).on_occupancy(node, now, depth);
+    }
+
+    fn on_preemption(&mut self, node: usize, now: SimTime) {
+        (**self).on_preemption(node, now);
+    }
+
+    fn on_drop(&mut self, node: usize, now: SimTime) {
+        (**self).on_drop(node, now);
+    }
+
+    fn on_flush(&mut self, node: usize, now: SimTime, batch: u64) {
+        (**self).on_flush(node, now, batch);
+    }
+
+    fn on_arrival(&mut self, node: usize, now: SimTime) {
+        (**self).on_arrival(node, now);
+    }
+
+    fn on_delivery(&mut self, flow: usize, now: SimTime, latency: f64) {
+        (**self).on_delivery(flow, now, latency);
+    }
+
+    fn on_high_water(&mut self, node: usize, high_water: u64) {
+        (**self).on_high_water(node, high_water);
+    }
+
+    fn on_packet(&mut self, now: SimTime, event: PacketEvent) {
+        (**self).on_packet(now, event);
+    }
+
+    fn on_run_end(&mut self, end: SimTime) {
+        (**self).on_run_end(end);
+    }
+}
+
+/// Fan-out: a pair of probes is itself a probe, with every hook forwarded
+/// to both members in order. Lets a run collect aggregate metrics and a
+/// packet-level flight recording in one pass, e.g.
+/// `(RecordingProbe::new(n), FlightRecorder::new())`.
+impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
+    fn on_occupancy(&mut self, node: usize, now: SimTime, depth: u64) {
+        self.0.on_occupancy(node, now, depth);
+        self.1.on_occupancy(node, now, depth);
+    }
+
+    fn on_preemption(&mut self, node: usize, now: SimTime) {
+        self.0.on_preemption(node, now);
+        self.1.on_preemption(node, now);
+    }
+
+    fn on_drop(&mut self, node: usize, now: SimTime) {
+        self.0.on_drop(node, now);
+        self.1.on_drop(node, now);
+    }
+
+    fn on_flush(&mut self, node: usize, now: SimTime, batch: u64) {
+        self.0.on_flush(node, now, batch);
+        self.1.on_flush(node, now, batch);
+    }
+
+    fn on_arrival(&mut self, node: usize, now: SimTime) {
+        self.0.on_arrival(node, now);
+        self.1.on_arrival(node, now);
+    }
+
+    fn on_delivery(&mut self, flow: usize, now: SimTime, latency: f64) {
+        self.0.on_delivery(flow, now, latency);
+        self.1.on_delivery(flow, now, latency);
+    }
+
+    fn on_high_water(&mut self, node: usize, high_water: u64) {
+        self.0.on_high_water(node, high_water);
+        self.1.on_high_water(node, high_water);
+    }
+
+    fn on_packet(&mut self, now: SimTime, event: PacketEvent) {
+        self.0.on_packet(now, event);
+        self.1.on_packet(now, event);
+    }
+
+    fn on_run_end(&mut self, end: SimTime) {
+        self.0.on_run_end(end);
+        self.1.on_run_end(end);
+    }
+}
 
 /// One event retained in the [`RecordingProbe`]'s bounded trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -241,6 +241,61 @@ pub struct HistogramSample {
     pub sum: f64,
 }
 
+impl HistogramSample {
+    /// Approximate quantile `q ∈ [0, 1]` by linear interpolation within
+    /// the fixed bins, mirroring `tempriv_sim::stats::Histogram::quantile`
+    /// so snapshots and live histograms agree. Underflow mass resolves to
+    /// the range start and overflow mass saturates at the range end.
+    /// Returns `None` while the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = q * self.total as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target {
+            return Some(self.lo);
+        }
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let next = cum + count as f64;
+            if next >= target {
+                let frac = (target - cum) / count as f64;
+                return Some(self.lo + (i as f64 + frac) * self.width);
+            }
+            cum = next;
+        }
+        // Remaining mass sits in the overflow bucket: saturate at the end.
+        Some(self.lo + self.counts.len() as f64 * self.width)
+    }
+
+    /// Median ([`HistogramSample::percentile`] at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(0.5)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.percentile(0.9)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(0.99)
+    }
+}
+
 /// A frozen, serializable view of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct TelemetrySnapshot {
@@ -397,6 +452,57 @@ mod tests {
         assert!(text.contains("occ_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("occ_sum 4"));
         assert!(text.contains("occ_count 2"));
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_none() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("lat", "latency", 0.0, 100.0, 10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].percentile(0.5), None);
+        assert_eq!(snap.histograms[0].p99(), None);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_single_bin() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 0.0, 100.0, 10);
+        // Four observations, all landing in bin [10, 20).
+        for _ in 0..4 {
+            reg.observe(h, 15.0);
+        }
+        let s = &reg.snapshot().histograms[0];
+        // Linear-in-bin: p50 is halfway through the bin, p100 at its end.
+        assert!((s.p50().unwrap() - 15.0).abs() < 1e-9);
+        assert!((s.percentile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        // Every quantile stays inside the occupied bin.
+        let p90 = s.p90().unwrap();
+        assert!((10.0..=20.0).contains(&p90));
+    }
+
+    #[test]
+    fn percentile_saturates_at_range_end_for_overflow_mass() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 0.0, 100.0, 10);
+        reg.observe(h, 50.0);
+        for _ in 0..9 {
+            reg.observe(h, 500.0); // overflow
+        }
+        let s = &reg.snapshot().histograms[0];
+        // 90% of the mass is beyond the range: high quantiles clamp to hi.
+        assert!((s.p99().unwrap() - 100.0).abs() < 1e-9);
+        // Low quantiles still resolve inside the range.
+        assert!(s.percentile(0.05).unwrap() < 100.0);
+    }
+
+    #[test]
+    fn percentile_resolves_underflow_to_range_start() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 10.0, 20.0, 5);
+        reg.observe(h, 0.0); // underflow
+        reg.observe(h, 15.0);
+        let s = &reg.snapshot().histograms[0];
+        assert_eq!(s.percentile(0.25), Some(10.0));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct TheoryTolerance {
     /// Max absolute deviation of a drop/preemption fraction from
     /// `erlang_b(ρ, k)`.
     pub loss_abs: f64,
-    /// Max L1 distance between the sampled occupancy PMF and Poisson(ρ).
+    /// Max L1 distance between a sampled distribution and its predicted
+    /// law — the occupancy PMF vs. Poisson(ρ), and the binned per-hop
+    /// residence mass vs. Exp(μ) (see
+    /// [`TheoryCheck::exponential_residence`]).
     pub pmf_l1: f64,
 }
 
@@ -157,6 +160,57 @@ impl TheoryCheck {
         let measured_mean: f64 = pmf.iter().map(|&(k, p)| k as f64 * p).sum();
         TheoryCheck::new(name.into(), rho, measured_mean, l1, tol.pmf_l1)
     }
+
+    /// Residence-distribution check: per-hop buffering delays sampled from
+    /// a traced run vs. the exponential law Exp(`mean`) the §4 tandem
+    /// analysis assumes. The samples are binned over `[0, q₀.₉₉₉₉)` of the
+    /// predicted law (20 bins plus an explicit tail bucket) and compared
+    /// to the exponential's per-bin mass by L1 distance, judged against
+    /// the same distributional tolerance as the occupancy PMF. The scalar
+    /// columns carry the predicted vs. sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is non-positive or not finite, or if `samples` is
+    /// empty.
+    #[must_use]
+    pub fn exponential_residence(
+        name: impl Into<String>,
+        mean: f64,
+        samples: &[f64],
+        tol: &TheoryTolerance,
+    ) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
+        assert!(!samples.is_empty(), "residence check needs samples");
+        const BINS: usize = 20;
+        // Exp quantile at 0.9999: -mean * ln(1e-4).
+        let hi = mean * -(1e-4f64).ln();
+        let width = hi / BINS as f64;
+        let mut counts = [0u64; BINS];
+        let mut tail = 0u64;
+        for &x in samples {
+            let i = (x / width).floor();
+            if i >= 0.0 && (i as usize) < BINS {
+                counts[i as usize] += 1;
+            } else {
+                tail += 1;
+            }
+        }
+        let n = samples.len() as f64;
+        let cdf = |x: f64| 1.0 - (-x / mean).exp();
+        let mut l1 = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let lo_edge = i as f64 * width;
+            let predicted = cdf(lo_edge + width) - cdf(lo_edge);
+            l1 += (c as f64 / n - predicted).abs();
+        }
+        l1 += (tail as f64 / n - (1.0 - cdf(hi))).abs();
+        let sample_mean = samples.iter().sum::<f64>() / n;
+        TheoryCheck::new(name.into(), mean, sample_mean, l1, tol.pmf_l1)
+    }
 }
 
 /// A collection of [`TheoryCheck`]s for one instrumented run.
@@ -244,6 +298,44 @@ mod tests {
         let poisson = Poisson::new(8.0);
         let pmf: Vec<(u64, f64)> = (0..=30).map(|k| (k, poisson.pmf(k))).collect();
         let c = TheoryCheck::poisson_occupancy_pmf("pmf", 2.0, &pmf, &tol);
+        assert!(!c.passed);
+    }
+
+    #[test]
+    fn exponential_samples_pass_residence_check() {
+        let tol = TheoryTolerance::default();
+        let mut rng = tempriv_sim::rng::RngFactory::new(41).stream(0);
+        let samples: Vec<f64> = (0..4000).map(|_| rng.sample_exp(30.0)).collect();
+        let c = TheoryCheck::exponential_residence("n1 residence", 30.0, &samples, &tol);
+        assert!(c.passed, "deviation {} > {}", c.deviation, c.tolerance);
+        assert!(
+            (c.measured - 30.0).abs() < 2.0,
+            "sample mean {}",
+            c.measured
+        );
+    }
+
+    #[test]
+    fn uniform_samples_fail_residence_check() {
+        let tol = TheoryTolerance::default();
+        let mut rng = tempriv_sim::rng::RngFactory::new(43).stream(0);
+        // Uniform on [0, 60) has the right mean but the wrong shape.
+        let samples: Vec<f64> = (0..4000).map(|_| rng.sample_uniform(0.0, 60.0)).collect();
+        let c = TheoryCheck::exponential_residence("n1 residence", 30.0, &samples, &tol);
+        assert!(
+            !c.passed,
+            "uniform shape must be flagged, L1 {}",
+            c.deviation
+        );
+    }
+
+    #[test]
+    fn wrong_mean_fails_residence_check() {
+        let tol = TheoryTolerance::default();
+        let mut rng = tempriv_sim::rng::RngFactory::new(47).stream(0);
+        // Exponential shape but a 3x-wrong mean.
+        let samples: Vec<f64> = (0..4000).map(|_| rng.sample_exp(10.0)).collect();
+        let c = TheoryCheck::exponential_residence("n1 residence", 30.0, &samples, &tol);
         assert!(!c.passed);
     }
 
