@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Valid selectors: `fig2a`, `fig2b`, `fig3`, `v1`, `v2`, `v3`, `v4`,
-//! `a1`, `a2`, `a3`, `e1`, `e2`, `e3`, `e4`, `t1`, `all`.
+//! `a1`, `a2`, `a3`, `e1`, `e2`, `e3`, `e4`, `t1`, `p1`, `all`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +27,10 @@ use tempriv_core::experiment::{
 };
 use tempriv_core::metrics::evaluate_adversary;
 use tempriv_core::sim_driver::NetworkSimulation;
+use tempriv_core::telemetry::privacy_probe_for;
+use tempriv_infotheory::distributions::{ContinuousDist, ErlangDist};
+use tempriv_infotheory::estimators::entropy_from_samples_nats;
+use tempriv_infotheory::mutual_information::epi_lower_bound_nats;
 use tempriv_net::convergecast::Convergecast;
 use tempriv_net::ids::FlowId;
 use tempriv_net::traffic::TrafficModel;
@@ -452,6 +456,69 @@ fn t1() {
     );
 }
 
+fn p1() {
+    // Streaming MI convergence on the Figure-1 layout: per-flow empirical
+    // I(X;Z) re-estimated every 25 deliveries, plotted against the eq. 4
+    // per-packet mean bound and the eq. 2 EPI floor. The floor combines
+    // the empirical creation-time entropy with the analytic Erlang path
+    // delay entropy; the streaming curves must settle between the two.
+    let layout = Convergecast::paper_figure1();
+    let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::poisson(0.5))
+        .packets_per_source(1000)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::Unlimited)
+        .seed(2007)
+        .build()
+        .expect("valid simulation");
+    let mut probe = privacy_probe_for(&sim, 25);
+    let outcome = sim.run_probed(&mut probe);
+    let knowledge = sim.adversary_knowledge();
+    let flows = probe.num_flows();
+    let epi: Vec<Option<f64>> = (0..flows)
+        .map(|flow| {
+            #[allow(clippy::cast_possible_truncation)]
+            let flow_id = FlowId(flow as u32);
+            let (xs, _) = outcome.creation_arrival_pairs(flow_id);
+            let hops = knowledge.hops(flow_id);
+            let path_mean = knowledge.path_delay_mean(flow_id);
+            if hops == 0 || path_mean <= 0.0 {
+                return None;
+            }
+            // Y = path delay = sum of `hops` exponentials with mean
+            // path_mean/hops: Erlang(hops, hops/path_mean).
+            let h_y = ErlangDist::new(hops, f64::from(hops) / path_mean).entropy_nats();
+            let h_x = entropy_from_samples_nats(&xs, 24).ok()?;
+            Some(epi_lower_bound_nats(h_x, h_y))
+        })
+        .collect();
+    let series = probe.finish(outcome.end_time);
+
+    let headers: Vec<String> = std::iter::once("deliveries".to_string())
+        .chain((0..flows).flat_map(|k| {
+            let k = k + 1;
+            [format!("mi_s{k}"), format!("btq_s{k}"), format!("epi_s{k}")]
+        }))
+        .collect();
+    let mut s = Series::new(headers);
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "nan".to_string(), |x| fmt_f(x, 4));
+    for point in &series.points {
+        let mut row = vec![point.deliveries.to_string()];
+        for (flow, &epi_floor) in epi.iter().enumerate() {
+            let summary = point.flows.iter().find(|f| f.flow == flow);
+            row.push(fmt_opt(summary.map(|f| f.mi_nats)));
+            row.push(fmt_opt(summary.and_then(|f| f.btq_mean_bound_nats)));
+            row.push(fmt_opt(epi_floor));
+        }
+        s.push_row(row);
+    }
+    emit(
+        "p1_privacy_convergence",
+        "P1: streaming I(X;Z) convergence per flow vs eq. 4 bound and eq. 2 EPI floor",
+        &s,
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() {
@@ -464,7 +531,7 @@ fn main() -> ExitCode {
 
     let known = [
         "all", "fig2a", "fig2b", "fig3", "v1", "v2", "v3", "v4", "a1", "a2", "a3", "e1", "e2",
-        "e3", "e4", "t1",
+        "e3", "e4", "t1", "p1",
     ];
     if let Some(bad) = selected.iter().find(|s| !known.contains(s)) {
         eprintln!("unknown selector `{bad}`; valid: {}", known.join(", "));
@@ -516,6 +583,9 @@ fn main() -> ExitCode {
     }
     if want("t1") {
         t1();
+    }
+    if want("p1") {
+        p1();
     }
     ExitCode::SUCCESS
 }

@@ -1,12 +1,15 @@
 //! Perf baseline for the observability layer: times the four-flow
-//! Figure-1 sweep probes-off vs metrics vs full tracing and writes
-//! `BENCH_trace.json`, pinning the tracing overhead (<10% target for
-//! ring-buffer mode).
+//! Figure-1 sweep probes-off vs metrics vs a third instrumented mode and
+//! pins its overhead (<10% target). `--bench trace` (the default) times
+//! the flight-recorder ring and writes `BENCH_trace.json`;
+//! `--bench privacy` times the streaming privacy observatory and writes
+//! `BENCH_privacy.json`.
 //!
 //! ```text
 //! cargo run --release -p tempriv-bench --bin perf_baseline
 //! cargo run --release -p tempriv-bench --bin perf_baseline -- \
 //!     --packets 100 --points 2,20 --repeats 2 --out BENCH_trace.json
+//! cargo run --release -p tempriv-bench --bin perf_baseline -- --bench privacy
 //! ```
 //!
 //! Each mode runs the identical deterministic sweep (same seeds, same
@@ -23,9 +26,19 @@ use serde::Serialize;
 use tempriv_core::buffer::BufferPolicy;
 use tempriv_core::delay::DelayPlan;
 use tempriv_core::sim_driver::NetworkSimulation;
+use tempriv_core::telemetry::privacy_probe_for;
 use tempriv_net::convergecast::Convergecast;
 use tempriv_net::traffic::TrafficModel;
 use tempriv_telemetry::{FlightRecorder, RecordingProbe};
+
+/// Which instrumented mode the third timing column measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BenchKind {
+    /// Flight-recorder ring (`BENCH_trace.json`).
+    Trace,
+    /// Streaming privacy observatory (`BENCH_privacy.json`).
+    Privacy,
+}
 
 /// One instrumentation mode's timings across the sweep.
 #[derive(Debug, Serialize)]
@@ -61,6 +74,29 @@ struct BenchReport {
     tracing_overhead_pct: f64,
 }
 
+/// The `BENCH_privacy.json` payload.
+#[derive(Debug, Serialize)]
+struct PrivacyBenchReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Inter-arrival times of the sweep points.
+    points: Vec<f64>,
+    /// Packets per source per point.
+    packets_per_source: u32,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// Per-mode timings: probes_off, metrics, privacy.
+    modes: Vec<ModeTiming>,
+    /// `metrics total / probes_off total`.
+    metrics_over_probes_off: f64,
+    /// `privacy total / probes_off total`.
+    privacy_over_probes_off: f64,
+    /// `privacy total / metrics total` — the observatory increment.
+    privacy_over_metrics: f64,
+    /// Observatory overhead in percent: `(privacy/metrics - 1) * 100`.
+    privacy_overhead_pct: f64,
+}
+
 fn figure1_sim(inv_lambda: f64, packets: u32) -> NetworkSimulation {
     let layout = Convergecast::paper_figure1();
     NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
@@ -83,8 +119,11 @@ fn time_once<F: FnMut()>(mut f: F) -> f64 {
 /// Times the three instrumentation modes over the sweep. Within each
 /// repeat the modes run back-to-back, so ambient machine load skews them
 /// equally rather than biasing whichever mode happened to run during a
-/// busy stretch; the minimum per mode over `repeats` is kept.
-fn time_modes(points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
+/// busy stretch; the minimum per mode over `repeats` is kept. The third
+/// mode is the flight-recorder ring (`--bench trace`) or the streaming
+/// privacy observatory (`--bench privacy`), both composed over the
+/// metrics probe exactly as the runtime collector composes them.
+fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
     let mut secs = [vec![], vec![], vec![]];
     // The ring is allocated once and reset between runs, as a long-lived
     // flight recorder would be: the steady-state cost is the per-event
@@ -103,11 +142,18 @@ fn time_modes(points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
                 std::hint::black_box(sim.run_probed(&mut probe));
                 std::hint::black_box(&probe);
             }));
-            best[2] = best[2].min(time_once(|| {
-                flight.reset();
-                let mut pair = (RecordingProbe::new(nodes), &mut flight);
-                std::hint::black_box(sim.run_probed(&mut pair));
-                std::hint::black_box(&pair);
+            best[2] = best[2].min(time_once(|| match kind {
+                BenchKind::Trace => {
+                    flight.reset();
+                    let mut pair = (RecordingProbe::new(nodes), &mut flight);
+                    std::hint::black_box(sim.run_probed(&mut pair));
+                    std::hint::black_box(&pair);
+                }
+                BenchKind::Privacy => {
+                    let mut pair = (RecordingProbe::new(nodes), privacy_probe_for(&sim, 100));
+                    std::hint::black_box(sim.run_probed(&mut pair));
+                    std::hint::black_box(&pair);
+                }
             }));
         }
         for (mode, &s) in secs.iter_mut().zip(&best) {
@@ -126,21 +172,24 @@ fn time_modes(points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
             total_secs,
         }
     };
+    let third = match kind {
+        BenchKind::Trace => "tracing",
+        BenchKind::Privacy => "privacy",
+    };
     let [off, met, tra] = secs;
     [
         timing("probes_off", off),
         timing("metrics", met),
-        timing("tracing", tra),
+        timing(third, tra),
     ]
 }
 
-fn parse_args() -> Result<(Vec<f64>, u32, u32, PathBuf), String> {
+fn parse_args() -> Result<(BenchKind, Vec<f64>, u32, u32, PathBuf), String> {
+    let mut kind = BenchKind::Trace;
     let mut points: Vec<f64> = vec![2.0, 8.0, 14.0, 20.0];
     let mut packets: u32 = 1000;
     let mut repeats: u32 = 5;
-    let mut out =
-        PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
-            .join("BENCH_trace.json");
+    let mut out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -148,6 +197,13 @@ fn parse_args() -> Result<(Vec<f64>, u32, u32, PathBuf), String> {
             .get(i + 1)
             .ok_or_else(|| format!("{} needs a value", args[i]))?;
         match args[i].as_str() {
+            "--bench" => {
+                kind = match value.as_str() {
+                    "trace" => BenchKind::Trace,
+                    "privacy" => BenchKind::Privacy,
+                    other => return Err(format!("bad --bench `{other}`; trace or privacy")),
+                };
+            }
             "--points" => {
                 points = value
                     .split(',')
@@ -164,7 +220,7 @@ fn parse_args() -> Result<(Vec<f64>, u32, u32, PathBuf), String> {
                     .parse()
                     .map_err(|_| format!("bad --repeats `{value}`"))?;
             }
-            "--out" => out = PathBuf::from(value),
+            "--out" => out = Some(PathBuf::from(value)),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -172,11 +228,18 @@ fn parse_args() -> Result<(Vec<f64>, u32, u32, PathBuf), String> {
     if points.is_empty() || repeats == 0 {
         return Err("--points and --repeats must be non-empty/positive".into());
     }
-    Ok((points, packets, repeats, out))
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+            .join(match kind {
+                BenchKind::Trace => "BENCH_trace.json",
+                BenchKind::Privacy => "BENCH_privacy.json",
+            })
+    });
+    Ok((kind, points, packets, repeats, out))
 }
 
 fn main() -> ExitCode {
-    let (points, packets, repeats, out) = match parse_args() {
+    let (kind, points, packets, repeats, out) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("perf_baseline: {e}");
@@ -187,21 +250,48 @@ fn main() -> ExitCode {
     // Warm caches so the first timed mode pays no cold-start penalty.
     std::hint::black_box(figure1_sim(points[0], packets.min(100)).run());
 
-    let [probes_off, metrics, tracing] = time_modes(&points, packets, repeats);
+    let [probes_off, metrics, third] = time_modes(kind, &points, packets, repeats);
 
     let ratio = |a: &ModeTiming, b: &ModeTiming| a.total_secs / b.total_secs;
-    let report = BenchReport {
-        bench: "figure1_sweep_tracing_overhead".to_string(),
-        points,
-        packets_per_source: packets,
-        repeats,
-        metrics_over_probes_off: ratio(&metrics, &probes_off),
-        tracing_over_probes_off: ratio(&tracing, &probes_off),
-        tracing_over_metrics: ratio(&tracing, &metrics),
-        tracing_overhead_pct: (ratio(&tracing, &metrics) - 1.0) * 100.0,
-        modes: vec![probes_off, metrics, tracing],
+    let (json, overhead_pct, over_probes_off) = match kind {
+        BenchKind::Trace => {
+            let report = BenchReport {
+                bench: "figure1_sweep_tracing_overhead".to_string(),
+                points,
+                packets_per_source: packets,
+                repeats,
+                metrics_over_probes_off: ratio(&metrics, &probes_off),
+                tracing_over_probes_off: ratio(&third, &probes_off),
+                tracing_over_metrics: ratio(&third, &metrics),
+                tracing_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                modes: vec![probes_off, metrics, third],
+            };
+            (
+                serde_json::to_string_pretty(&report),
+                report.tracing_overhead_pct,
+                report.tracing_over_probes_off,
+            )
+        }
+        BenchKind::Privacy => {
+            let report = PrivacyBenchReport {
+                bench: "figure1_sweep_privacy_overhead".to_string(),
+                points,
+                packets_per_source: packets,
+                repeats,
+                metrics_over_probes_off: ratio(&metrics, &probes_off),
+                privacy_over_probes_off: ratio(&third, &probes_off),
+                privacy_over_metrics: ratio(&third, &metrics),
+                privacy_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                modes: vec![probes_off, metrics, third],
+            };
+            (
+                serde_json::to_string_pretty(&report),
+                report.privacy_overhead_pct,
+                report.privacy_over_probes_off,
+            )
+        }
     };
-    let json = match serde_json::to_string_pretty(&report) {
+    let json = match json {
         Ok(json) => json,
         Err(e) => {
             eprintln!("perf_baseline: serialize report: {e}");
@@ -215,11 +305,14 @@ fn main() -> ExitCode {
         eprintln!("perf_baseline: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
+    let label = match kind {
+        BenchKind::Trace => "ring-buffer tracing",
+        BenchKind::Privacy => "privacy observatory",
+    };
     println!(
-        "ring-buffer tracing overhead: {:+.2}% vs metrics, {:+.2}% vs probes-off \
+        "{label} overhead: {overhead_pct:+.2}% vs metrics, {:+.2}% vs probes-off \
          [written {}]",
-        report.tracing_overhead_pct,
-        (report.tracing_over_probes_off - 1.0) * 100.0,
+        (over_probes_off - 1.0) * 100.0,
         out.display()
     );
     ExitCode::SUCCESS

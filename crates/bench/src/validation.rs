@@ -62,7 +62,8 @@ pub fn btq_bound_experiment(
             BtqRow {
                 j,
                 bound_nats: btq_packet_bound_nats(j, mu, lambda),
-                empirical_nats: mi_from_samples_nats(&xs, &zs, 24),
+                empirical_nats: mi_from_samples_nats(&xs, &zs, 24)
+                    .expect("synthetic pairs are finite and plentiful"),
             }
         })
         .collect()

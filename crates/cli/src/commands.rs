@@ -14,12 +14,16 @@ use tempriv_core::experiment::{
 };
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
-use tempriv_core::telemetry::TelemetryExport;
+use tempriv_core::telemetry::{privacy_flow_configs, TelemetryExport};
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
+use tempriv_infotheory::DEFAULT_STREAMING_BINS;
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
 use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
-use tempriv_telemetry::{FlightRecorder, LineageOutcome, DEFAULT_FLIGHT_CAPACITY};
+use tempriv_telemetry::{
+    FlightRecorder, FlowPrivacySummary, LineageOutcome, PrivacyProbe, SimProbe,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 
 use crate::args::Args;
 
@@ -53,9 +57,13 @@ COMMANDS:
         [--trace-capacity N] also flight-record packet lifecycles into
                              a ring of N events per job (needs
                              --telemetry; blobs journal to --manifest)
+        [--privacy-interval N]  also stream per-flow I(X;Z) estimates,
+                             snapshotting every N deliveries (needs
+                             --telemetry; blobs journal to --manifest)
         [--quiet]            suppress stderr progress
     resume <run.jsonl>       finish an interrupted sweep from its manifest
-        [--workers N] [--telemetry PATH] [--trace-capacity N] [--quiet]
+        [--workers N] [--telemetry PATH] [--trace-capacity N]
+        [--privacy-interval N] [--quiet]
     report <run.jsonl|dir>   aggregate per-job telemetry from a manifest,
                              or from every *.jsonl manifest in a directory
         [--format F]         text (default), json, or prometheus
@@ -67,6 +75,16 @@ COMMANDS:
         [--format F]         text (default), jsonl, or chrome
                              (chrome loads in chrome://tracing / Perfetto)
         [--out PATH]         write the dump to a file instead of stdout
+    watch [run.jsonl]        live streaming-privacy view: tail a manifest
+                             journaled with --privacy-interval, or (with
+                             no argument) run the paper default config
+                             in-process and watch per-flow MI converge
+        [--poll-ms N]        manifest poll interval (default 250)
+        [--once]             render the current state once and exit
+        [--seed N] [--packets N]  one-shot run overrides
+        [--interval N]       deliveries between snapshots (default 100)
+        [--bins N]           streaming histogram resolution (default 32)
+        [--out PATH]         write the final privacy series JSON
     cache stats --cache-dir DIR    count cached results
     cache clear --cache-dir DIR    delete cached results
     calc erlang  --rho R --slots K          Erlang loss E(R, K)
@@ -96,6 +114,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("resume") => cmd_resume(args, out),
         Some("report") => cmd_report(args, out),
         Some("trace") => cmd_trace(args, out),
+        Some("watch") => cmd_watch(args, out),
         Some("cache") => cmd_cache(args, out),
         Some("calc") => cmd_calc(args, out),
         Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
@@ -282,6 +301,18 @@ fn build_runtime(
         };
         sink.set_trace_capacity(capacity);
     }
+    if let Some(raw) = args.option("privacy-interval") {
+        let interval: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --privacy-interval: `{raw}`"))?;
+        if interval == 0 {
+            return Err("--privacy-interval must be positive".into());
+        }
+        let Some((sink, _)) = &telemetry else {
+            return Err("--privacy-interval requires --telemetry".into());
+        };
+        sink.set_privacy_interval(interval);
+    }
     Ok((builder.build()?, telemetry))
 }
 
@@ -294,7 +325,7 @@ fn write_telemetry_export(
     path: &str,
     quiet: bool,
 ) -> Result<(), String> {
-    let export = TelemetryExport::collect(experiment, &sink.take_all())?;
+    let export = TelemetryExport::collect(experiment, &sink.take_all(), &sink.take_all_privacy())?;
     std::fs::write(path, export.to_canonical_json())
         .map_err(|e| format!("cannot write telemetry export {path}: {e}"))?;
     if !quiet {
@@ -430,6 +461,17 @@ fn manifest_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
     blobs
 }
 
+/// Per-job streaming-privacy blobs of one manifest, in job order.
+fn manifest_privacy_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
+    let mut blobs: Vec<Option<String>> = vec![None; manifest.header.jobs];
+    for record in &manifest.records {
+        if let Some(slot) = blobs.get_mut(record.index) {
+            slot.clone_from(&record.privacy);
+        }
+    }
+    blobs
+}
+
 /// `tempriv report <run.jsonl|dir>`: aggregate the per-job telemetry
 /// blobs journaled by one manifest — or by every `*.jsonl` manifest in a
 /// directory, concatenated in file-name order — and render them as text,
@@ -438,7 +480,7 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args
         .positional(1)
         .ok_or("usage: tempriv report <run.jsonl|dir> [--format text|json|prometheus]")?;
-    let (experiment, blobs) = if std::path::Path::new(path).is_dir() {
+    let (experiment, blobs, privacy_blobs) = if std::path::Path::new(path).is_dir() {
         let entries =
             std::fs::read_dir(path).map_err(|e| format!("cannot read directory {path}: {e}"))?;
         let mut manifests: Vec<std::path::PathBuf> = entries
@@ -455,20 +497,23 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         }
         let mut experiments: Vec<String> = Vec::new();
         let mut blobs = Vec::new();
+        let mut privacy_blobs = Vec::new();
         for manifest_path in &manifests {
             let manifest = ManifestReader::read(manifest_path)?;
             blobs.extend(manifest_blobs(&manifest));
+            privacy_blobs.extend(manifest_privacy_blobs(&manifest));
             if !experiments.contains(&manifest.header.experiment) {
                 experiments.push(manifest.header.experiment.clone());
             }
         }
-        (experiments.join("+"), blobs)
+        (experiments.join("+"), blobs, privacy_blobs)
     } else {
         let manifest = ManifestReader::read(path)?;
         let blobs = manifest_blobs(&manifest);
-        (manifest.header.experiment, blobs)
+        let privacy_blobs = manifest_privacy_blobs(&manifest);
+        (manifest.header.experiment, blobs, privacy_blobs)
     };
-    let export = TelemetryExport::collect(&experiment, &blobs)?;
+    let export = TelemetryExport::collect(&experiment, &blobs, &privacy_blobs)?;
     match args.option("format").unwrap_or("text") {
         "text" => {
             write!(out, "{}", export.summary_text()).map_err(io_err)?;
@@ -579,6 +624,198 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         None => write!(out, "{body}").map_err(io_err)?,
     }
     Ok(())
+}
+
+/// Renders one frame of the privacy view: delivery/drop totals plus a
+/// per-flow table of packets, empirical MI, the eq. 4 mean bound, the
+/// privacy margin, and the adversary's running MSE (`-` where the run
+/// carries no analytic envelope).
+fn watch_frame(deliveries: u64, drops: u64, summaries: &[FlowPrivacySummary]) -> String {
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"));
+    let mut s = format!(
+        "deliveries {deliveries}, drops {drops}\n\
+         {:<6} {:>8} {:>10} {:>10} {:>12} {:>14}\n",
+        "flow", "packets", "mi_nats", "bound", "margin", "adv_mse"
+    );
+    for f in summaries {
+        s.push_str(&format!(
+            "f{:<5} {:>8} {:>10.4} {:>10} {:>12} {:>14}\n",
+            f.flow,
+            f.packets,
+            f.mi_nats,
+            opt(f.btq_mean_bound_nats),
+            opt(f.margin_nats),
+            opt(f.mse),
+        ));
+    }
+    s
+}
+
+/// Wraps a [`PrivacyProbe`] for the one-shot `watch` run: every hook
+/// forwards to the inner probe, and deliveries additionally refresh a
+/// throttled live view on stderr — at most one frame per
+/// [`StderrReporter::MIN_INTERVAL`], the same ~4 Hz cadence the runtime
+/// progress reporter uses.
+struct WatchProbe {
+    inner: PrivacyProbe,
+    expected: u64,
+    started: std::time::Instant,
+    last_render: Option<std::time::Instant>,
+    quiet: bool,
+}
+
+impl WatchProbe {
+    fn maybe_render(&mut self) {
+        if self.quiet {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let throttled = self
+            .last_render
+            .is_some_and(|last| now.duration_since(last) < StderrReporter::MIN_INTERVAL);
+        if throttled {
+            return;
+        }
+        self.last_render = Some(now);
+        let done = self.inner.deliveries();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let eta = elapsed * self.expected.saturating_sub(done) as f64 / done.max(1) as f64;
+        eprintln!("[watch] {done}/{} deliveries, eta {eta:.1}s", self.expected);
+        eprint!(
+            "{}",
+            watch_frame(done, self.inner.drops(), &self.inner.summary())
+        );
+    }
+}
+
+impl SimProbe for WatchProbe {
+    fn on_preemption(&mut self, node: usize, now: tempriv_sim::time::SimTime) {
+        self.inner.on_preemption(node, now);
+    }
+
+    fn on_drop(&mut self, node: usize, now: tempriv_sim::time::SimTime) {
+        self.inner.on_drop(node, now);
+    }
+
+    fn on_delivery(&mut self, flow: usize, now: tempriv_sim::time::SimTime, latency: f64) {
+        self.inner.on_delivery(flow, now, latency);
+        self.maybe_render();
+    }
+}
+
+/// The current aggregate privacy state of a journaled run, as text: job
+/// progress plus every `tempriv_privacy_*` gauge the manifest's privacy
+/// blobs aggregate to.
+fn manifest_watch_frame(manifest: &ManifestReader) -> Result<String, String> {
+    let blobs = manifest_blobs(manifest);
+    let privacy = manifest_privacy_blobs(manifest);
+    let observed = privacy.iter().flatten().count();
+    let export = TelemetryExport::collect(&manifest.header.experiment, &blobs, &privacy)?;
+    let mut s = format!(
+        "watch {}: {}/{} jobs recorded, {} with privacy series\n",
+        manifest.header.experiment,
+        manifest.records.len(),
+        manifest.header.jobs,
+        observed
+    );
+    if observed == 0 {
+        s.push_str(
+            "note: no privacy blobs journaled (sweep with --telemetry, \
+             --privacy-interval N, and --manifest)\n",
+        );
+        return Ok(s);
+    }
+    for gauge in export
+        .metrics
+        .gauges
+        .iter()
+        .filter(|g| g.name.starts_with("tempriv_privacy_"))
+    {
+        s.push_str(&format!("  {} = {:.4}\n", gauge.name, gauge.value));
+    }
+    Ok(s)
+}
+
+/// `tempriv watch <run.jsonl>`: poll a manifest and re-render its
+/// aggregate privacy gauges until every job has landed (interim frames
+/// go to stderr; the final one to stdout). `--once` renders the current
+/// state straight to stdout and exits, whatever the progress.
+fn cmd_watch_manifest<W: Write>(path: &str, args: &Args, out: &mut W) -> Result<(), String> {
+    let poll_ms: u64 = args.option_as("poll-ms", 250)?;
+    let once = args.flag("once");
+    loop {
+        let manifest = ManifestReader::read(path)?;
+        let frame = manifest_watch_frame(&manifest)?;
+        if once || manifest.records.len() >= manifest.header.jobs {
+            write!(out, "{frame}").map_err(io_err)?;
+            return Ok(());
+        }
+        if !args.flag("quiet") {
+            eprint!("{frame}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
+/// `tempriv watch` with no manifest: run the paper-default config
+/// in-process under the streaming privacy probe, rendering the live view
+/// as deliveries stream in, then print the final per-flow summary and
+/// optionally dump the full series as JSON.
+fn cmd_watch_oneshot<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.seed = args.option_as("seed", cfg.seed)?;
+    cfg.packets_per_source = args.option_as("packets", cfg.packets_per_source)?;
+    let interval: u64 = args.option_as("interval", 100)?;
+    if interval == 0 {
+        return Err("--interval must be positive".into());
+    }
+    let bins: usize = args.option_as("bins", DEFAULT_STREAMING_BINS)?;
+    if bins < 2 {
+        return Err("--bins must be at least 2".into());
+    }
+    let sim = cfg.build().map_err(|e| e.to_string())?;
+    let expected =
+        u64::from(cfg.packets_per_source) * u64::try_from(sim.sources().len()).expect("few flows");
+    let mut probe = WatchProbe {
+        inner: PrivacyProbe::with_bins(privacy_flow_configs(&sim), interval, bins),
+        expected,
+        started: std::time::Instant::now(),
+        last_render: None,
+        quiet: args.flag("quiet"),
+    };
+    let outcome = sim.run_probed(&mut probe);
+    let series = probe.inner.finish(outcome.end_time);
+    writeln!(
+        out,
+        "watch: seed {}, {} snapshots every {} deliveries",
+        cfg.seed,
+        series.points.len(),
+        series.interval,
+    )
+    .map_err(io_err)?;
+    write!(
+        out,
+        "{}",
+        watch_frame(series.deliveries, series.drops, &series.summary)
+    )
+    .map_err(io_err)?;
+    if let Some(path) = args.option("out") {
+        let json =
+            serde_json::to_string(&series).map_err(|e| format!("serialize privacy series: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "[privacy series written to {path}]").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `tempriv watch [run.jsonl]`: the live streaming-privacy view — tail a
+/// journaled run, or run one in-process when no manifest is given.
+fn cmd_watch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    match args.positional(1) {
+        Some(path) => cmd_watch_manifest(path, args, out),
+        None => cmd_watch_oneshot(args, out),
+    }
 }
 
 fn cmd_cache<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -1158,6 +1395,181 @@ mod tests {
         assert!(err.contains("invalid value for --flow"));
         let err = run(&["trace", "/nonexistent/cfg.json"]).unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn privacy_interval_journals_blobs_and_requires_telemetry() {
+        let dir = std::env::temp_dir().join("tempriv_cli_privacy_interval_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "120",
+            "--quiet",
+            "--manifest",
+            man_str,
+            "--telemetry",
+            dir.join("t.json").to_str().unwrap(),
+            "--privacy-interval",
+            "25",
+        ])
+        .unwrap();
+        let back = tempriv_runtime::ManifestReader::read(&manifest).unwrap();
+        assert_eq!(back.records.len(), 1);
+        let blob = back.records[0]
+            .privacy
+            .as_deref()
+            .expect("privacy journaled");
+        let privacy: tempriv_core::telemetry::JobPrivacy = serde_json::from_str(blob).unwrap();
+        assert!(!privacy.scenarios.is_empty());
+        assert!(privacy
+            .scenarios
+            .iter()
+            .all(|s| !s.series.points.is_empty()));
+
+        // The telemetry export aggregates the per-flow gauges.
+        let parsed: tempriv_core::telemetry::TelemetryExport =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t.json")).unwrap()).unwrap();
+        assert!(parsed
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_privacy_mi_nats{flow=")));
+
+        // And `report` renders them from the manifest alone.
+        let prom = run(&["report", man_str, "--format", "prometheus"]).unwrap();
+        assert!(prom.contains("tempriv_privacy_mi_nats"));
+
+        let err = run(&["sweep", "--quiet", "--privacy-interval", "25"]).unwrap_err();
+        assert!(err.contains("requires --telemetry"));
+        let err = run(&[
+            "sweep",
+            "--quiet",
+            "--telemetry",
+            "t.json",
+            "--privacy-interval",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("must be positive"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn privacy_instrumentation_leaves_stdout_untouched() {
+        let dir = std::env::temp_dir().join("tempriv_cli_privacy_stdout_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = ["sweep", "--points", "2", "--packets", "60", "--quiet"];
+        let plain = run(&base).unwrap();
+        let observed = run(&[
+            &base[..],
+            &[
+                "--telemetry",
+                dir.join("t.json").to_str().unwrap(),
+                "--privacy-interval",
+                "10",
+            ],
+        ]
+        .concat())
+        .unwrap();
+        assert_eq!(plain, observed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_oneshot_prints_per_flow_table_and_dumps_series() {
+        let dir = std::env::temp_dir().join("tempriv_cli_watch_oneshot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let series_path = dir.join("series.json");
+        let out = run(&[
+            "watch",
+            "--packets",
+            "120",
+            "--seed",
+            "3",
+            "--interval",
+            "25",
+            "--quiet",
+            "--out",
+            series_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("snapshots every 25 deliveries"));
+        assert!(out.contains("mi_nats"));
+        assert!(out.lines().any(|l| l.starts_with("f0")));
+        let series: tempriv_telemetry::PrivacySeries =
+            serde_json::from_str(&std::fs::read_to_string(&series_path).unwrap()).unwrap();
+        assert!(series.deliveries > 0);
+        assert!(!series.points.is_empty());
+        assert!(!series.summary.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_once_renders_manifest_state() {
+        let dir = std::env::temp_dir().join("tempriv_cli_watch_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "120",
+            "--quiet",
+            "--manifest",
+            man_str,
+            "--telemetry",
+            dir.join("t.json").to_str().unwrap(),
+            "--privacy-interval",
+            "25",
+        ])
+        .unwrap();
+        let out = run(&["watch", man_str, "--once"]).unwrap();
+        assert!(out.contains("watch fig3: 1/1 jobs recorded, 1 with privacy series"));
+        assert!(out.contains("tempriv_privacy_mi_nats{flow="));
+
+        // A manifest without privacy blobs names the missing flag.
+        let plain = dir.join("plain.jsonl");
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--manifest",
+            plain.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&["watch", plain.to_str().unwrap(), "--once"]).unwrap();
+        assert!(out.contains("no privacy blobs journaled"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_rejects_bad_arguments() {
+        let err = run(&["watch", "--interval", "0"]).unwrap_err();
+        assert!(err.contains("--interval must be positive"));
+        let err = run(&["watch", "--bins", "1"]).unwrap_err();
+        assert!(err.contains("--bins must be at least 2"));
+        let err = run(&["watch", "/nonexistent/run.jsonl", "--once"]).unwrap_err();
+        assert!(err.contains("cannot read manifest"));
     }
 
     #[test]

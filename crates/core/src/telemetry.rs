@@ -32,13 +32,14 @@
 //! and the simulation output is byte-identical to an uninstrumented run.
 
 use serde::{Deserialize, Serialize};
-use tempriv_net::ids::NodeId;
+use tempriv_net::ids::{FlowId, NodeId};
 use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
 use tempriv_runtime::{Runtime, TelemetrySink};
 use tempriv_telemetry::{
-    FlightLog, FlightRecorder, MetricsRegistry, RecordingProbe, SimTelemetry, SpanSet,
-    TelemetrySnapshot, TheoryCheck, TheoryReport, TheoryTolerance,
+    BtqParams, FlightLog, FlightRecorder, FlowPrivacyConfig, MetricsRegistry, PrivacyProbe,
+    PrivacySeries, RecordingProbe, SimTelemetry, SpanSet, TelemetrySnapshot, TheoryCheck,
+    TheoryReport, TheoryTolerance,
 };
 
 use crate::buffer::BufferPolicy;
@@ -256,6 +257,52 @@ pub fn residence_checks(
     checks
 }
 
+/// Builds the streaming privacy probe matching `sim`'s configuration,
+/// with the default histogram resolution. `interval` is the number of
+/// deliveries between journaled snapshots. See
+/// [`privacy_flow_configs`] for how the per-flow envelopes are derived.
+#[must_use]
+pub fn privacy_probe_for(sim: &NetworkSimulation, interval: u64) -> PrivacyProbe {
+    PrivacyProbe::new(privacy_flow_configs(sim), interval)
+}
+
+/// Per-flow privacy configuration matching `sim`: one
+/// [`FlowPrivacyConfig`] per flow, with the baseline adversary's
+/// constant offset `h·τ + E[path delay]` taken from
+/// [`NetworkSimulation::adversary_knowledge`] and the eq. 4 envelope
+/// parameters `(μ, λ)` filled in when the workload advertises a rate and
+/// the delay plan a positive mean (trace-driven schedules get MI-only
+/// tracking).
+#[must_use]
+pub fn privacy_flow_configs(sim: &NetworkSimulation) -> Vec<FlowPrivacyConfig> {
+    let knowledge = sim.adversary_knowledge();
+    let lambda = match sim.workload() {
+        Workload::Model(model) if model.mean_rate() > 0.0 => Some(model.mean_rate()),
+        Workload::Model(_) | Workload::Schedules(_) => None,
+    };
+    (0..knowledge.num_flows())
+        .map(|flow| {
+            #[allow(clippy::cast_possible_truncation)]
+            let flow_id = FlowId(flow as u32);
+            let hops = f64::from(knowledge.hops(flow_id));
+            let path_mean = knowledge.path_delay_mean(flow_id);
+            let btq = match (lambda, path_mean > 0.0 && hops > 0.0) {
+                // The adversary's advertised per-hop mean delay: the
+                // path average, exactly what its estimator uses.
+                (Some(lambda), true) => Some(BtqParams {
+                    mu: hops / path_mean,
+                    lambda,
+                }),
+                _ => None,
+            };
+            FlowPrivacyConfig {
+                adversary_offset: hops * knowledge.tau + path_mean,
+                btq,
+            }
+        })
+        .collect()
+}
+
 /// One instrumented scenario within a job (a sweep point may simulate
 /// several — e.g. Figure 2 runs no-delay, unlimited, and RCAD per point).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -315,6 +362,24 @@ pub struct JobTrace {
     pub scenarios: Vec<ScenarioTrace>,
 }
 
+/// One scenario's streaming privacy series within a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPrivacy {
+    /// Scenario label within the job (matches the telemetry label).
+    pub label: String,
+    /// The frozen privacy convergence series.
+    pub series: PrivacySeries,
+}
+
+/// Everything one job attaches as its manifest *privacy* blob when the
+/// streaming privacy observatory is on: one [`PrivacySeries`] per
+/// simulated scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobPrivacy {
+    /// One entry per observed scenario, in execution order.
+    pub scenarios: Vec<ScenarioPrivacy>,
+}
+
 /// Runs a job's simulations, recording telemetry when the runtime has a
 /// [`TelemetrySink`] and running the plain, probe-free path otherwise.
 ///
@@ -328,25 +393,31 @@ pub struct JobTrace {
 pub struct JobTelemetryCollector<'a> {
     sink: Option<(&'a TelemetrySink, usize)>,
     trace_capacity: usize,
+    privacy_interval: usize,
     tolerance: TheoryTolerance,
     job: JobTelemetry,
     trace: JobTrace,
+    privacy: JobPrivacy,
 }
 
 impl<'a> JobTelemetryCollector<'a> {
     /// A collector for job `index` of a run on `runtime`. Collection is
     /// active only when the runtime carries a telemetry sink; flight
     /// recording additionally requires the sink's
-    /// [`trace_capacity`](TelemetrySink::trace_capacity) to be non-zero.
+    /// [`trace_capacity`](TelemetrySink::trace_capacity) to be non-zero,
+    /// and the streaming privacy observatory its
+    /// [`privacy_interval`](TelemetrySink::privacy_interval).
     #[must_use]
     pub fn for_job(runtime: &'a Runtime, index: usize) -> Self {
         let sink = runtime.telemetry_sink();
         JobTelemetryCollector {
             sink: sink.map(|sink| (sink, index)),
             trace_capacity: sink.map_or(0, TelemetrySink::trace_capacity),
+            privacy_interval: sink.map_or(0, TelemetrySink::privacy_interval),
             tolerance: TheoryTolerance::default(),
             job: JobTelemetry::default(),
             trace: JobTrace::default(),
+            privacy: JobPrivacy::default(),
         }
     }
 
@@ -365,19 +436,20 @@ impl<'a> JobTelemetryCollector<'a> {
         }
         let started = std::time::Instant::now();
         let mut probe = RecordingProbe::new(sim.routing().len());
-        let (outcome, flight_log) = if self.trace_capacity > 0 {
-            // The pair probe fans every hook out to both halves in one
-            // monomorphized pass.
-            let mut pair = (probe, FlightRecorder::with_capacity(self.trace_capacity));
-            let outcome = sim.run_probed(&mut pair);
-            let (rec, flight) = pair;
-            probe = rec;
-            let log = flight.finish(outcome.end_time);
-            (outcome, Some(log))
-        } else {
-            let outcome = sim.run_probed(&mut probe);
-            (outcome, None)
+        // Optional probe halves compose through the pair probe, which
+        // fans every hook out to both sides in one monomorphized pass.
+        let mut flight =
+            (self.trace_capacity > 0).then(|| FlightRecorder::with_capacity(self.trace_capacity));
+        let mut privacy = (self.privacy_interval > 0)
+            .then(|| privacy_probe_for(sim, self.privacy_interval as u64));
+        let outcome = match (flight.as_mut(), privacy.as_mut()) {
+            (Some(f), Some(p)) => sim.run_probed(&mut ((&mut probe, f), p)),
+            (Some(f), None) => sim.run_probed(&mut (&mut probe, f)),
+            (None, Some(p)) => sim.run_probed(&mut (&mut probe, p)),
+            (None, None) => sim.run_probed(&mut probe),
         };
+        let flight_log = flight.map(|f| f.finish(outcome.end_time));
+        let privacy_series = privacy.map(|p| p.finish(outcome.end_time));
         let telemetry = probe.finish(outcome.end_time);
         let mut theory = theory_report(sim, &telemetry, &self.tolerance);
         if let Some(log) = &flight_log {
@@ -399,12 +471,18 @@ impl<'a> JobTelemetryCollector<'a> {
                 log,
             });
         }
+        if let Some(series) = privacy_series {
+            self.privacy.scenarios.push(ScenarioPrivacy {
+                label: label.to_string(),
+                series,
+            });
+        }
         outcome
     }
 
-    /// Serializes the collected telemetry (and, when flight recording
-    /// was on, the trace blob) and attaches them to the job's sink
-    /// slots. No-op when collection is inactive.
+    /// Serializes the collected telemetry (and, when flight recording or
+    /// the privacy observatory was on, those blobs too) and attaches them
+    /// to the job's sink slots. No-op when collection is inactive.
     pub fn finish(self) {
         if let Some((sink, index)) = self.sink {
             let json = serde_json::to_string(&self.job).expect("job telemetry serializes");
@@ -412,6 +490,10 @@ impl<'a> JobTelemetryCollector<'a> {
             if !self.trace.scenarios.is_empty() {
                 let json = serde_json::to_string(&self.trace).expect("job trace serializes");
                 sink.attach_trace(index, json);
+            }
+            if !self.privacy.scenarios.is_empty() {
+                let json = serde_json::to_string(&self.privacy).expect("job privacy serializes");
+                sink.attach_privacy(index, json);
             }
         }
     }
@@ -441,16 +523,27 @@ pub struct TelemetryExport {
     pub metrics: TelemetrySnapshot,
     /// Raw per-job telemetry, indexed by job (None = not instrumented).
     pub job_telemetry: Vec<Option<JobTelemetry>>,
+    /// Raw per-job streaming-privacy series, indexed by job (None = the
+    /// job ran without the privacy observatory). Absent in exports
+    /// written before the observatory existed.
+    #[serde(default)]
+    pub job_privacy: Vec<Option<JobPrivacy>>,
 }
 
 impl TelemetryExport {
     /// Aggregates per-job telemetry blobs (as journaled in a manifest or
     /// drained from a [`TelemetrySink`]) into one export.
+    /// `privacy_blobs` carries the parallel privacy-series blobs; pass
+    /// `&[]` when the run had no privacy observatory.
     ///
     /// # Errors
     ///
     /// Returns a message naming the job whose blob fails to parse.
-    pub fn collect(experiment: &str, blobs: &[Option<String>]) -> Result<Self, String> {
+    pub fn collect(
+        experiment: &str,
+        blobs: &[Option<String>],
+        privacy_blobs: &[Option<String>],
+    ) -> Result<Self, String> {
         let mut job_telemetry: Vec<Option<JobTelemetry>> = Vec::with_capacity(blobs.len());
         for (i, blob) in blobs.iter().enumerate() {
             match blob {
@@ -458,6 +551,16 @@ impl TelemetryExport {
                 Some(json) => job_telemetry.push(Some(
                     serde_json::from_str(json)
                         .map_err(|e| format!("job {i}: bad telemetry blob: {e}"))?,
+                )),
+            }
+        }
+        let mut job_privacy: Vec<Option<JobPrivacy>> = Vec::with_capacity(blobs.len());
+        for i in 0..blobs.len() {
+            match privacy_blobs.get(i).and_then(Option::as_ref) {
+                None => job_privacy.push(None),
+                Some(json) => job_privacy.push(Some(
+                    serde_json::from_str(json)
+                        .map_err(|e| format!("job {i}: bad privacy blob: {e}"))?,
                 )),
             }
         }
@@ -570,6 +673,67 @@ impl TelemetryExport {
             registry.set(g, high_water[i] as f64);
         }
 
+        // Per-flow privacy aggregates across every observed scenario:
+        // the MI / margin / adversary-MSE gauges average scenario-final
+        // summaries, mirroring the occupancy-mean convention above.
+        let n_flows = job_privacy
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .flat_map(|s| &s.series.summary)
+            .map(|f| f.flow + 1)
+            .max()
+            .unwrap_or(0);
+        let mut mi_sum = vec![0.0f64; n_flows];
+        let mut mi_count = vec![0u64; n_flows];
+        let mut margin_sum = vec![0.0f64; n_flows];
+        let mut margin_count = vec![0u64; n_flows];
+        let mut mse_sum = vec![0.0f64; n_flows];
+        let mut mse_count = vec![0u64; n_flows];
+        for flow in job_privacy
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .flat_map(|s| &s.series.summary)
+        {
+            mi_sum[flow.flow] += flow.mi_nats;
+            mi_count[flow.flow] += 1;
+            if let Some(margin) = flow.margin_nats {
+                margin_sum[flow.flow] += margin;
+                margin_count[flow.flow] += 1;
+            }
+            if let Some(mse) = flow.mse {
+                mse_sum[flow.flow] += mse;
+                mse_count[flow.flow] += 1;
+            }
+        }
+        for i in 0..n_flows {
+            #[allow(clippy::cast_precision_loss)]
+            if mi_count[i] > 0 {
+                let g = registry.gauge(
+                    format!("tempriv_privacy_mi_nats{{flow=\"{i}\"}}"),
+                    "Empirical streaming I(X;Z) in nats, averaged over observed scenarios",
+                );
+                registry.set(g, mi_sum[i] / mi_count[i] as f64);
+            }
+            #[allow(clippy::cast_precision_loss)]
+            if margin_count[i] > 0 {
+                let g = registry.gauge(
+                    format!("tempriv_privacy_margin_nats{{flow=\"{i}\"}}"),
+                    "Analytic BTQ bound minus empirical MI (nats), averaged over observed scenarios",
+                );
+                registry.set(g, margin_sum[i] / margin_count[i] as f64);
+            }
+            #[allow(clippy::cast_precision_loss)]
+            if mse_count[i] > 0 {
+                let g = registry.gauge(
+                    format!("tempriv_privacy_adversary_mse{{flow=\"{i}\"}}"),
+                    "Baseline adversary mean squared error, averaged over observed scenarios",
+                );
+                registry.set(g, mse_sum[i] / mse_count[i] as f64);
+            }
+        }
+
         Ok(TelemetryExport {
             experiment: experiment.to_string(),
             jobs: blobs.len(),
@@ -580,6 +744,7 @@ impl TelemetryExport {
             flagged,
             metrics: registry.snapshot(),
             job_telemetry,
+            job_privacy,
         })
     }
 
@@ -731,7 +896,7 @@ mod tests {
             spans: SpanSet::new(),
         };
         let blob = serde_json::to_string(&job).unwrap();
-        let export = TelemetryExport::collect("fig2", &[Some(blob), None]).unwrap();
+        let export = TelemetryExport::collect("fig2", &[Some(blob), None], &[]).unwrap();
         assert_eq!(export.jobs, 2);
         assert_eq!(export.instrumented_jobs, 1);
         assert_eq!(export.scenarios, 1);
@@ -813,8 +978,12 @@ mod tests {
 
     #[test]
     fn bad_blob_is_a_named_error() {
-        let err = TelemetryExport::collect("fig2", &[Some("not json".to_string())]).unwrap_err();
+        let err =
+            TelemetryExport::collect("fig2", &[Some("not json".to_string())], &[]).unwrap_err();
         assert!(err.contains("job 0"));
+        let err =
+            TelemetryExport::collect("fig2", &[None], &[Some("not json".to_string())]).unwrap_err();
+        assert!(err.contains("bad privacy blob"));
     }
 
     #[test]
@@ -850,5 +1019,123 @@ mod tests {
         let telemetry = probe.finish(outcome.end_time);
         let report = theory_report(&biased, &telemetry, &TheoryTolerance::default());
         assert!(report.checks.is_empty());
+    }
+
+    #[test]
+    fn privacy_probe_is_invisible_to_the_simulation() {
+        // The observatory only observes: the outcome must be
+        // byte-identical and the RNG draw count unchanged.
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let plain = sim.run();
+        let mut probe = privacy_probe_for(&sim, 10);
+        let probed = sim.run_probed(&mut probe);
+        assert_eq!(probed.rng_draws, plain.rng_draws);
+        assert_eq!(probed, plain);
+        assert_eq!(
+            serde_json::to_string(&probed).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "probed outcome serializes byte-identically"
+        );
+        assert!(probe.deliveries() > 0, "the probe did observe deliveries");
+    }
+
+    #[test]
+    fn collector_attaches_privacy_blob_when_interval_is_set() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_privacy_interval(25);
+        sink.reset(1);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let sim = paper_sim(BufferPolicy::Unlimited, TrafficModel::poisson(0.5));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        let outcome = collector.run(&sim, "unlimited");
+        collector.finish();
+        // The observatory observes without perturbing the outcome.
+        assert_eq!(outcome, sim.run());
+        let blob = sink.get_privacy(0).expect("privacy blob attached");
+        let privacy: JobPrivacy = serde_json::from_str(&blob).unwrap();
+        assert_eq!(privacy.scenarios.len(), 1);
+        assert_eq!(privacy.scenarios[0].label, "unlimited");
+        let series = &privacy.scenarios[0].series;
+        assert!(!series.points.is_empty());
+        assert!(series.deliveries > 0);
+        assert!(!series.summary.is_empty());
+        // The blob aggregates into per-flow gauges through collect().
+        let export = TelemetryExport::collect(
+            "fig2",
+            &[Some(
+                serde_json::to_string(&JobTelemetry::default()).unwrap(),
+            )],
+            &[Some(blob)],
+        )
+        .unwrap();
+        assert!(export
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_privacy_mi_nats{flow=")));
+        let back: TelemetryExport = serde_json::from_str(&export.to_canonical_json()).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn streaming_mi_converges_to_batch_below_the_btq_bound() {
+        use tempriv_infotheory::estimators::mi_from_samples_nats;
+        use tempriv_net::ids::FlowId;
+        // Figure-1 topology at 1000 packets/source: the streaming
+        // estimator must land within 15% of the batch estimator run over
+        // the same samples, and stay below the eq. 4 mean bound.
+        let layout = Convergecast::paper_figure1();
+        let sim = NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+            .traffic(TrafficModel::poisson(0.5))
+            .packets_per_source(1000)
+            .delay_plan(DelayPlan::shared_exponential(30.0))
+            .buffer_policy(BufferPolicy::Unlimited)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut probe = privacy_probe_for(&sim, 100);
+        let outcome = sim.run_probed(&mut probe);
+        let flows = probe.num_flows();
+        assert!(flows > 0);
+        let mut compared = 0;
+        for flow in 0..flows {
+            let mi = probe.flow_mi(flow);
+            if mi.count() < 200 {
+                continue;
+            }
+            let streaming = mi.mi_nats();
+            #[allow(clippy::cast_possible_truncation)]
+            let (xs, zs) = outcome.creation_arrival_pairs(FlowId(flow as u32));
+            let bins = mi.effective_x_bins().max(mi.effective_z_bins()).max(2);
+            let batch = mi_from_samples_nats(&xs, &zs, bins).unwrap();
+            assert!(
+                (streaming - batch).abs() <= 0.15 * batch.max(0.2),
+                "flow {flow}: streaming {streaming:.4} vs batch {batch:.4} (bins {bins})"
+            );
+            compared += 1;
+        }
+        assert!(compared > 0, "at least one flow had enough samples");
+        let series = probe.finish(outcome.end_time);
+        let mut bounded = 0;
+        for summary in &series.summary {
+            let Some(bound) = summary.btq_mean_bound_nats else {
+                continue;
+            };
+            assert!(
+                summary.mi_nats < bound,
+                "flow {}: empirical MI {:.4} exceeds eq. 4 mean bound {:.4}",
+                summary.flow,
+                summary.mi_nats,
+                bound
+            );
+            assert!(summary.margin_nats.unwrap() > 0.0);
+            bounded += 1;
+        }
+        assert!(bounded > 0, "at least one flow carried a BTQ envelope");
     }
 }

@@ -11,20 +11,79 @@
 //! square error (§2.1, §5.1, citing Guo–Shamai–Verdú).
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a histogram plug-in estimate could not be computed.
+///
+/// The estimators reject, rather than panic on, data conditions a caller
+/// cannot always rule out up front — simulator output flows through them
+/// unattended inside the telemetry stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Fewer than the two samples any spread-based estimate needs.
+    TooFewSamples {
+        /// How many samples were actually supplied.
+        got: usize,
+    },
+    /// Paired samples of different lengths.
+    LengthMismatch {
+        /// Length of the `xs` slice.
+        xs: usize,
+        /// Length of the `zs` slice.
+        zs: usize,
+    },
+    /// A sample was NaN or infinite.
+    NonFinite,
+    /// A histogram with zero bins was requested.
+    ZeroBins,
+    /// All samples are identical: the empirical law is a point mass, whose
+    /// differential entropy diverges to `−∞`.
+    ConstantSamples,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EstimateError::TooFewSamples { got } => {
+                write!(f, "need at least two samples, got {got}")
+            }
+            EstimateError::LengthMismatch { xs, zs } => {
+                write!(f, "paired samples must align: {xs} xs vs {zs} zs")
+            }
+            EstimateError::NonFinite => write!(f, "samples must be finite (no NaN/inf)"),
+            EstimateError::ZeroBins => write!(f, "need at least one bin"),
+            EstimateError::ConstantSamples => {
+                write!(f, "constant samples: differential entropy diverges to -inf")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
 
 /// Differential entropy estimate (nats) from scalar samples, via an
 /// equal-width histogram: `Ĥ = H_discrete + ln(bin width)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `samples` has fewer than 2 elements, contains NaN, or
-/// `bins == 0`.
-#[must_use]
-pub fn entropy_from_samples_nats(samples: &[f64], bins: usize) -> f64 {
-    assert!(samples.len() >= 2, "need at least two samples");
-    assert!(bins > 0, "need at least one bin");
-    let (lo, hi) = min_max(samples);
-    let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+/// * [`EstimateError::TooFewSamples`] below 2 samples,
+/// * [`EstimateError::ZeroBins`] for `bins == 0`,
+/// * [`EstimateError::NonFinite`] if any sample is NaN or infinite,
+/// * [`EstimateError::ConstantSamples`] when every sample is identical
+///   (the point-mass law has `h = −∞`; previously this silently returned
+///   `ln(f64::MIN_POSITIVE) ≈ −708`).
+pub fn entropy_from_samples_nats(samples: &[f64], bins: usize) -> Result<f64, EstimateError> {
+    if bins == 0 {
+        return Err(EstimateError::ZeroBins);
+    }
+    if samples.len() < 2 {
+        return Err(EstimateError::TooFewSamples { got: samples.len() });
+    }
+    let (lo, hi) = min_max(samples)?;
+    if lo == hi {
+        return Err(EstimateError::ConstantSamples);
+    }
+    let width = (hi - lo) / bins as f64;
     let mut counts = vec![0u64; bins];
     for &x in samples {
         let idx = (((x - lo) / width) as usize).min(bins - 1);
@@ -39,16 +98,22 @@ pub fn entropy_from_samples_nats(samples: &[f64], bins: usize) -> f64 {
             -p * p.ln()
         })
         .sum();
-    h_disc + width.ln()
+    Ok(h_disc + width.ln())
 }
 
 /// Mutual information estimate (nats) between paired samples, via a 2-D
 /// equal-width histogram: `Î = Σ p(x,z)·ln(p(x,z)/(p(x)p(z)))`.
 ///
-/// # Panics
+/// A *constant axis* is fine here (unlike for the entropy estimator): all
+/// its mass lands in one bin and the estimate is correctly `0` — a
+/// degenerate coordinate reveals nothing.
 ///
-/// Panics if the slices differ in length, have fewer than 2 pairs,
-/// contain NaN, or `bins == 0`.
+/// # Errors
+///
+/// * [`EstimateError::LengthMismatch`] if the slices differ in length,
+/// * [`EstimateError::TooFewSamples`] below 2 pairs,
+/// * [`EstimateError::ZeroBins`] for `bins == 0`,
+/// * [`EstimateError::NonFinite`] if any coordinate is NaN or infinite.
 ///
 /// # Examples
 ///
@@ -58,16 +123,24 @@ pub fn entropy_from_samples_nats(samples: &[f64], bins: usize) -> f64 {
 /// // Independent-ish pairs carry (almost) no information.
 /// let xs: Vec<f64> = (0..500).map(|i| (i % 23) as f64).collect();
 /// let zs: Vec<f64> = (0..500).map(|i| (i % 7) as f64).collect();
-/// let mi = mi_from_samples_nats(&xs, &zs, 8);
+/// let mi = mi_from_samples_nats(&xs, &zs, 8).unwrap();
 /// assert!(mi < 0.25);
 /// ```
-#[must_use]
-pub fn mi_from_samples_nats(xs: &[f64], zs: &[f64], bins: usize) -> f64 {
-    assert_eq!(xs.len(), zs.len(), "paired samples must align");
-    assert!(xs.len() >= 2, "need at least two pairs");
-    assert!(bins > 0, "need at least one bin");
-    let (xlo, xhi) = min_max(xs);
-    let (zlo, zhi) = min_max(zs);
+pub fn mi_from_samples_nats(xs: &[f64], zs: &[f64], bins: usize) -> Result<f64, EstimateError> {
+    if xs.len() != zs.len() {
+        return Err(EstimateError::LengthMismatch {
+            xs: xs.len(),
+            zs: zs.len(),
+        });
+    }
+    if bins == 0 {
+        return Err(EstimateError::ZeroBins);
+    }
+    if xs.len() < 2 {
+        return Err(EstimateError::TooFewSamples { got: xs.len() });
+    }
+    let (xlo, xhi) = min_max(xs)?;
+    let (zlo, zhi) = min_max(zs)?;
     let xw = ((xhi - xlo) / bins as f64).max(f64::MIN_POSITIVE);
     let zw = ((zhi - zlo) / bins as f64).max(f64::MIN_POSITIVE);
     let mut joint: HashMap<(usize, usize), u64> = HashMap::new();
@@ -81,7 +154,7 @@ pub fn mi_from_samples_nats(xs: &[f64], zs: &[f64], bins: usize) -> f64 {
         pz[j] += 1;
     }
     let n = xs.len() as f64;
-    joint
+    Ok(joint
         .into_iter()
         .map(|((i, j), c)| {
             let pij = c as f64 / n;
@@ -90,7 +163,7 @@ pub fn mi_from_samples_nats(xs: &[f64], zs: &[f64], bins: usize) -> f64 {
             pij * (pij / (pi * pj)).ln()
         })
         .sum::<f64>()
-        .max(0.0)
+        .max(0.0))
 }
 
 /// Information-theoretic lower bound on leakage implied by an estimator's
@@ -138,15 +211,17 @@ pub fn mse_lower_bound_from_mi(var_x: f64, mi_nats: f64) -> f64 {
     var_x * (-2.0 * mi_nats).exp()
 }
 
-fn min_max(samples: &[f64]) -> (f64, f64) {
+fn min_max(samples: &[f64]) -> Result<(f64, f64), EstimateError> {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for &x in samples {
-        assert!(!x.is_nan(), "samples must not contain NaN");
+        if !x.is_finite() {
+            return Err(EstimateError::NonFinite);
+        }
         lo = lo.min(x);
         hi = hi.max(x);
     }
-    (lo, hi)
+    Ok((lo, hi))
 }
 
 #[cfg(test)]
@@ -178,7 +253,7 @@ mod tests {
         // Uniform on [0, 4): h = ln 4.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() * 4.0).collect();
-        let h = entropy_from_samples_nats(&samples, 64);
+        let h = entropy_from_samples_nats(&samples, 64).unwrap();
         assert!((h - 4.0f64.ln()).abs() < 0.02, "h = {h}");
     }
 
@@ -189,7 +264,7 @@ mod tests {
         let samples: Vec<f64> = (0..200_000)
             .map(|_| -30.0 * (1.0 - rng.gen::<f64>()).ln())
             .collect();
-        let h = entropy_from_samples_nats(&samples, 128);
+        let h = entropy_from_samples_nats(&samples, 128).unwrap();
         assert!((h - (1.0 + 30.0f64.ln())).abs() < 0.1, "h = {h}");
     }
 
@@ -198,7 +273,7 @@ mod tests {
         // I = -0.5 ln(1 - rho^2).
         let rho = 0.8f64;
         let (xs, zs) = gaussian_pairs(200_000, rho, 7);
-        let mi = mi_from_samples_nats(&xs, &zs, 24);
+        let mi = mi_from_samples_nats(&xs, &zs, 24).unwrap();
         let exact = -0.5 * (1.0 - rho * rho).ln();
         assert!((mi - exact).abs() < 0.06, "MI {mi} vs exact {exact}");
     }
@@ -206,7 +281,7 @@ mod tests {
     #[test]
     fn mi_of_independent_gaussians_is_near_zero() {
         let (xs, zs) = gaussian_pairs(100_000, 0.0, 8);
-        let mi = mi_from_samples_nats(&xs, &zs, 16);
+        let mi = mi_from_samples_nats(&xs, &zs, 16).unwrap();
         assert!(mi < 0.01, "MI {mi}");
     }
 
@@ -215,7 +290,7 @@ mod tests {
         let mut prev = -1.0;
         for &rho in &[0.2, 0.5, 0.8, 0.95] {
             let (xs, zs) = gaussian_pairs(60_000, rho, 9);
-            let mi = mi_from_samples_nats(&xs, &zs, 20);
+            let mi = mi_from_samples_nats(&xs, &zs, 20).unwrap();
             assert!(mi > prev, "rho {rho}: {mi} !> {prev}");
             prev = mi;
         }
@@ -240,14 +315,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "align")]
-    fn mismatched_pairs_rejected() {
-        let _ = mi_from_samples_nats(&[1.0, 2.0], &[1.0], 4);
+    fn mismatched_pairs_are_an_error_not_a_panic() {
+        assert_eq!(
+            mi_from_samples_nats(&[1.0, 2.0], &[1.0], 4),
+            Err(EstimateError::LengthMismatch { xs: 2, zs: 1 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn nan_samples_rejected() {
-        let _ = entropy_from_samples_nats(&[1.0, f64::NAN], 4);
+    fn non_finite_samples_are_an_error_not_a_panic() {
+        assert_eq!(
+            entropy_from_samples_nats(&[1.0, f64::NAN], 4),
+            Err(EstimateError::NonFinite)
+        );
+        assert_eq!(
+            mi_from_samples_nats(&[1.0, f64::INFINITY], &[0.0, 1.0], 4),
+            Err(EstimateError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors_with_readable_messages() {
+        assert_eq!(
+            entropy_from_samples_nats(&[1.0], 4),
+            Err(EstimateError::TooFewSamples { got: 1 })
+        );
+        assert_eq!(
+            entropy_from_samples_nats(&[1.0, 2.0], 0),
+            Err(EstimateError::ZeroBins)
+        );
+        assert_eq!(
+            entropy_from_samples_nats(&[3.0; 50], 4),
+            Err(EstimateError::ConstantSamples)
+        );
+        let msg = EstimateError::ConstantSamples.to_string();
+        assert!(msg.contains("diverges"), "{msg}");
+        assert!(EstimateError::TooFewSamples { got: 1 }
+            .to_string()
+            .contains("got 1"));
+    }
+
+    #[test]
+    fn constant_axis_is_fine_for_mi_and_yields_zero() {
+        // A degenerate coordinate reveals nothing; the estimator should
+        // say 0, not error (only *entropy* of a constant diverges).
+        let xs = vec![7.0; 100];
+        let zs: Vec<f64> = (0..100).map(f64::from).collect();
+        assert_eq!(mi_from_samples_nats(&xs, &zs, 8), Ok(0.0));
     }
 }

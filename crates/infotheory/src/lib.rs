@@ -15,6 +15,8 @@
 //! * [`estimators`] — histogram entropy/MI estimators for simulator output
 //!   and the MSE↔mutual-information bridge behind the paper's privacy
 //!   metric,
+//! * [`streaming`] — online (O(1)-per-sample) mean/variance, MI, and
+//!   adversary-MSE estimators for the live privacy observatory,
 //! * [`grid`] — grid densities and convolution,
 //! * [`special`] — log-gamma and digamma.
 //!
@@ -45,12 +47,14 @@ pub mod estimators;
 pub mod grid;
 pub mod mutual_information;
 pub mod special;
+pub mod streaming;
 
 pub use bounds::{btq_packet_bound_nats, btq_stream_bound_nats, mu_for_packet_bound};
 pub use distributions::{ContinuousDist, Degenerate, ErlangDist, Exponential, Gaussian, Uniform};
 pub use estimators::{
     entropy_from_samples_nats, mi_from_samples_nats, mi_lower_bound_from_mse_nats,
-    mse_lower_bound_from_mi,
+    mse_lower_bound_from_mi, EstimateError,
 };
 pub use grid::{kl_divergence_nats, GridDensity};
 pub use mutual_information::{epi_lower_bound_nats, gaussian_channel_mi_nats, mi_additive_nats};
+pub use streaming::{StreamingMi, StreamingMse, Welford, DEFAULT_STREAMING_BINS};

@@ -62,6 +62,12 @@ pub struct JobRecord {
     /// tracing existed.
     #[serde(default)]
     pub trace: Option<String>,
+    /// Per-job streaming-privacy series blob (JSON), attached only when
+    /// the run enabled the privacy observatory and the job was actually
+    /// computed. `None` for cache-served jobs and for manifests written
+    /// before the observatory existed.
+    #[serde(default)]
+    pub privacy: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -185,6 +191,7 @@ mod tests {
             outcome_digest: "00ff".to_string(),
             telemetry: None,
             trace: None,
+            privacy: None,
         }
     }
 
@@ -197,7 +204,17 @@ mod tests {
         let old: JobRecord = serde_json::from_str(line).unwrap();
         assert_eq!(old.telemetry, None);
         assert_eq!(old.trace, None);
+        assert_eq!(old.privacy, None);
         assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn privacy_blob_round_trips() {
+        let mut r = record(2);
+        r.privacy = Some("{\"points\":[]}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -264,11 +264,15 @@ impl Runtime {
         json: &str,
     ) {
         // Cached jobs did no instrumented work, so they carry no blobs.
-        let (telemetry, trace) = match status {
-            JobStatus::Computed => self.telemetry.as_ref().map_or((None, None), |sink| {
-                (sink.get(index), sink.get_trace(index))
+        let (telemetry, trace, privacy) = match status {
+            JobStatus::Computed => self.telemetry.as_ref().map_or((None, None, None), |sink| {
+                (
+                    sink.get(index),
+                    sink.get_trace(index),
+                    sink.get_privacy(index),
+                )
             }),
-            JobStatus::Cached => (None, None),
+            JobStatus::Cached => (None, None, None),
         };
         let record = JobRecord {
             index,
@@ -278,6 +282,7 @@ impl Runtime {
             outcome_digest: content_digest(json.as_bytes()),
             telemetry,
             trace,
+            privacy,
         };
         if let Err(e) = writer.record(&record) {
             eprintln!(

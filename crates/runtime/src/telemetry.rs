@@ -17,15 +17,19 @@ use std::sync::Mutex;
 /// runtime and job closures.
 ///
 /// Thread-safe: jobs run on pool workers, each writing only its own
-/// slot. Next to the telemetry slots the sink keeps a parallel set of
-/// *trace* slots for flight-recorder blobs, plus the ring capacity the
-/// run's recorders should use ([`TelemetrySink::trace_capacity`], 0 =
-/// tracing off).
+/// slot. Next to the telemetry slots the sink keeps two parallel blob
+/// families: *trace* slots for flight-recorder blobs (with the ring
+/// capacity the run's recorders should use,
+/// [`TelemetrySink::trace_capacity`], 0 = tracing off) and *privacy*
+/// slots for streaming privacy-observatory series (with the snapshot
+/// interval [`TelemetrySink::privacy_interval`], 0 = observatory off).
 #[derive(Debug, Default)]
 pub struct TelemetrySink {
     slots: Mutex<Vec<Option<String>>>,
     trace_slots: Mutex<Vec<Option<String>>>,
     trace_capacity: AtomicUsize,
+    privacy_slots: Mutex<Vec<Option<String>>>,
+    privacy_interval: AtomicUsize,
 }
 
 impl TelemetrySink {
@@ -45,6 +49,10 @@ impl TelemetrySink {
         let mut traces = self.trace_slots.lock().expect("trace sink lock");
         traces.clear();
         traces.resize(jobs, None);
+        drop(traces);
+        let mut privacy = self.privacy_slots.lock().expect("privacy sink lock");
+        privacy.clear();
+        privacy.resize(jobs, None);
     }
 
     /// Sets the flight-recorder ring capacity jobs should trace with.
@@ -117,6 +125,41 @@ impl TelemetrySink {
         let mut traces = self.trace_slots.lock().expect("trace sink lock");
         std::mem::take(&mut *traces)
     }
+
+    /// Sets the delivery interval between streaming-privacy snapshots.
+    /// Zero (the default) disables the privacy observatory.
+    pub fn set_privacy_interval(&self, interval: usize) {
+        self.privacy_interval.store(interval, Ordering::Relaxed);
+    }
+
+    /// The privacy snapshot interval for this run (0 = observatory off).
+    #[must_use]
+    pub fn privacy_interval(&self) -> usize {
+        self.privacy_interval.load(Ordering::Relaxed)
+    }
+
+    /// Attaches job `index`'s privacy-series blob (JSON). Like
+    /// [`TelemetrySink::attach`], silently ignored when out of range.
+    pub fn attach_privacy(&self, index: usize, json: impl Into<String>) {
+        let mut privacy = self.privacy_slots.lock().expect("privacy sink lock");
+        if let Some(slot) = privacy.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s privacy blob, if one was attached.
+    #[must_use]
+    pub fn get_privacy(&self, index: usize) -> Option<String> {
+        let privacy = self.privacy_slots.lock().expect("privacy sink lock");
+        privacy.get(index).and_then(Clone::clone)
+    }
+
+    /// All privacy blobs in job order, draining the privacy slots.
+    #[must_use]
+    pub fn take_all_privacy(&self) -> Vec<Option<String>> {
+        let mut privacy = self.privacy_slots.lock().expect("privacy sink lock");
+        std::mem::take(&mut *privacy)
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +221,28 @@ mod tests {
         assert_eq!(sink.trace_capacity(), 0);
         sink.set_trace_capacity(4096);
         assert_eq!(sink.trace_capacity(), 4096);
+    }
+
+    #[test]
+    fn privacy_slots_mirror_telemetry_slots() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach_privacy(1, "{\"points\":[]}");
+        assert_eq!(sink.get_privacy(0), None);
+        assert_eq!(sink.get_privacy(1).as_deref(), Some("{\"points\":[]}"));
+        sink.attach_privacy(7, "{}"); // out of range: ignored
+        let all = sink.take_all_privacy();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].as_deref(), Some("{\"points\":[]}"));
+        sink.reset(1);
+        assert_eq!(sink.get_privacy(1), None, "reset clears privacy slots");
+    }
+
+    #[test]
+    fn privacy_interval_defaults_to_off() {
+        let sink = TelemetrySink::new();
+        assert_eq!(sink.privacy_interval(), 0);
+        sink.set_privacy_interval(100);
+        assert_eq!(sink.privacy_interval(), 100);
     }
 }

@@ -16,6 +16,9 @@
 //! * [`flight`] — a [`FlightRecorder`] ring buffer of per-packet
 //!   lifecycle [`PacketEvent`]s with lineage reconstruction, latency
 //!   spectra, and export to JSONL and Chrome `trace_event` JSON;
+//! * [`privacy`] — the streaming privacy observatory: a [`PrivacyProbe`]
+//!   estimating per-flow `I(X; Z)` and adversary MSE online, with
+//!   journaled convergence snapshots and per-flow privacy gauges;
 //! * [`theory`] — [`TheoryCheck`] comparisons of measured telemetry
 //!   against the `crates/queueing` predictions, with configurable
 //!   tolerances, collected into a [`TheoryReport`];
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod flight;
+pub mod privacy;
 pub mod probe;
 pub mod registry;
 pub mod span;
@@ -40,6 +44,10 @@ pub mod theory;
 pub use flight::{
     FlightEvent, FlightLog, FlightRecorder, HopResidence, LatencySpectra, LineageOutcome,
     PacketEvent, PacketEventKind, PacketLineage, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use privacy::{
+    BtqParams, FlowPrivacyConfig, FlowPrivacySummary, PrivacyPoint, PrivacyProbe, PrivacySeries,
+    DEFAULT_PRIVACY_SERIES_CAPACITY,
 };
 pub use probe::{NodeTelemetry, NullProbe, ProbeEvent, RecordingProbe, SimProbe, SimTelemetry};
 pub use registry::{

@@ -1,0 +1,487 @@
+//! The streaming privacy observatory: a [`SimProbe`] that watches the
+//! paper's central metric — temporal leakage `I(X; Z)` — accumulate live.
+//!
+//! [`PrivacyProbe`] feeds every sink delivery into the O(1)-per-sample
+//! estimators of [`tempriv_infotheory::streaming`]: a per-flow
+//! [`StreamingMi`] over (creation, arrival) pairs and a per-flow
+//! [`StreamingMse`] tracking the error of the paper's baseline adversary
+//! (`x̂ = z − offset`, the constant-offset estimator of §2.1/§5.1). At a
+//! configurable delivery interval it freezes [`FlowPrivacySummary`]
+//! snapshots into a bounded, decimated time series, so a finished run
+//! yields replayable convergence curves; [`PrivacySeries::publish_gauges`]
+//! exposes the final state as `tempriv_privacy_*{flow="i"}` gauges.
+//!
+//! Like every probe it only observes: it consumes no RNG draws and
+//! mutates no simulation state, so outcomes are byte-identical with the
+//! probe on or off. Non-finite samples are counted and skipped rather
+//! than panicking (see [`PrivacySeries::rejected`]).
+
+use crate::probe::SimProbe;
+use crate::registry::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use tempriv_infotheory::bounds::btq_stream_bound_nats;
+use tempriv_infotheory::streaming::{StreamingMi, StreamingMse};
+use tempriv_sim::time::SimTime;
+
+/// The traffic/delay parameters behind the eq. 4 bits-through-queues
+/// envelope for one flow, when they are known (stochastic workloads with
+/// advertised delay means). Trace-driven schedules have no rate, so the
+/// probe degrades to MI-only gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BtqParams {
+    /// Per-hop delay rate μ (1 / mean buffering delay).
+    pub mu: f64,
+    /// Packet creation rate λ of the flow's source.
+    pub lambda: f64,
+}
+
+/// Per-flow configuration handed to [`PrivacyProbe::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowPrivacyConfig {
+    /// The baseline adversary's constant creation-time offset for this
+    /// flow: `x̂ = z − offset` (hops·τ plus the advertised path delay
+    /// mean, per §2.1).
+    pub adversary_offset: f64,
+    /// Parameters of the eq. 4 envelope, or `None` when unknown.
+    pub btq: Option<BtqParams>,
+}
+
+/// One flow's privacy state at a snapshot instant.
+///
+/// Fields that can be undefined early in a run (or for configs without a
+/// known envelope) are `Option`s rather than NaN so the summary survives
+/// a JSON round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowPrivacySummary {
+    /// Flow index (the simulator's source ordering).
+    pub flow: usize,
+    /// Packets from this flow delivered so far.
+    pub packets: u64,
+    /// Streaming plug-in estimate of `I(X; Z)` in nats.
+    pub mi_nats: f64,
+    /// The baseline adversary's running mean square error.
+    pub mse: Option<f64>,
+    /// The MI lower bound implied by that MSE via Guo–Shamai–Verdú.
+    pub mi_from_mse_nats: Option<f64>,
+    /// Mean per-packet eq. 4 upper bound,
+    /// `btq_stream_bound_nats(n, μ, λ) / n`.
+    pub btq_mean_bound_nats: Option<f64>,
+    /// Privacy margin: analytic bound − empirical MI (negative means the
+    /// stream leaks more than the envelope the operator tuned for).
+    pub margin_nats: Option<f64>,
+}
+
+/// One instant of the journaled convergence series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyPoint {
+    /// Total deliveries (all flows) when the snapshot was taken.
+    pub deliveries: u64,
+    /// Simulation time of the snapshot.
+    pub time: f64,
+    /// Per-flow summaries at that instant.
+    pub flows: Vec<FlowPrivacySummary>,
+}
+
+/// Everything the probe learned over a run, frozen for journaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacySeries {
+    /// Deliveries between snapshots (the `--privacy-interval` setting).
+    pub interval: u64,
+    /// Simulation end time.
+    pub end_time: f64,
+    /// Total deliveries across all flows.
+    pub deliveries: u64,
+    /// Finite-buffer drops observed.
+    pub drops: u64,
+    /// RCAD preemptions observed.
+    pub preemptions: u64,
+    /// Non-finite samples skipped by the estimators (should be zero; a
+    /// positive value flags a simulator bug without killing the run).
+    pub rejected: u64,
+    /// Decimated convergence series, oldest first; the final snapshot
+    /// (taken at run end) is always the last element.
+    pub points: Vec<PrivacyPoint>,
+    /// Final per-flow summaries — same data as `points.last()`, kept
+    /// separately so consumers need not care about decimation.
+    pub summary: Vec<FlowPrivacySummary>,
+}
+
+impl PrivacySeries {
+    /// Publishes the final per-flow state as
+    /// `tempriv_privacy_mi_nats{flow="i"}`,
+    /// `tempriv_privacy_margin_nats{flow="i"}`, and
+    /// `tempriv_privacy_adversary_mse{flow="i"}` gauges. Unknown values
+    /// (no envelope, too few packets) are skipped, not published as 0.
+    pub fn publish_gauges(&self, registry: &mut MetricsRegistry) {
+        for s in &self.summary {
+            let flow = s.flow;
+            let id = registry.gauge(
+                format!("tempriv_privacy_mi_nats{{flow=\"{flow}\"}}"),
+                "streaming estimate of I(X;Z) between creation and arrival times",
+            );
+            registry.set(id, s.mi_nats);
+            if let Some(margin) = s.margin_nats {
+                let id = registry.gauge(
+                    format!("tempriv_privacy_margin_nats{{flow=\"{flow}\"}}"),
+                    "eq. 4 mean per-packet bound minus the empirical streaming MI",
+                );
+                registry.set(id, margin);
+            }
+            if let Some(mse) = s.mse {
+                let id = registry.gauge(
+                    format!("tempriv_privacy_adversary_mse{{flow=\"{flow}\"}}"),
+                    "running mean square error of the baseline creation-time adversary",
+                );
+                registry.set(id, mse);
+            }
+        }
+    }
+}
+
+/// Default number of retained snapshots; older points are decimated with
+/// a doubling stride, exactly like the occupancy series in
+/// [`crate::probe::RecordingProbe`].
+pub const DEFAULT_PRIVACY_SERIES_CAPACITY: usize = 256;
+
+struct FlowState {
+    config: FlowPrivacyConfig,
+    mi: StreamingMi,
+    mse: StreamingMse,
+    packets: u64,
+}
+
+/// The streaming privacy probe (see the [module docs](self)).
+///
+/// Composes with other probes through the `(A, B)` pair impl; all hooks
+/// are O(1) amortized, so it is safe to leave enabled on large sweeps
+/// (the bench baseline budget is ≤10% overhead, like the flight
+/// recorder).
+pub struct PrivacyProbe {
+    flows: Vec<FlowState>,
+    interval: u64,
+    cap: usize,
+    stride: u64,
+    snapshots_seen: u64,
+    deliveries: u64,
+    drops: u64,
+    preemptions: u64,
+    last_time: f64,
+    points: Vec<PrivacyPoint>,
+}
+
+impl PrivacyProbe {
+    /// A probe for `flows.len()` flows, snapshotting every `interval`
+    /// deliveries (`interval == 0` keeps only the final summary) with
+    /// [`StreamingMi::with_default_bins`]-sized histograms.
+    #[must_use]
+    pub fn new(flows: Vec<FlowPrivacyConfig>, interval: u64) -> Self {
+        Self::with_bins(
+            flows,
+            interval,
+            tempriv_infotheory::streaming::DEFAULT_STREAMING_BINS,
+        )
+    }
+
+    /// As [`PrivacyProbe::new`] with an explicit per-axis histogram bin
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2` (configuration error; data never panics).
+    #[must_use]
+    pub fn with_bins(flows: Vec<FlowPrivacyConfig>, interval: u64, bins: usize) -> Self {
+        PrivacyProbe {
+            flows: flows
+                .into_iter()
+                .map(|config| FlowState {
+                    config,
+                    mi: StreamingMi::new(bins),
+                    mse: StreamingMse::new(),
+                    packets: 0,
+                })
+                .collect(),
+            interval,
+            cap: DEFAULT_PRIVACY_SERIES_CAPACITY.max(2),
+            stride: 1,
+            snapshots_seen: 0,
+            deliveries: 0,
+            drops: 0,
+            preemptions: 0,
+            last_time: 0.0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Flows being tracked.
+    #[must_use]
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total deliveries seen so far (all flows).
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Drops seen so far.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Current per-flow summaries — the live view a watcher renders.
+    #[must_use]
+    pub fn summary(&self) -> Vec<FlowPrivacySummary> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(flow, state)| {
+                let mi_nats = state.mi.mi_nats();
+                let mse = state.mse.mse();
+                let btq_mean_bound_nats = state.config.btq.and_then(|b| {
+                    if state.packets == 0 {
+                        None
+                    } else {
+                        Some(
+                            btq_stream_bound_nats(state.packets, b.mu, b.lambda)
+                                / state.packets as f64,
+                        )
+                    }
+                });
+                FlowPrivacySummary {
+                    flow,
+                    packets: state.packets,
+                    mi_nats,
+                    mse,
+                    mi_from_mse_nats: state.mse.mi_lower_bound_nats(),
+                    btq_mean_bound_nats,
+                    margin_nats: btq_mean_bound_nats.map(|b| b - mi_nats),
+                }
+            })
+            .collect()
+    }
+
+    /// Direct access to one flow's streaming MI estimator (tests compare
+    /// it against the batch estimator on the same run).
+    #[must_use]
+    pub fn flow_mi(&self, flow: usize) -> &StreamingMi {
+        &self.flows[flow].mi
+    }
+
+    fn snapshot(&mut self, time: f64) {
+        // Same doubling-stride decimation as `DecimatingSeries`: keep
+        // every `stride`-th snapshot; on overflow drop every other
+        // retained point and double the stride.
+        if !self.snapshots_seen.is_multiple_of(self.stride) {
+            self.snapshots_seen += 1;
+            return;
+        }
+        self.snapshots_seen += 1;
+        if self.points.len() == self.cap {
+            let mut keep = 0;
+            self.points.retain(|_| {
+                keep += 1;
+                (keep - 1) % 2 == 0
+            });
+            self.stride *= 2;
+        }
+        self.points.push(PrivacyPoint {
+            deliveries: self.deliveries,
+            time,
+            flows: self.summary(),
+        });
+    }
+
+    /// Freezes the run into a journalable [`PrivacySeries`], appending a
+    /// final snapshot at `end`.
+    #[must_use]
+    pub fn finish(mut self, end: SimTime) -> PrivacySeries {
+        let time = end.as_units().max(self.last_time);
+        self.points.push(PrivacyPoint {
+            deliveries: self.deliveries,
+            time,
+            flows: self.summary(),
+        });
+        let rejected = self
+            .flows
+            .iter()
+            .map(|f| f.mi.rejected() + f.mse.rejected())
+            .sum();
+        PrivacySeries {
+            interval: self.interval,
+            end_time: time,
+            deliveries: self.deliveries,
+            drops: self.drops,
+            preemptions: self.preemptions,
+            rejected,
+            points: std::mem::take(&mut self.points),
+            summary: self.summary(),
+        }
+    }
+}
+
+impl SimProbe for PrivacyProbe {
+    fn on_preemption(&mut self, _node: usize, now: SimTime) {
+        self.preemptions += 1;
+        self.last_time = now.as_units();
+    }
+
+    fn on_drop(&mut self, _node: usize, now: SimTime) {
+        self.drops += 1;
+        self.last_time = now.as_units();
+    }
+
+    fn on_delivery(&mut self, flow: usize, now: SimTime, latency: f64) {
+        let z = now.as_units();
+        let x = z - latency;
+        self.last_time = z;
+        if let Some(state) = self.flows.get_mut(flow) {
+            state.mi.push(x, z);
+            state.mse.push(x, z - state.config.adversary_offset);
+            state.packets += 1;
+        }
+        self.deliveries += 1;
+        if self.interval > 0 && self.deliveries.is_multiple_of(self.interval) {
+            self.snapshot(z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_with(flows: usize, interval: u64) -> PrivacyProbe {
+        let configs = (0..flows)
+            .map(|_| FlowPrivacyConfig {
+                adversary_offset: 10.0,
+                btq: Some(BtqParams {
+                    mu: 1.0 / 30.0,
+                    lambda: 0.5,
+                }),
+            })
+            .collect();
+        PrivacyProbe::new(configs, interval)
+    }
+
+    fn drive(probe: &mut PrivacyProbe, deliveries: u64) {
+        for i in 0..deliveries {
+            let x = i as f64 * 2.0;
+            let latency = 10.0 + (i % 7) as f64;
+            probe.on_delivery((i % 2) as usize, SimTime::from_units(x + latency), latency);
+        }
+    }
+
+    #[test]
+    fn summaries_track_per_flow_deliveries_and_bounds() {
+        let mut probe = probe_with(2, 0);
+        drive(&mut probe, 100);
+        let summary = probe.summary();
+        assert_eq!(summary.len(), 2);
+        for s in &summary {
+            assert_eq!(s.packets, 50);
+            assert!(s.mi_nats >= 0.0);
+            let bound = s.btq_mean_bound_nats.unwrap();
+            assert!(bound > 0.0);
+            assert!((s.margin_nats.unwrap() - (bound - s.mi_nats)).abs() < 1e-12);
+            assert!(s.mse.unwrap() > 0.0, "offset 10 vs true delays 10..=16");
+        }
+    }
+
+    #[test]
+    fn snapshots_fire_on_the_interval_and_finish_appends_the_end() {
+        let mut probe = probe_with(1, 25);
+        for i in 0..100u64 {
+            probe.on_delivery(0, SimTime::from_units(i as f64 + 5.0), 5.0);
+        }
+        let series = probe.finish(SimTime::from_units(1_000.0));
+        // 4 interval snapshots plus the final one.
+        assert_eq!(series.points.len(), 5);
+        assert_eq!(series.points[0].deliveries, 25);
+        assert_eq!(series.points.last().unwrap().deliveries, 100);
+        assert_eq!(series.end_time, 1_000.0);
+        assert_eq!(series.summary, series.points.last().unwrap().flows);
+        assert_eq!(series.rejected, 0);
+    }
+
+    #[test]
+    fn series_is_bounded_by_decimation() {
+        let mut probe = probe_with(1, 1);
+        probe.cap = 4;
+        for i in 0..1_000u64 {
+            probe.on_delivery(0, SimTime::from_units(i as f64), 0.5);
+        }
+        assert!(probe.points.len() <= 4);
+        let strides: Vec<u64> = probe.points.iter().map(|p| p.deliveries).collect();
+        assert!(strides.windows(2).all(|w| w[0] < w[1]), "{strides:?}");
+    }
+
+    #[test]
+    fn unknown_flows_and_missing_envelopes_degrade_gracefully() {
+        let mut probe = PrivacyProbe::new(
+            vec![FlowPrivacyConfig {
+                adversary_offset: 0.0,
+                btq: None,
+            }],
+            0,
+        );
+        // Flow index beyond the config list: counted, not panicking.
+        probe.on_delivery(7, SimTime::from_units(1.0), 0.5);
+        probe.on_delivery(0, SimTime::from_units(2.0), 0.5);
+        assert_eq!(probe.deliveries(), 2);
+        let series = probe.finish(SimTime::from_units(2.0));
+        assert_eq!(series.summary[0].packets, 1);
+        assert_eq!(series.summary[0].btq_mean_bound_nats, None);
+        assert_eq!(series.summary[0].margin_nats, None);
+    }
+
+    #[test]
+    fn gauges_publish_only_known_values() {
+        let mut probe = probe_with(2, 0);
+        drive(&mut probe, 60);
+        let series = probe.finish(SimTime::from_units(200.0));
+        let mut registry = MetricsRegistry::new();
+        series.publish_gauges(&mut registry);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+        assert!(
+            names.contains(&"tempriv_privacy_mi_nats{flow=\"0\"}"),
+            "{names:?}"
+        );
+        assert!(names.contains(&"tempriv_privacy_margin_nats{flow=\"1\"}"));
+        assert!(names.contains(&"tempriv_privacy_adversary_mse{flow=\"0\"}"));
+
+        // A flow with no envelope publishes MI but no margin.
+        let mut bare = PrivacyProbe::new(
+            vec![FlowPrivacyConfig {
+                adversary_offset: 0.0,
+                btq: None,
+            }],
+            0,
+        );
+        bare.on_delivery(0, SimTime::from_units(1.0), 0.5);
+        bare.on_delivery(0, SimTime::from_units(3.0), 0.5);
+        let mut registry = MetricsRegistry::new();
+        bare.finish(SimTime::from_units(3.0))
+            .publish_gauges(&mut registry);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+        assert!(names.contains(&"tempriv_privacy_mi_nats{flow=\"0\"}"));
+        assert!(!names.iter().any(|n| n.contains("margin")), "{names:?}");
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut probe = probe_with(2, 10);
+        drive(&mut probe, 40);
+        probe.on_drop(3, SimTime::from_units(90.0));
+        probe.on_preemption(2, SimTime::from_units(91.0));
+        let series = probe.finish(SimTime::from_units(100.0));
+        let json = serde_json::to_string(&series).unwrap();
+        let back: PrivacySeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, series);
+        assert_eq!(back.drops, 1);
+        assert_eq!(back.preemptions, 1);
+    }
+}

@@ -506,6 +506,53 @@ mod tests {
     }
 
     #[test]
+    fn percentile_extremes_anchor_to_the_data_range() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 0.0, 50.0, 5);
+        for x in [5.0, 15.0, 25.0, 35.0, 45.0] {
+            reg.observe(h, x);
+        }
+        let s = &reg.snapshot().histograms[0];
+        // q = 0: no mass below the first occupied bin, so the infimum of
+        // the data is the range start.
+        assert_eq!(s.percentile(0.0), Some(0.0));
+        // q = 1: all mass is inside the range; the supremum is the end of
+        // the last occupied bin, not beyond it.
+        assert!((s.percentile(1.0).unwrap() - 50.0).abs() < 1e-9);
+        // And q = 0/1 on an *empty* histogram are still None, not a
+        // made-up range endpoint.
+        reg.histogram("lat2", "latency", 0.0, 50.0, 5);
+        let empty = &reg.snapshot().histograms[1];
+        assert_eq!(empty.percentile(0.0), None);
+        assert_eq!(empty.percentile(1.0), None);
+    }
+
+    #[test]
+    fn single_bin_histogram_percentiles_interpolate_linearly() {
+        // The degenerate bins == 1 histogram: every in-range observation
+        // lands in the one cell, and quantiles sweep it linearly.
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 0.0, 10.0, 1);
+        for _ in 0..10 {
+            reg.observe(h, 3.0);
+        }
+        let s = &reg.snapshot().histograms[0];
+        assert_eq!(s.counts.len(), 1);
+        assert_eq!(s.percentile(0.0), Some(0.0));
+        assert!((s.p50().unwrap() - 5.0).abs() < 1e-9);
+        assert!((s.percentile(1.0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_out_of_range_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", 0.0, 10.0, 2);
+        reg.observe(h, 1.0);
+        let _ = reg.snapshot().histograms[0].percentile(1.5);
+    }
+
+    #[test]
     fn snapshot_deserializes_from_struct_shape() {
         // Guards the field names the CLI smoke test greps for.
         #[derive(Serialize, Deserialize)]

@@ -60,7 +60,7 @@ fn stream_bound_controls_empirical_leakage_of_simulated_network() {
     // the *residual* pairs (z - x = latency vs x): creation times tell
     // you (almost) nothing about the sampled delay.
     let latencies: Vec<f64> = xs.iter().zip(&zs).map(|(x, z)| z - x).collect();
-    let mi = mi_from_samples_nats(&xs, &latencies, 16);
+    let mi = mi_from_samples_nats(&xs, &latencies, 16).unwrap();
     assert!(mi < 0.05, "delay leaks about creation time: {mi}");
     // And the eq.-4 bound is finite and increasing, as the analysis says.
     let b10 = btq_stream_bound_nats(10, 1.0 / 30.0, 0.5);
