@@ -1,34 +1,44 @@
-//! Perf baseline for the observability layer: times the four-flow
-//! Figure-1 sweep probes-off vs metrics vs a third instrumented mode and
-//! pins its overhead (<10% target). `--bench trace` (the default) times
-//! the flight-recorder ring and writes `BENCH_trace.json`;
-//! `--bench privacy` times the streaming privacy observatory and writes
-//! `BENCH_privacy.json`.
+//! Perf baseline for the observability layer and the discrete-event
+//! core. `--bench trace` (the default) times the flight-recorder ring on
+//! the four-flow Figure-1 sweep and writes `BENCH_trace.json`;
+//! `--bench privacy` times the streaming privacy observatory
+//! (`BENCH_privacy.json`); `--bench scale` sweeps random geometric
+//! convergecast fields at ~100/1k/10k nodes and writes `BENCH_core.json`
+//! (events/sec, peak future-event-set size, wall seconds per mode).
 //!
 //! ```text
 //! cargo run --release -p tempriv-bench --bin perf_baseline
 //! cargo run --release -p tempriv-bench --bin perf_baseline -- \
 //!     --packets 100 --points 2,20 --repeats 2 --out BENCH_trace.json
 //! cargo run --release -p tempriv-bench --bin perf_baseline -- --bench privacy
+//! cargo run --release -p tempriv-bench --bin perf_baseline -- \
+//!     --bench scale --nodes 100,1000,10000 --baseline results/BENCH_core.json
 //! ```
 //!
 //! Each mode runs the identical deterministic sweep (same seeds, same
 //! event sequence — the probe layer observes and never samples), so the
 //! wall-clock deltas isolate instrumentation cost. Per point the minimum
 //! over `--repeats` runs is kept, the standard guard against scheduler
-//! noise.
+//! noise. For `--bench scale`, `--baseline` points at a previous
+//! `BENCH_core.json`; its `probes_off` events/sec are embedded per point
+//! and a speedup ratio computed, which is how before/after comparisons
+//! of core data-structure work are recorded.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tempriv_core::buffer::BufferPolicy;
 use tempriv_core::delay::DelayPlan;
 use tempriv_core::sim_driver::NetworkSimulation;
 use tempriv_core::telemetry::privacy_probe_for;
 use tempriv_net::convergecast::Convergecast;
+use tempriv_net::geometric::GeometricDeployment;
+use tempriv_net::ids::NodeId;
+use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::TrafficModel;
+use tempriv_sim::rng::RngFactory;
 use tempriv_telemetry::{FlightRecorder, RecordingProbe};
 
 /// Which instrumented mode the third timing column measures.
@@ -38,6 +48,8 @@ enum BenchKind {
     Trace,
     /// Streaming privacy observatory (`BENCH_privacy.json`).
     Privacy,
+    /// Discrete-event core throughput on geometric fields (`BENCH_core.json`).
+    Scale,
 }
 
 /// One instrumentation mode's timings across the sweep.
@@ -97,6 +109,162 @@ struct PrivacyBenchReport {
     privacy_overhead_pct: f64,
 }
 
+/// One instrumentation mode's timing at one scale point.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScaleModeTiming {
+    /// Mode name: `probes_off` or `metrics`.
+    mode: String,
+    /// Best-of-repeats wall seconds for one full run.
+    secs: f64,
+    /// Engine events delivered per wall second (`events / secs`).
+    events_per_sec: f64,
+}
+
+/// One scale point: a sampled geometric field of `nodes` nodes.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalePoint {
+    /// Node count of the geometric field (sink included).
+    nodes: usize,
+    /// Number of source flows (every 10th node).
+    sources: usize,
+    /// Packets each source creates.
+    packets_per_source: u32,
+    /// Engine events delivered in one run (mode-invariant).
+    events: u64,
+    /// Peak future-event-set size over the run (mode-invariant).
+    peak_fes: u64,
+    /// Per-mode timings: probes_off, metrics.
+    modes: Vec<ScaleModeTiming>,
+    /// `probes_off` events/sec of the `--baseline` run at this node
+    /// count, when one was given.
+    #[serde(default)]
+    baseline_events_per_sec: Option<f64>,
+    /// `events_per_sec / baseline_events_per_sec` for `probes_off`.
+    #[serde(default)]
+    speedup: Option<f64>,
+}
+
+/// The `BENCH_core.json` payload.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScaleReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Topology/workload seed.
+    seed: u64,
+    /// Total packet budget per point (split across sources).
+    budget: u64,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// One entry per `--nodes` value.
+    points: Vec<ScalePoint>,
+    /// `probes_off` speedup vs `--baseline` on the largest point.
+    #[serde(default)]
+    headline_speedup: Option<f64>,
+}
+
+/// Builds the scale-point simulation: a connected unit-disk field at
+/// constant density (side = √n, range 2 ⇒ mean degree ≈ 4π), sink
+/// pinned at the corner, every 10th node a source, paper-default RCAD
+/// buffering so the cancel-heavy preemption path is exercised.
+fn scale_sim(n_nodes: usize, budget: u64, seed: u64) -> (NetworkSimulation, usize, u32) {
+    let side = (n_nodes as f64).sqrt().max(3.0);
+    let deploy = GeometricDeployment::new(side, side, n_nodes, 2.0);
+    let mut rng = RngFactory::new(seed).stream(0x5CA1E);
+    let topo = deploy
+        .sample_connected(&mut rng, 64)
+        .expect("constant-density field should connect within 64 attempts");
+    let routing = RoutingTree::shortest_path(&topo, NodeId(0)).expect("connected topology routes");
+    let sources: Vec<NodeId> = (1..n_nodes).step_by(10).map(|i| NodeId(i as u32)).collect();
+    let n_sources = sources.len();
+    let packets = u32::try_from((budget / n_sources as u64).clamp(20, 5000)).expect("clamped");
+    let sim = NetworkSimulation::builder(routing, sources)
+        .traffic(TrafficModel::periodic(2.0))
+        .packets_per_source(packets)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(BufferPolicy::paper_rcad())
+        .seed(seed)
+        .build()
+        .expect("scale config is valid");
+    (sim, n_sources, packets)
+}
+
+/// Runs the scale sweep and assembles the `BENCH_core.json` report.
+fn run_scale(
+    node_counts: &[usize],
+    budget: u64,
+    seed: u64,
+    repeats: u32,
+    baseline: Option<&ScaleReport>,
+) -> ScaleReport {
+    let mut points = Vec::with_capacity(node_counts.len());
+    for &n in node_counts {
+        let (sim, n_sources, packets) = scale_sim(n, budget, seed);
+        let n_buf_nodes = sim.routing().len();
+        // Warm-up run; also pins the mode-invariant event statistics.
+        let outcome = sim.run();
+        let (events, peak_fes) = (outcome.events, outcome.peak_fes);
+        std::hint::black_box(outcome);
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..repeats {
+            best[0] = best[0].min(time_once(|| {
+                let out = sim.run();
+                assert_eq!(out.events, events, "scale runs must be deterministic");
+                std::hint::black_box(out);
+            }));
+            best[1] = best[1].min(time_once(|| {
+                let mut probe = RecordingProbe::new(n_buf_nodes);
+                std::hint::black_box(sim.run_probed(&mut probe));
+                std::hint::black_box(&probe);
+            }));
+        }
+        let modes: Vec<ScaleModeTiming> = ["probes_off", "metrics"]
+            .iter()
+            .zip(best)
+            .map(|(name, secs)| ScaleModeTiming {
+                mode: (*name).to_string(),
+                secs,
+                events_per_sec: events as f64 / secs,
+            })
+            .collect();
+        let baseline_events_per_sec = baseline.and_then(|b| {
+            b.points
+                .iter()
+                .find(|p| p.nodes == n)
+                .and_then(|p| p.modes.iter().find(|m| m.mode == "probes_off"))
+                .map(|m| m.events_per_sec)
+        });
+        let speedup = baseline_events_per_sec.map(|b| modes[0].events_per_sec / b);
+        eprintln!(
+            "[perf] scale n={n}: {events} events, peak FES {peak_fes}, \
+             {:.0} ev/s probes_off{}",
+            modes[0].events_per_sec,
+            speedup.map_or(String::new(), |s| format!(", {s:.2}x vs baseline")),
+        );
+        points.push(ScalePoint {
+            nodes: n,
+            sources: n_sources,
+            packets_per_source: packets,
+            events,
+            peak_fes,
+            modes,
+            baseline_events_per_sec,
+            speedup,
+        });
+    }
+    let headline_speedup = points
+        .iter()
+        .max_by_key(|p| p.nodes)
+        .and_then(|p| p.speedup);
+    ScaleReport {
+        bench: "geometric_convergecast_scale".to_string(),
+        seed,
+        budget,
+        repeats,
+        points,
+        headline_speedup,
+    }
+}
+
 fn figure1_sim(inv_lambda: f64, packets: u32) -> NetworkSimulation {
     let layout = Convergecast::paper_figure1();
     NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
@@ -154,6 +322,7 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
                     std::hint::black_box(sim.run_probed(&mut pair));
                     std::hint::black_box(&pair);
                 }
+                BenchKind::Scale => unreachable!("scale bench has its own driver"),
             }));
         }
         for (mode, &s) in secs.iter_mut().zip(&best) {
@@ -175,6 +344,7 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
     let third = match kind {
         BenchKind::Trace => "tracing",
         BenchKind::Privacy => "privacy",
+        BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let [off, met, tra] = secs;
     [
@@ -184,12 +354,33 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
     ]
 }
 
-fn parse_args() -> Result<(BenchKind, Vec<f64>, u32, u32, PathBuf), String> {
+/// Parsed command line.
+struct Args {
+    kind: BenchKind,
+    points: Vec<f64>,
+    packets: u32,
+    repeats: u32,
+    out: PathBuf,
+    /// `--bench scale` only: node counts of the geometric fields.
+    nodes: Vec<usize>,
+    /// `--bench scale` only: total packet budget per point.
+    budget: u64,
+    /// `--bench scale` only: topology/workload seed.
+    seed: u64,
+    /// `--bench scale` only: previous `BENCH_core.json` to compare against.
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut kind = BenchKind::Trace;
     let mut points: Vec<f64> = vec![2.0, 8.0, 14.0, 20.0];
     let mut packets: u32 = 1000;
     let mut repeats: u32 = 5;
     let mut out: Option<PathBuf> = None;
+    let mut nodes: Vec<usize> = vec![100, 1000, 10_000];
+    let mut budget: u64 = 40_000;
+    let mut seed: u64 = 4242;
+    let mut baseline: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -201,7 +392,10 @@ fn parse_args() -> Result<(BenchKind, Vec<f64>, u32, u32, PathBuf), String> {
                 kind = match value.as_str() {
                     "trace" => BenchKind::Trace,
                     "privacy" => BenchKind::Privacy,
-                    other => return Err(format!("bad --bench `{other}`; trace or privacy")),
+                    "scale" => BenchKind::Scale,
+                    other => {
+                        return Err(format!("bad --bench `{other}`; trace, privacy, or scale"))
+                    }
                 };
             }
             "--points" => {
@@ -220,6 +414,25 @@ fn parse_args() -> Result<(BenchKind, Vec<f64>, u32, u32, PathBuf), String> {
                     .parse()
                     .map_err(|_| format!("bad --repeats `{value}`"))?;
             }
+            "--nodes" => {
+                nodes = value
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .map_err(|_| format!("bad node count `{p}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--budget" => {
+                budget = value
+                    .parse()
+                    .map_err(|_| format!("bad --budget `{value}`"))?;
+            }
+            "--seed" => {
+                seed = value.parse().map_err(|_| format!("bad --seed `{value}`"))?;
+            }
+            "--baseline" => baseline = Some(PathBuf::from(value)),
             "--out" => out = Some(PathBuf::from(value)),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -228,24 +441,100 @@ fn parse_args() -> Result<(BenchKind, Vec<f64>, u32, u32, PathBuf), String> {
     if points.is_empty() || repeats == 0 {
         return Err("--points and --repeats must be non-empty/positive".into());
     }
+    if nodes.is_empty() || nodes.iter().any(|&n| n < 2) || budget == 0 {
+        return Err("--nodes needs counts >= 2 and --budget must be positive".into());
+    }
     let out = out.unwrap_or_else(|| {
         PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
             .join(match kind {
                 BenchKind::Trace => "BENCH_trace.json",
                 BenchKind::Privacy => "BENCH_privacy.json",
+                BenchKind::Scale => "BENCH_core.json",
             })
     });
-    Ok((kind, points, packets, repeats, out))
+    Ok(Args {
+        kind,
+        points,
+        packets,
+        repeats,
+        out,
+        nodes,
+        budget,
+        seed,
+        baseline,
+    })
+}
+
+/// Serializes `report` and writes it to `out`, creating parent dirs.
+fn write_report<T: Serialize>(report: &T, out: &PathBuf) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(report).map_err(|e| format!("serialize report: {e}"))?;
+    if let Some(parent) = out.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))
+}
+
+fn run_scale_main(args: &Args) -> Result<(), String> {
+    let baseline = match &args.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+            Some(
+                serde_json::from_str::<ScaleReport>(&text)
+                    .map_err(|e| format!("bad baseline {}: {e}", path.display()))?,
+            )
+        }
+        None => None,
+    };
+    let report = run_scale(
+        &args.nodes,
+        args.budget,
+        args.seed,
+        args.repeats,
+        baseline.as_ref(),
+    );
+    write_report(&report, &args.out)?;
+    let largest = report.points.last().expect("at least one point");
+    println!(
+        "scale bench: {:.0} events/sec probes_off at {} nodes (peak FES {}){} [written {}]",
+        largest.modes[0].events_per_sec,
+        largest.nodes,
+        largest.peak_fes,
+        report
+            .headline_speedup
+            .map_or(String::new(), |s| format!(", {s:.2}x vs baseline")),
+        args.out.display()
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    let (kind, points, packets, repeats, out) = match parse_args() {
+    let args = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("perf_baseline: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if args.kind == BenchKind::Scale {
+        return match run_scale_main(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("perf_baseline: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Args {
+        kind,
+        points,
+        packets,
+        repeats,
+        out,
+        ..
+    } = args;
 
     // Warm caches so the first timed mode pays no cold-start penalty.
     std::hint::black_box(figure1_sim(points[0], packets.min(100)).run());
@@ -290,6 +579,7 @@ fn main() -> ExitCode {
                 report.privacy_over_probes_off,
             )
         }
+        BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let json = match json {
         Ok(json) => json,
@@ -308,6 +598,7 @@ fn main() -> ExitCode {
     let label = match kind {
         BenchKind::Trace => "ring-buffer tracing",
         BenchKind::Privacy => "privacy observatory",
+        BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     println!(
         "{label} overhead: {overhead_pct:+.2}% vs metrics, {:+.2}% vs probes-off \

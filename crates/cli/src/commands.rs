@@ -1214,6 +1214,8 @@ mod tests {
         let text = run(&["report", man_str]).unwrap();
         assert!(text.contains("experiment=fig3"));
         assert!(text.contains("theory checks"));
+        assert!(text.contains("tempriv_engine_events_per_sec"));
+        assert!(text.contains("tempriv_engine_peak_fes"));
 
         let json = run(&["report", man_str, "--format", "json"]).unwrap();
         let parsed: tempriv_core::telemetry::TelemetryExport = serde_json::from_str(&json).unwrap();

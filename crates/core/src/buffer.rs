@@ -11,7 +11,7 @@
 //!   stay closest to the intended distribution — transmits it
 //!   immediately, and buffers the new packet.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use tempriv_net::ids::PacketId;
@@ -129,23 +129,116 @@ pub struct BufferedPacket {
     pub timer: Option<EventId>,
 }
 
-/// A node's delay buffer: packets keyed by id, scanned for victims.
+/// Secondary index kept alongside the entry map so victim selection is
+/// O(log n) instead of a full scan. Which variant (if any) is maintained
+/// depends on the victim policy the buffer was built for — buffers that
+/// never preempt pay nothing.
+///
+/// Every variant reproduces the linear scan's answer *exactly*, including
+/// the smallest-`PacketId` tie-break (asserted by the property tests in
+/// `tests/properties.rs`).
+#[derive(Debug, Default, Clone)]
+enum VictimIndex {
+    /// No index; [`NodeBuffer::select_victim`] falls back to the scan.
+    #[default]
+    None,
+    /// Sorted by `(release_at, id)`: `first()` is the shortest-remaining
+    /// victim, and the largest release time keys the longest-remaining one.
+    ByRelease(BTreeSet<(SimTime, PacketId)>),
+    /// Sorted by `(buffered_at, id)`: `first()` is the oldest victim.
+    ByBuffered(BTreeSet<(SimTime, PacketId)>),
+    /// Sorted packet ids: the random policy draws an index and takes the
+    /// idx-th smallest id, exactly as the scan's `keys().nth(idx)` did.
+    ById(Vec<PacketId>),
+}
+
+impl VictimIndex {
+    fn for_policy(policy: VictimPolicy) -> Self {
+        match policy {
+            VictimPolicy::ShortestRemaining | VictimPolicy::LongestRemaining => {
+                VictimIndex::ByRelease(BTreeSet::new())
+            }
+            VictimPolicy::Oldest => VictimIndex::ByBuffered(BTreeSet::new()),
+            VictimPolicy::Random => VictimIndex::ById(Vec::new()),
+        }
+    }
+}
+
+/// A node's delay buffer: packets keyed by id, with an optional victim
+/// index (see [`NodeBuffer::for_policy`]).
 ///
 /// Iteration order is `PacketId` order (a `BTreeMap`), so victim ties
 /// break deterministically and runs reproduce bit-for-bit.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NodeBuffer {
     entries: BTreeMap<PacketId, BufferedPacket>,
+    index: VictimIndex,
     high_water: usize,
 }
 
 impl NodeBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer with no victim index (victim selection
+    /// falls back to the linear scan).
     #[must_use]
     pub fn new() -> Self {
         NodeBuffer {
             entries: BTreeMap::new(),
+            index: VictimIndex::None,
             high_water: 0,
+        }
+    }
+
+    /// Creates an empty buffer indexed for `policy`'s victim rule, when
+    /// the policy preempts. Non-preempting policies get the plain buffer,
+    /// so they pay no index-maintenance cost per insert/remove.
+    #[must_use]
+    pub fn for_policy(policy: &BufferPolicy) -> Self {
+        let index = match policy {
+            BufferPolicy::Rcad { victim, .. } => VictimIndex::for_policy(*victim),
+            _ => VictimIndex::None,
+        };
+        NodeBuffer {
+            entries: BTreeMap::new(),
+            index,
+            high_water: 0,
+        }
+    }
+
+    #[inline]
+    fn index_insert(&mut self, entry: &BufferedPacket) {
+        match &mut self.index {
+            VictimIndex::None => {}
+            VictimIndex::ByRelease(set) => {
+                set.insert((entry.release_at, entry.packet.id));
+            }
+            VictimIndex::ByBuffered(set) => {
+                set.insert((entry.buffered_at, entry.packet.id));
+            }
+            VictimIndex::ById(ids) => {
+                let pos = ids
+                    .binary_search(&entry.packet.id)
+                    .expect_err("id cannot already be indexed");
+                ids.insert(pos, entry.packet.id);
+            }
+        }
+    }
+
+    #[inline]
+    fn index_remove(&mut self, entry: &BufferedPacket) {
+        match &mut self.index {
+            VictimIndex::None => {}
+            VictimIndex::ByRelease(set) => {
+                set.remove(&(entry.release_at, entry.packet.id));
+            }
+            VictimIndex::ByBuffered(set) => {
+                set.remove(&(entry.buffered_at, entry.packet.id));
+            }
+            VictimIndex::ById(ids) => {
+                let pos = ids
+                    .binary_search(&entry.packet.id)
+                    .expect("indexed id must be present");
+                ids.remove(pos);
+            }
         }
     }
 
@@ -175,6 +268,7 @@ impl NodeBuffer {
     /// occupy two slots).
     pub fn insert(&mut self, entry: BufferedPacket) {
         let id = entry.packet.id;
+        self.index_insert(&entry);
         let prev = self.entries.insert(id, entry);
         assert!(prev.is_none(), "packet {id} already buffered");
         self.high_water = self.high_water.max(self.entries.len());
@@ -183,14 +277,51 @@ impl NodeBuffer {
     /// Removes and returns the packet with the given id.
     #[must_use]
     pub fn remove(&mut self, id: PacketId) -> Option<BufferedPacket> {
-        self.entries.remove(&id)
+        let entry = self.entries.remove(&id)?;
+        self.index_remove(&entry);
+        Some(entry)
     }
 
     /// Chooses a victim according to `policy`; `None` if empty.
     ///
-    /// Ties break toward the smallest packet id.
+    /// Ties break toward the smallest packet id. When the buffer carries
+    /// the matching index (see [`NodeBuffer::for_policy`]) this is
+    /// O(log n); otherwise it falls back to
+    /// [`NodeBuffer::select_victim_scan`]. Both paths consume the same
+    /// RNG draws and return the same victim.
     #[must_use]
     pub fn select_victim(&self, policy: VictimPolicy, rng: &mut SimRng) -> Option<PacketId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        match (policy, &self.index) {
+            (VictimPolicy::ShortestRemaining, VictimIndex::ByRelease(set)) => {
+                set.first().map(|&(_, id)| id)
+            }
+            (VictimPolicy::LongestRemaining, VictimIndex::ByRelease(set)) => {
+                // Max release time, ties toward the smallest id: every key
+                // at or above `(max_release, PacketId(0))` shares the
+                // maximal release time, so the range's first entry is the
+                // smallest id among them.
+                let &(max_release, _) = set.last()?;
+                set.range((max_release, PacketId(0))..)
+                    .next()
+                    .map(|&(_, id)| id)
+            }
+            (VictimPolicy::Oldest, VictimIndex::ByBuffered(set)) => set.first().map(|&(_, id)| id),
+            (VictimPolicy::Random, VictimIndex::ById(ids)) => {
+                let idx = rng.sample_index(ids.len());
+                Some(ids[idx])
+            }
+            _ => self.select_victim_scan(policy, rng),
+        }
+    }
+
+    /// The reference linear scan over the entry map. Kept public so the
+    /// property tests can pit the indexed path against it; buffers built
+    /// with [`NodeBuffer::new`] use it implicitly.
+    #[must_use]
+    pub fn select_victim_scan(&self, policy: VictimPolicy, rng: &mut SimRng) -> Option<PacketId> {
         if self.entries.is_empty() {
             return None;
         }
@@ -230,7 +361,26 @@ impl NodeBuffer {
     /// Removes and returns every buffered entry in packet-id order (a
     /// threshold-mix flush).
     pub fn drain_all(&mut self) -> Vec<BufferedPacket> {
+        self.clear_index();
         std::mem::take(&mut self.entries).into_values().collect()
+    }
+
+    /// Drains every buffered entry in packet-id order into `out`
+    /// (clearing it first) — the allocation-free flush the driver uses so
+    /// threshold-mix batches reuse one scratch buffer for the whole run.
+    pub fn drain_all_into(&mut self, out: &mut Vec<BufferedPacket>) {
+        out.clear();
+        self.clear_index();
+        let entries = std::mem::take(&mut self.entries);
+        out.extend(entries.into_values());
+    }
+
+    fn clear_index(&mut self) {
+        match &mut self.index {
+            VictimIndex::None => {}
+            VictimIndex::ByRelease(set) | VictimIndex::ByBuffered(set) => set.clear(),
+            VictimIndex::ById(ids) => ids.clear(),
+        }
     }
 }
 
@@ -382,6 +532,104 @@ mod tests {
         assert_eq!(buf.high_water(), 3, "draining does not lower the mark");
         let _ = buf.drain_all();
         assert_eq!(buf.high_water(), 3);
+    }
+
+    fn rcad(victim: VictimPolicy) -> BufferPolicy {
+        BufferPolicy::Rcad {
+            capacity: 10,
+            victim,
+        }
+    }
+
+    #[test]
+    fn indexed_buffers_agree_with_scan() {
+        // Same contents, same policy: the indexed fast path and the
+        // reference scan must pick the same victim, including on release
+        // and buffered-time ties (ids 2 and 9 tie everywhere).
+        for policy in [
+            VictimPolicy::ShortestRemaining,
+            VictimPolicy::LongestRemaining,
+            VictimPolicy::Oldest,
+        ] {
+            let mut q = EventQueue::new();
+            let mut buf = NodeBuffer::for_policy(&rcad(policy));
+            for (id, buffered, release) in [
+                (9, 0.0, 10.0),
+                (2, 0.0, 10.0),
+                (5, 1.0, 50.0),
+                (7, 2.0, 5.0),
+            ] {
+                buf.insert(entry(&mut q, id, buffered, release));
+            }
+            let mut r = rng();
+            let fast = buf.select_victim(policy, &mut r);
+            let slow = buf.select_victim_scan(policy, &mut rng());
+            assert_eq!(fast, slow, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn random_index_matches_scan_draw_for_draw() {
+        let mut q = EventQueue::new();
+        let mut indexed = NodeBuffer::for_policy(&rcad(VictimPolicy::Random));
+        let mut plain = NodeBuffer::new();
+        for (id, buffered, release) in [(4, 0.0, 9.0), (1, 0.5, 7.0), (8, 1.0, 3.0)] {
+            indexed.insert(entry(&mut q, id, buffered, release));
+            plain.insert(entry(&mut q, id + 100, buffered, release));
+        }
+        let _ = plain.remove(PacketId(104));
+        let _ = plain.remove(PacketId(101));
+        let _ = plain.remove(PacketId(108));
+        for (id, buffered, release) in [(4, 0.0, 9.0), (1, 0.5, 7.0), (8, 1.0, 3.0)] {
+            plain.insert(entry(&mut q, id + 200, buffered, release));
+        }
+        // Two identically seeded RNG streams: both paths must consume
+        // exactly one draw per selection and pick the idx-th smallest id.
+        let (mut ra, mut rb) = (rng(), rng());
+        for _ in 0..20 {
+            let a = indexed
+                .select_victim(VictimPolicy::Random, &mut ra)
+                .unwrap();
+            let b = plain.select_victim(VictimPolicy::Random, &mut rb).unwrap();
+            assert_eq!(a.0, b.0 - 200);
+            assert_eq!(ra.draws(), rb.draws());
+        }
+    }
+
+    #[test]
+    fn index_survives_removals() {
+        let policy = VictimPolicy::ShortestRemaining;
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::for_policy(&rcad(policy));
+        buf.insert(entry(&mut q, 1, 0.0, 10.0));
+        buf.insert(entry(&mut q, 2, 0.0, 20.0));
+        buf.insert(entry(&mut q, 3, 0.0, 30.0));
+        assert_eq!(buf.select_victim(policy, &mut rng()), Some(PacketId(1)));
+        let _ = buf.remove(PacketId(1));
+        assert_eq!(buf.select_victim(policy, &mut rng()), Some(PacketId(2)));
+        let _ = buf.remove(PacketId(2));
+        let _ = buf.remove(PacketId(3));
+        assert_eq!(buf.select_victim(policy, &mut rng()), None);
+    }
+
+    #[test]
+    fn drain_all_into_reuses_scratch() {
+        let mut q = EventQueue::new();
+        let mut buf = NodeBuffer::for_policy(&rcad(VictimPolicy::Oldest));
+        let mut scratch = vec![entry(&mut q, 99, 0.0, 1.0)]; // stale content
+        buf.insert(entry(&mut q, 7, 0.0, 10.0));
+        buf.insert(entry(&mut q, 3, 1.0, 20.0));
+        buf.drain_all_into(&mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch[0].packet.id, PacketId(3));
+        assert_eq!(scratch[1].packet.id, PacketId(7));
+        assert!(buf.is_empty());
+        // The index was cleared with the entries: refilling works.
+        buf.insert(entry(&mut q, 5, 2.0, 30.0));
+        assert_eq!(
+            buf.select_victim(VictimPolicy::Oldest, &mut rng()),
+            Some(PacketId(5))
+        );
     }
 
     #[test]

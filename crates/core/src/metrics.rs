@@ -130,6 +130,15 @@ pub struct SimOutcome {
     /// counter existed.
     #[serde(default)]
     pub rng_draws: u64,
+    /// Total events the engine delivered over the run. A pure function of
+    /// the schedule, so it is identical across probed/unprobed runs.
+    /// Defaults to 0 when deserializing older outcomes.
+    #[serde(default)]
+    pub events: u64,
+    /// High-water mark of the future-event set (pending, non-cancelled
+    /// events). Defaults to 0 when deserializing older outcomes.
+    #[serde(default)]
+    pub peak_fes: u64,
 }
 
 impl SimOutcome {
@@ -428,6 +437,8 @@ mod tests {
             nodes: vec![],
             link_losses: 0,
             rng_draws: 0,
+            events: 0,
+            peak_fes: 0,
         }
     }
 

@@ -23,7 +23,7 @@ use tempriv_telemetry::{NullProbe, PacketEvent, SimProbe};
 
 use crate::adversary::{AdversaryKnowledge, Observation};
 use crate::buffer::{BufferPolicy, BufferedPacket, NodeBuffer};
-use crate::delay::DelayPlan;
+use crate::delay::{DelayPlan, DelayStrategy};
 use crate::metrics::{FlowOutcome, NodeReport, SimOutcome, TruthRecord};
 
 /// RNG stream namespaces (one per stochastic component class).
@@ -428,7 +428,15 @@ impl NetworkSimulation {
         let mut driver = Driver {
             sim: self,
             probe,
-            buffers: (0..n_nodes).map(|_| NodeBuffer::new()).collect(),
+            sink: self.routing.sink(),
+            capacity: self.buffer_policy.capacity(),
+            strategies: (0..n_nodes)
+                .map(|i| self.delay_plan.for_node(NodeId(i as u32)))
+                .collect(),
+            mix_scratch: Vec::new(),
+            buffers: (0..n_nodes)
+                .map(|_| NodeBuffer::for_policy(&self.buffer_policy))
+                .collect(),
             occupancy: (0..n_nodes)
                 .map(|_| StateDwell::new(SimTime::ZERO, 0))
                 .collect(),
@@ -487,10 +495,13 @@ impl NetworkSimulation {
         }
         engine.run(|sched, ev| driver.handle(sched, ev));
         let end_time = engine.now();
+        let events = engine.delivered();
+        let peak_fes = engine.peak_pending() as u64;
 
         for (i, buffer) in driver.buffers.iter().enumerate() {
             driver.probe.on_high_water(i, buffer.high_water() as u64);
         }
+        driver.probe.on_engine_stats(events, peak_fes);
         driver.probe.on_run_end(end_time);
 
         let rng_draws = driver.delay_rngs.iter().map(SimRng::draws).sum::<u64>()
@@ -533,6 +544,8 @@ impl NetworkSimulation {
                 .collect(),
             link_losses: driver.link_losses,
             rng_draws,
+            events,
+            peak_fes,
         }
     }
 }
@@ -540,6 +553,12 @@ impl NetworkSimulation {
 struct Driver<'a, P: SimProbe> {
     sim: &'a NetworkSimulation,
     probe: &'a mut P,
+    /// Cached per-run invariants, hoisted out of the per-event path.
+    sink: NodeId,
+    capacity: Option<usize>,
+    strategies: Vec<DelayStrategy>,
+    /// Reused flush buffer so threshold-mix batches allocate once per run.
+    mix_scratch: Vec<BufferedPacket>,
     buffers: Vec<NodeBuffer>,
     occupancy: Vec<StateDwell>,
     preemptions: Vec<u64>,
@@ -564,6 +583,7 @@ struct Driver<'a, P: SimProbe> {
 }
 
 impl<P: SimProbe> Driver<'_, P> {
+    #[inline]
     fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
         match ev {
             Ev::Create { flow } => self.on_create(sched, flow),
@@ -604,8 +624,9 @@ impl<P: SimProbe> Driver<'_, P> {
     }
 
     /// A packet is now present at `node`: deliver, forward, or buffer.
+    #[inline]
     fn process_at(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: Packet) {
-        if node == self.sim.routing.sink() {
+        if node == self.sink {
             self.deliver(sched.now(), packet);
             return;
         }
@@ -634,15 +655,18 @@ impl<P: SimProbe> Driver<'_, P> {
                 self.flushes[node.index()] += 1;
                 let batch = self.buffers[node.index()].len() as u64;
                 self.probe.on_flush(node.index(), sched.now(), batch);
-                for entry in self.buffers[node.index()].drain_all() {
+                let mut scratch = std::mem::take(&mut self.mix_scratch);
+                self.buffers[node.index()].drain_all_into(&mut scratch);
+                for entry in scratch.drain(..) {
                     self.forward(sched, node, entry.packet);
                 }
+                self.mix_scratch = scratch;
                 self.occupancy[node.index()].transition(sched.now(), 0);
                 self.probe.on_occupancy(node.index(), sched.now(), 0);
             }
             return;
         }
-        let strategy = self.sim.delay_plan.for_node(node);
+        let strategy = self.strategies[node.index()];
         if strategy.is_none() {
             self.forward(sched, node, packet);
             return;
@@ -650,7 +674,7 @@ impl<P: SimProbe> Driver<'_, P> {
         self.probe.on_arrival(node.index(), sched.now());
         let delay = strategy.sample(&mut self.delay_rngs[node.index()]);
         // Full buffer? Apply the policy before inserting.
-        if let Some(cap) = self.sim.buffer_policy.capacity() {
+        if let Some(cap) = self.capacity {
             if self.buffers[node.index()].len() >= cap {
                 match self.sim.buffer_policy {
                     BufferPolicy::DropTail { .. } => {
@@ -724,6 +748,7 @@ impl<P: SimProbe> Driver<'_, P> {
         self.probe.on_occupancy(node.index(), sched.now(), depth);
     }
 
+    #[inline]
     fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: PacketId) {
         let entry = self.buffers[node.index()]
             .remove(packet)
@@ -734,6 +759,7 @@ impl<P: SimProbe> Driver<'_, P> {
         self.forward(sched, node, entry.packet);
     }
 
+    #[inline]
     fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, mut packet: Packet) {
         self.probe.on_packet(
             sched.now(),
@@ -759,6 +785,7 @@ impl<P: SimProbe> Driver<'_, P> {
         }
     }
 
+    #[inline]
     fn deliver(&mut self, now: SimTime, packet: Packet) {
         let flow = packet.flow;
         let created = self.truth[packet.id.0 as usize].created_at;

@@ -594,6 +594,10 @@ impl TelemetryExport {
             "tempriv_theory_flagged_total",
             "Queueing-theory cross-checks outside tolerance",
         );
+        let engine_events = registry.counter(
+            "tempriv_engine_events_total",
+            "Discrete events executed by the simulation engine across instrumented scenarios",
+        );
         let latency_hist = registry.histogram(
             "tempriv_scenario_mean_latency",
             "Mean end-to-end delivery latency per instrumented scenario (time units)",
@@ -622,17 +626,24 @@ impl TelemetryExport {
         let mut theory_checks = 0;
         let mut theory_flagged = 0;
         let mut flagged = Vec::new();
+        let mut engine_events_total = 0u64;
+        let mut engine_wall_secs = 0.0f64;
+        let mut peak_fes = 0u64;
         for job in job_telemetry.iter().flatten() {
             instrumented_jobs += 1;
             scenarios += job.scenarios.len();
             theory_checks += job.theory_checks();
             theory_flagged += job.theory_flagged();
+            engine_wall_secs += job.spans.total_seconds();
             for scenario in &job.scenarios {
                 registry.inc(deliveries, scenario.sim.deliveries);
                 registry.inc(preemptions, scenario.sim.total_preemptions());
                 registry.inc(drops, scenario.sim.total_drops());
                 registry.inc(flushes, scenario.sim.total_flushes());
                 registry.inc(evicted, scenario.sim.trace_evicted);
+                registry.inc(engine_events, scenario.sim.engine_events);
+                engine_events_total += scenario.sim.engine_events;
+                peak_fes = peak_fes.max(scenario.sim.peak_fes);
                 if scenario.sim.deliveries > 0 {
                     registry.observe(latency_hist, scenario.sim.mean_latency);
                 }
@@ -648,6 +659,27 @@ impl TelemetryExport {
         }
         registry.inc(checks_total, theory_checks as u64);
         registry.inc(flagged_total, theory_flagged as u64);
+
+        // Engine throughput gauges: events/sec over the jobs' recorded
+        // wall-time spans, peak future-event-set size as a high-water
+        // mark. Pre-overhaul blobs default both fields to zero and get
+        // no gauges, so old manifests render unchanged.
+        if engine_events_total > 0 {
+            if engine_wall_secs > 0.0 {
+                let g = registry.gauge(
+                    "tempriv_engine_events_per_sec",
+                    "Engine event throughput: events executed over recorded scenario wall time",
+                );
+                #[allow(clippy::cast_precision_loss)]
+                registry.set(g, engine_events_total as f64 / engine_wall_secs);
+            }
+            let g = registry.gauge(
+                "tempriv_engine_peak_fes",
+                "Peak future-event-set size across instrumented scenarios",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, peak_fes as f64);
+        }
         for i in 0..n_nodes {
             if occ_count[i] == 0 {
                 continue;
@@ -887,13 +919,15 @@ mod tests {
         let outcome = sim.run_probed(&mut probe);
         let telemetry = probe.finish(outcome.end_time);
         let theory = theory_report(&sim, &telemetry, &TheoryTolerance::default());
+        let mut spans = SpanSet::new();
+        spans.record("rcad", 0.25);
         let job = JobTelemetry {
             scenarios: vec![ScenarioTelemetry {
                 label: "rcad".to_string(),
                 sim: telemetry,
                 theory,
             }],
-            spans: SpanSet::new(),
+            spans,
         };
         let blob = serde_json::to_string(&job).unwrap();
         let export = TelemetryExport::collect("fig2", &[Some(blob), None], &[]).unwrap();
@@ -906,6 +940,28 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name.starts_with("tempriv_node_occupancy_mean{node=")));
+        // Engine totals surface as a counter plus throughput gauges.
+        let events = export
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "tempriv_engine_events_total")
+            .expect("engine event counter");
+        assert!(events.value > 0);
+        let eps = export
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == "tempriv_engine_events_per_sec")
+            .expect("events/sec gauge");
+        assert!((eps.value - events.value as f64 / 0.25).abs() < 1e-6);
+        let fes = export
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == "tempriv_engine_peak_fes")
+            .expect("peak FES gauge");
+        assert!(fes.value > 0.0);
         // Round-trips through canonical JSON.
         let back: TelemetryExport = serde_json::from_str(&export.to_canonical_json()).unwrap();
         assert_eq!(back, export);

@@ -250,4 +250,55 @@ proptest! {
             _ => unreachable!("strategy only yields the four policies"),
         }
     }
+
+    /// The per-policy victim index reproduces the linear scan's choice
+    /// exactly — including the smallest-`PacketId` tie-break on coarse,
+    /// heavily-colliding timestamps — under arbitrary insert/remove churn.
+    #[test]
+    fn victim_index_matches_scan(
+        victim in arb_victim(),
+        ops in prop::collection::vec((any::<bool>(), 0u64..50, 0u64..16, 0u64..16), 1..120),
+        seed in any::<u64>(),
+    ) {
+        use tempriv_core::buffer::{BufferedPacket, NodeBuffer};
+        use tempriv_net::ids::{FlowId, NodeId, PacketId};
+        use tempriv_net::packet::Packet;
+        use tempriv_sim::time::SimTime;
+
+        let policy = BufferPolicy::Rcad { capacity: 16, victim };
+        let mut buf = NodeBuffer::for_policy(&policy);
+        let mut next_id = 0u64;
+        for &(insert, id_sel, t_buf, t_rel) in &ops {
+            if insert {
+                let buffered_at = SimTime::from_ticks(t_buf);
+                buf.insert(BufferedPacket {
+                    packet: Packet::new(
+                        PacketId(next_id),
+                        FlowId(0),
+                        NodeId(1),
+                        0,
+                        buffered_at,
+                        0.0,
+                    ),
+                    buffered_at,
+                    release_at: SimTime::from_ticks(t_rel),
+                    timer: None,
+                });
+                next_id += 1;
+            } else if !buf.is_empty() {
+                let ids: Vec<PacketId> = buf.iter().map(|e| e.packet.id).collect();
+                let _ = buf.remove(ids[(id_sel as usize) % ids.len()]);
+            }
+            if !buf.is_empty() {
+                // Two rngs at identical state, so Random's single index
+                // draw is the same on both paths.
+                let mut r_index = RngFactory::new(seed).stream(next_id);
+                let mut r_scan = RngFactory::new(seed).stream(next_id);
+                prop_assert_eq!(
+                    buf.select_victim(victim, &mut r_index),
+                    buf.select_victim_scan(victim, &mut r_scan)
+                );
+            }
+        }
+    }
 }

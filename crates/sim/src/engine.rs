@@ -155,6 +155,12 @@ impl<E> Engine<E> {
         self.queue.delivered()
     }
 
+    /// High-water mark of the future-event set over the engine's lifetime.
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Schedules an event before the run starts (or between runs).
     ///
     /// # Errors

@@ -150,4 +150,59 @@ proptest! {
             prop_assert!(seen.insert(splitmix64(base.wrapping_add(i))));
         }
     }
+
+    /// The slab-indexed queue agrees with a naive sort-based reference
+    /// model under arbitrary interleavings of push, cancel, pop, and
+    /// pending-ness queries: identical pop sequences, identical cancel
+    /// return values, identical lengths at every step.
+    #[test]
+    fn queue_matches_reference_model(
+        ops in prop::collection::vec((0u8..8, 0u64..400), 1..250),
+    ) {
+        // Reference: slot i holds Some(time) while the i-th pushed event
+        // is still pending; pop takes the minimum (time, slot) pair.
+        fn model_pop(model: &mut [Option<SimTime>]) -> Option<(SimTime, usize)> {
+            let best = model
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.map(|t| (t, i)))
+                .min()?;
+            model[best.1] = None;
+            Some(best)
+        }
+
+        let mut q = EventQueue::new();
+        let mut pushed = Vec::new();
+        let mut model: Vec<Option<SimTime>> = Vec::new();
+        for &(op, x) in &ops {
+            match op {
+                0..=3 => {
+                    let t = SimTime::from_ticks(x);
+                    pushed.push(q.push(t, model.len()));
+                    model.push(Some(t));
+                }
+                4 | 5 if !pushed.is_empty() => {
+                    let i = (x as usize) % pushed.len();
+                    prop_assert_eq!(q.cancel(pushed[i]), model[i].is_some());
+                    model[i] = None;
+                }
+                6 if !pushed.is_empty() => {
+                    let i = (x as usize) % pushed.len();
+                    prop_assert_eq!(q.is_pending(pushed[i]), model[i].is_some());
+                }
+                _ => {
+                    prop_assert_eq!(q.pop(), model_pop(&mut model));
+                }
+            }
+            prop_assert_eq!(q.len(), model.iter().flatten().count());
+        }
+        // Drain: the remaining pop sequence must match the reference.
+        loop {
+            let got = q.pop();
+            prop_assert_eq!(got, model_pop(&mut model));
+            if got.is_none() {
+                break;
+            }
+        }
+    }
 }

@@ -70,6 +70,13 @@ pub trait SimProbe {
         let _ = (now, event);
     }
 
+    /// Engine accounting reported once at run end: total events the
+    /// engine delivered and the peak size of the future-event set.
+    /// Deterministic — both are pure functions of the event sequence.
+    fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
+        let _ = (events, peak_fes);
+    }
+
     /// The run ended at `end` (stop reason already resolved).
     fn on_run_end(&mut self, end: SimTime) {
         let _ = end;
@@ -120,6 +127,10 @@ impl<P: SimProbe + ?Sized> SimProbe for &mut P {
         (**self).on_packet(now, event);
     }
 
+    fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
+        (**self).on_engine_stats(events, peak_fes);
+    }
+
     fn on_run_end(&mut self, end: SimTime) {
         (**self).on_run_end(end);
     }
@@ -168,6 +179,11 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     fn on_packet(&mut self, now: SimTime, event: PacketEvent) {
         self.0.on_packet(now, event);
         self.1.on_packet(now, event);
+    }
+
+    fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
+        self.0.on_engine_stats(events, peak_fes);
+        self.1.on_engine_stats(events, peak_fes);
     }
 
     fn on_run_end(&mut self, end: SimTime) {
@@ -291,6 +307,8 @@ pub struct RecordingProbe {
     deliveries: u64,
     trace: Trace<ProbeEvent>,
     end: Option<SimTime>,
+    engine_events: u64,
+    peak_fes: u64,
 }
 
 /// Default capacity of the per-run bounded event trace.
@@ -320,6 +338,8 @@ impl RecordingProbe {
             deliveries: 0,
             trace: Trace::with_capacity(trace_cap),
             end: None,
+            engine_events: 0,
+            peak_fes: 0,
         }
     }
 
@@ -337,6 +357,8 @@ impl RecordingProbe {
         self.deliveries = 0;
         self.trace.clear();
         self.end = None;
+        self.engine_events = 0;
+        self.peak_fes = 0;
     }
 
     /// The bounded trace of recent probe events.
@@ -384,6 +406,8 @@ impl RecordingProbe {
             nodes,
             trace_len: self.trace.len() as u64,
             trace_evicted: self.trace.dropped(),
+            engine_events: self.engine_events,
+            peak_fes: self.peak_fes,
         }
     }
 }
@@ -428,6 +452,11 @@ impl SimProbe for RecordingProbe {
 
     fn on_high_water(&mut self, node: usize, high_water: u64) {
         self.nodes[node].high_water = high_water;
+    }
+
+    fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
+        self.engine_events = events;
+        self.peak_fes = peak_fes;
     }
 
     fn on_run_end(&mut self, end: SimTime) {
@@ -502,6 +531,13 @@ pub struct SimTelemetry {
     /// Probe-trace records evicted by the bounded trace (the
     /// previously-unreadable [`Trace::dropped`] count).
     pub trace_evicted: u64,
+    /// Total events the engine delivered (0 for blobs recorded before the
+    /// counter existed).
+    #[serde(default)]
+    pub engine_events: u64,
+    /// Peak size of the engine's future-event set (0 for older blobs).
+    #[serde(default)]
+    pub peak_fes: u64,
 }
 
 impl SimTelemetry {
