@@ -85,6 +85,25 @@ COMMANDS:
         [--interval N]       deliveries between snapshots (default 100)
         [--bins N]           streaming histogram resolution (default 32)
         [--out PATH]         write the final privacy series JSON
+    serve                    run the simulation-as-a-service HTTP server
+        [--addr A]           listen address (default 127.0.0.1:7077)
+        [--workers N]        job worker threads (default 2)
+        [--cache-dir DIR]    persist results; warm submissions answer
+                             from the cache without re-simulating
+        [--manifest PATH]    journal submissions as JSONL; a restarted
+                             server resumes its queue exactly
+        [--max-queue N]      bound on queued+running jobs (default 64)
+        [--tenant-quota N]   per-tenant bound (default 16); overflow
+                             returns 429 + Retry-After
+    bench serve              load-drive the serve API; report latency
+                             percentiles, throughput, and hit-rate
+        [--submissions N]    total submissions (default 2000)
+        [--concurrency N]    client threads (default 16)
+        [--tenants N] [--distinct N] [--packets N] [--experiment E]
+        [--addr A]           target an external server (default:
+                             spawn one in-process)
+        [--server-workers N] in-process server workers (default 4)
+        [--out PATH]         write the JSON report (BENCH_serve.json)
     cache stats --cache-dir DIR    count cached results
     cache clear --cache-dir DIR    delete cached results
     calc erlang  --rho R --slots K          Erlang loss E(R, K)
@@ -116,12 +135,14 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("trace") => cmd_trace(args, out),
         Some("watch") => cmd_watch(args, out),
         Some("cache") => cmd_cache(args, out),
+        Some("serve") => crate::serve_cmd::cmd_serve(args, out),
+        Some("bench") => crate::serve_cmd::cmd_bench(args, out),
         Some("calc") => cmd_calc(args, out),
         Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
     }
 }
 
-fn io_err(e: std::io::Error) -> String {
+pub(crate) fn io_err(e: std::io::Error) -> String {
     format!("I/O error: {e}")
 }
 
@@ -480,7 +501,7 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args
         .positional(1)
         .ok_or("usage: tempriv report <run.jsonl|dir> [--format text|json|prometheus]")?;
-    let (experiment, blobs, privacy_blobs) = if std::path::Path::new(path).is_dir() {
+    let (experiment, blobs, privacy_blobs, completed) = if std::path::Path::new(path).is_dir() {
         let entries =
             std::fs::read_dir(path).map_err(|e| format!("cannot read directory {path}: {e}"))?;
         let mut manifests: Vec<std::path::PathBuf> = entries
@@ -490,29 +511,47 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             .collect();
         manifests.sort();
         if manifests.is_empty() {
-            return Err(format!(
-                "no .jsonl manifests in {path}; point report at a manifest \
-                 file or a directory of them"
-            ));
+            writeln!(
+                out,
+                "no completed jobs: {path} contains no .jsonl manifests \
+                 (run a sweep with --manifest to journal one)"
+            )
+            .map_err(io_err)?;
+            return Ok(());
         }
         let mut experiments: Vec<String> = Vec::new();
         let mut blobs = Vec::new();
         let mut privacy_blobs = Vec::new();
+        let mut completed = 0usize;
         for manifest_path in &manifests {
             let manifest = ManifestReader::read(manifest_path)?;
+            completed += manifest.records.len();
             blobs.extend(manifest_blobs(&manifest));
             privacy_blobs.extend(manifest_privacy_blobs(&manifest));
             if !experiments.contains(&manifest.header.experiment) {
                 experiments.push(manifest.header.experiment.clone());
             }
         }
-        (experiments.join("+"), blobs, privacy_blobs)
+        (experiments.join("+"), blobs, privacy_blobs, completed)
     } else {
         let manifest = ManifestReader::read(path)?;
         let blobs = manifest_blobs(&manifest);
         let privacy_blobs = manifest_privacy_blobs(&manifest);
-        (manifest.header.experiment, blobs, privacy_blobs)
+        let completed = manifest.records.len();
+        (manifest.header.experiment, blobs, privacy_blobs, completed)
     };
+    if completed == 0 {
+        // An interrupted (or never-started) run: the manifest header is
+        // there but no job finished yet — say so instead of rendering a
+        // bare all-zero report.
+        writeln!(
+            out,
+            "no completed jobs in {path}: the manifest records no finished \
+             work yet (finish the sweep, or `tempriv resume` it)"
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
     let export = TelemetryExport::collect(&experiment, &blobs, &privacy_blobs)?;
     match args.option("format").unwrap_or("text") {
         "text" => {
@@ -1262,12 +1301,76 @@ mod tests {
         let parsed: tempriv_core::telemetry::TelemetryExport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.instrumented_jobs, 2);
 
-        // An empty directory is a clear error, not "0 jobs".
+        // An empty directory is a clear "no completed jobs" note, not a
+        // bare all-zero report (and not a hard error).
         let empty = dir.join("empty");
         std::fs::create_dir_all(&empty).unwrap();
-        let err = run(&["report", empty.to_str().unwrap()]).unwrap_err();
-        assert!(err.contains("no .jsonl manifests"));
+        let note = run(&["report", empty.to_str().unwrap()]).unwrap();
+        assert!(note.contains("no completed jobs"));
+        assert!(note.contains("no .jsonl manifests"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_on_header_only_manifest_says_no_completed_jobs() {
+        // Regression: a manifest whose run was interrupted before any job
+        // finished (header line only) used to render a bare empty report.
+        let dir = std::env::temp_dir().join("tempriv_cli_report_empty_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("interrupted.jsonl");
+        let header = tempriv_runtime::ManifestHeader {
+            experiment: "fig3".to_string(),
+            params_json: "{}".to_string(),
+            jobs: 3,
+            cache_dir: None,
+        };
+        drop(tempriv_runtime::ManifestWriter::create(&manifest, &header).unwrap());
+
+        let text = run(&["report", manifest.to_str().unwrap()]).unwrap();
+        assert!(text.contains("no completed jobs"), "got: {text}");
+        assert!(!text.contains("experiment="), "no bare report: {text}");
+
+        // Same through the directory path.
+        let text = run(&["report", dir.to_str().unwrap()]).unwrap();
+        assert!(text.contains("no completed jobs"), "got: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_serve_writes_a_load_report() {
+        let dir = std::env::temp_dir().join("tempriv_cli_bench_serve_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_serve.json");
+        let text = run(&[
+            "bench",
+            "serve",
+            "--submissions",
+            "16",
+            "--concurrency",
+            "4",
+            "--distinct",
+            "4",
+            "--packets",
+            "30",
+            "--server-workers",
+            "2",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("req/s"), "got: {text}");
+        assert!(text.contains("warm bytes identical: true"), "got: {text}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        let report: tempriv_serve::LoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.submissions, 16);
+        assert!(report.warm > 0, "repeat specs must hit the cache");
+        assert!(report.warm_bytes_identical);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let err = run(&["bench", "nope"]).unwrap_err();
+        assert!(err.contains("unknown bench target"));
     }
 
     #[test]

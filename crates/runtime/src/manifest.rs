@@ -8,7 +8,7 @@
 //! readable prefix; [`ManifestReader`] tolerates a torn final line.
 
 use serde::{Deserialize, Serialize};
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -72,9 +72,17 @@ pub struct JobRecord {
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
 /// finish on pool workers).
+///
+/// Every record is serialized to a complete line first and handed to the
+/// OS in a single `write_all` + flush, so a reader never observes a
+/// partially written record from a *live* writer — only a hard kill mid
+/// `write_all` can tear a line, and [`ManifestReader`] tolerates that.
+/// Dropping the writer flushes any buffered bytes as a last resort, so a
+/// panic that unwinds through a pool worker still lands the records that
+/// were already accepted.
 #[derive(Debug)]
 pub struct ManifestWriter {
-    file: Mutex<std::fs::File>,
+    file: Mutex<BufWriter<std::fs::File>>,
     path: PathBuf,
 }
 
@@ -91,9 +99,10 @@ impl ManifestWriter {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut file = std::fs::File::create(&path)?;
-        let line = serde_json::to_string(header).expect("header serializes");
-        writeln!(file, "{line}")?;
+        let mut file = BufWriter::new(std::fs::File::create(&path)?);
+        let mut line = serde_json::to_string(header).expect("header serializes");
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
         file.flush()?;
         Ok(ManifestWriter {
             file: Mutex::new(file),
@@ -107,9 +116,10 @@ impl ManifestWriter {
     ///
     /// Returns the I/O error if the line cannot be written.
     pub fn record(&self, record: &JobRecord) -> std::io::Result<()> {
-        let line = serde_json::to_string(record).expect("record serializes");
+        let mut line = serde_json::to_string(record).expect("record serializes");
+        line.push('\n');
         let mut file = self.file.lock().expect("manifest lock");
-        writeln!(file, "{line}")?;
+        file.write_all(line.as_bytes())?;
         file.flush()
     }
 
@@ -117,6 +127,16 @@ impl ManifestWriter {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for ManifestWriter {
+    fn drop(&mut self) {
+        // Best-effort flush on shutdown/unwind; each record already
+        // flushes itself, this only matters if a future edit buffers.
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.flush();
+        }
     }
 }
 

@@ -1,0 +1,221 @@
+//! A tiny blocking HTTP client for the serve API — enough for the load
+//! driver, the CLI, and the end-to-end tests, with no dependencies.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request (`Connection: close`) and reads the full response.
+///
+/// # Errors
+///
+/// Returns a message on connect, write, or parse failure.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<ClientResponse, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut out = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    out.write_all(head.as_bytes())
+        .and_then(|()| out.write_all(body))
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("send request: {e}"))?;
+
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Convenience: `POST` a job spec, returning the response.
+///
+/// # Errors
+///
+/// Propagates [`request`] failures.
+pub fn submit_job(addr: &str, tenant: &str, spec_json: &str) -> Result<ClientResponse, String> {
+    request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        &[("Content-Type", "application/json"), ("X-Tenant", tenant)],
+        spec_json.as_bytes(),
+    )
+}
+
+/// Reads an SSE stream to EOF, returning `(event, data)` frames. The
+/// serve privacy endpoint closes the connection after its `done` frame,
+/// so EOF is the natural end.
+///
+/// # Errors
+///
+/// Returns a message on connect/read failure or a non-SSE response.
+pub fn read_sse(addr: &str, path: &str) -> Result<Vec<(String, String)>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut out = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    write!(
+        out,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    if !status_line.contains("200") {
+        return Err(format!("expected SSE 200, got {}", status_line.trim()));
+    }
+    // Skip response headers.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("EOF before SSE body".to_string());
+        }
+        if line.trim_end_matches(['\r', '\n']).is_empty() {
+            break;
+        }
+    }
+
+    let mut frames = Vec::new();
+    let mut event = String::new();
+    let mut data = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            if !event.is_empty() || !data.is_empty() {
+                frames.push((std::mem::take(&mut event), std::mem::take(&mut data)));
+            }
+        } else if let Some(rest) = line.strip_prefix("event: ") {
+            event = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("data: ") {
+            data = rest.to_string();
+        }
+    }
+    Ok(frames)
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> Result<ClientResponse, String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("EOF in response headers".to_string());
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match length {
+        Some(length) => {
+            body.resize(length, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+        None => {
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\n\
+                   Content-Type: application/json\r\n\
+                   Retry-After: 2\r\n\
+                   Content-Length: 16\r\n\r\n\
+                   {\"error\":\"full\"}";
+        let resp = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.header("Retry-After"), Some("2"));
+        assert_eq!(resp.text(), "{\"error\":\"full\"}");
+    }
+
+    #[test]
+    fn missing_content_length_reads_to_eof() {
+        let raw = "HTTP/1.1 200 OK\r\n\r\nhello";
+        let resp = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(resp.body, b"hello");
+    }
+}

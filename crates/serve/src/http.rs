@@ -1,0 +1,323 @@
+//! Minimal HTTP/1.1 plumbing over `std::net` — just enough protocol for
+//! the serve API and its load driver, with no external dependencies.
+//!
+//! One request per connection (`Connection: close`): the server parses a
+//! request line, headers, and a `Content-Length` body; handlers answer
+//! with a [`Response`] or take over the raw stream (the SSE endpoint).
+//! Limits are deliberately tight — this is an internal service API, not a
+//! general web server.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Largest accepted number of request headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/v1/jobs/j3`).
+    pub path: String,
+    /// Decoded query parameters (`?a=1&b=2`), last value wins.
+    pub query: BTreeMap<String, String>,
+    /// Raw headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request from `reader`. Returns `Ok(None)` on a clean
+    /// EOF before any bytes (client connected and left).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed request lines, oversized
+    /// bodies/headers, or truncated input.
+    pub fn parse<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+            _ => return Err(bad_request(&format!("malformed request line: {line:?}"))),
+        };
+        let method = method.to_ascii_uppercase();
+        let (path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q),
+            None => (target.to_string(), ""),
+        };
+        let mut query = BTreeMap::new();
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(k.to_string(), v.to_string());
+        }
+
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(bad_request("unexpected EOF in headers"));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(bad_request("too many headers"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad_request(&format!("malformed header: {line:?}")));
+            };
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let length: usize = match header_of(&headers, "content-length") {
+            Some(raw) => raw.parse().map_err(|_| bad_request("bad content-length"))?,
+            None => 0,
+        };
+        if length > MAX_BODY_BYTES {
+            return Err(bad_request("body too large"));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+
+    /// First header with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_of(&self.headers, &name.to_ascii_lowercase())
+    }
+
+    /// Query parameter `key` parsed as `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value fails to parse.
+    pub fn query_as<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.query.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid query parameter {key}={raw}")),
+        }
+    }
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], lower_name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == lower_name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn bad_request(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults (`Content-Type` etc.).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status, content type, and body.
+    #[must_use]
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
+    /// A `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status, "application/json", body)
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// A JSON error envelope: `{"error": <message>}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = format!(
+            "{{\"error\":{}}}",
+            serde_json::to_string(message).expect("strings serialize")
+        );
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for the status code.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, `Content-Length`, and body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        write!(out, "Connection: close\r\n\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Writes the response preamble for a Server-Sent Events stream; the
+/// caller then writes `event:`/`data:` frames directly.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_sse_preamble<W: Write>(out: &mut W) -> std::io::Result<()> {
+    out.write_all(
+        b"HTTP/1.1 200 OK\r\n\
+          Content-Type: text/event-stream\r\n\
+          Cache-Control: no-cache\r\n\
+          Connection: close\r\n\r\n",
+    )?;
+    out.flush()
+}
+
+/// Writes one SSE frame (`event: <event>` + one `data:` line). `data`
+/// must not contain newlines — serialized JSON never does.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_sse_event<W: Write>(out: &mut W, event: &str, data: &str) -> std::io::Result<()> {
+    debug_assert!(!data.contains('\n'), "SSE data must be a single line");
+    write!(out, "event: {event}\ndata: {data}\n\n")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> std::io::Result<Option<Request>> {
+        Request::parse(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let req = parse(
+            "POST /v1/jobs?wait_ms=50 HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             X-Tenant: acme\r\n\
+             Content-Length: 7\r\n\r\n\
+             {\"a\":1}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query.get("wait_ms").map(String::as_str), Some("50"));
+        assert_eq!(req.header("x-tenant"), Some("acme"));
+        assert_eq!(req.header("X-Tenant"), Some("acme"));
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert_eq!(req.query_as("wait_ms", 0u64), Ok(50));
+        assert_eq!(req.query_as("missing", 9u64), Ok(9));
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_invalid_data() {
+        let err = parse("NOT-HTTP\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut buf = Vec::new();
+        Response::json(202, "{\"id\":\"j1\"}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"j1\"}"));
+    }
+
+    #[test]
+    fn error_envelope_escapes_the_message() {
+        let resp = Response::error(400, "bad \"spec\"");
+        assert_eq!(resp.body, b"{\"error\":\"bad \\\"spec\\\"\"}");
+    }
+
+    #[test]
+    fn sse_frames_are_well_formed() {
+        let mut buf = Vec::new();
+        write_sse_preamble(&mut buf).unwrap();
+        write_sse_event(&mut buf, "point", "{\"i\":0}").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Content-Type: text/event-stream"));
+        assert!(text.ends_with("event: point\ndata: {\"i\":0}\n\n"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Job specs and their execution.
+//!
+//! A job is one sweep of a named experiment on the paper's Figure-1
+//! topology. Clients POST a [`JobSpec`] (partial fields fill in from the
+//! smoke defaults), the server canonicalizes it, derives a
+//! content-addressed key, and either answers from the shared result
+//! cache (warm) or queues the sweep (cold). [`execute`] runs a cold job
+//! on a single-worker [`Runtime`] — the serve layer owns concurrency, so
+//! the inner sweep must not fan out on its own — and returns the rows as
+//! canonical JSON, which is what gets cached and served byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tempriv_core::experiment::{
+    adversary_panel_sweep_with, delay_ablation_sweep_with, fig2_sweep_with, fig3_sweep_with,
+    mix_comparison_sweep_with, victim_ablation_sweep_with, SweepParams,
+};
+use tempriv_net::FlowId;
+use tempriv_runtime::{content_digest, Runtime, TelemetrySink};
+
+/// Experiment names [`execute`] understands.
+pub const EXPERIMENTS: &[&str] = &["fig2", "fig3", "adversary", "victim", "delay", "mix"];
+
+/// A sweep submission. Every numeric field is optional in the wire form;
+/// zero/empty means "use the smoke default", so a minimal request body is
+/// just `{"experiment":"fig2"}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Which sweep to run (one of [`EXPERIMENTS`]).
+    pub experiment: String,
+    /// Inter-arrival times `1/λ` to sweep (empty = smoke default).
+    #[serde(default)]
+    pub inv_lambdas: Vec<f64>,
+    /// Packets per source per run (0 = smoke default).
+    #[serde(default)]
+    pub packets_per_source: u32,
+    /// Mean artificial delay per hop `1/μ` (0 = smoke default).
+    #[serde(default)]
+    pub delay_mean: f64,
+    /// Buffer slots for limited-buffer scenarios (0 = smoke default).
+    #[serde(default)]
+    pub capacity: usize,
+    /// Master seed (0 = smoke default).
+    #[serde(default)]
+    pub seed: u64,
+    /// Streaming-privacy snapshot interval in events; 0 disables the
+    /// observatory (and the job's SSE stream ends immediately).
+    #[serde(default)]
+    pub privacy_interval: usize,
+}
+
+impl JobSpec {
+    /// Parses and canonicalizes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, an unknown experiment, or
+    /// out-of-range parameters.
+    pub fn from_body(body: &[u8]) -> Result<JobSpec, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let spec: JobSpec =
+            serde_json::from_str(text).map_err(|e| format!("malformed job spec: {e}"))?;
+        spec.canonicalize()
+    }
+
+    /// Fills defaulted fields and validates, producing the canonical form
+    /// whose JSON is stable for cache keying.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown experiment or invalid parameters.
+    pub fn canonicalize(mut self) -> Result<JobSpec, String> {
+        if !EXPERIMENTS.contains(&self.experiment.as_str()) {
+            return Err(format!(
+                "unknown experiment {:?} (expected one of {})",
+                self.experiment,
+                EXPERIMENTS.join(", ")
+            ));
+        }
+        let smoke = SweepParams::smoke();
+        if self.inv_lambdas.is_empty() {
+            self.inv_lambdas = smoke.inv_lambdas.clone();
+        }
+        if self.inv_lambdas.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+            return Err("inv_lambdas must be positive and finite".to_string());
+        }
+        if self.inv_lambdas.len() > 64 {
+            return Err("at most 64 sweep points per job".to_string());
+        }
+        if self.packets_per_source == 0 {
+            self.packets_per_source = smoke.packets_per_source;
+        }
+        if self.packets_per_source > 100_000 {
+            return Err("packets_per_source too large (max 100000)".to_string());
+        }
+        if self.delay_mean == 0.0 {
+            self.delay_mean = smoke.delay_mean;
+        }
+        if !self.delay_mean.is_finite() || self.delay_mean < 0.0 {
+            return Err("delay_mean must be non-negative and finite".to_string());
+        }
+        if self.capacity == 0 {
+            self.capacity = smoke.capacity;
+        }
+        if self.seed == 0 {
+            self.seed = smoke.seed;
+        }
+        Ok(self)
+    }
+
+    /// Canonical JSON of the spec (call on a canonicalized spec).
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("spec serializes")
+    }
+
+    /// The content-addressed key a result of this spec is cached under.
+    #[must_use]
+    pub fn key(&self) -> String {
+        content_digest(format!("serve|{}", self.canonical_json()).as_bytes())
+    }
+
+    /// Number of sweep points (= runtime jobs = SSE privacy slots).
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.inv_lambdas.len()
+    }
+
+    /// The core sweep parameters this spec describes.
+    #[must_use]
+    pub fn sweep_params(&self) -> SweepParams {
+        SweepParams {
+            inv_lambdas: self.inv_lambdas.clone(),
+            packets_per_source: self.packets_per_source,
+            delay_mean: self.delay_mean,
+            capacity: self.capacity,
+            report_flow: FlowId(0),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Runs a canonical spec to completion and returns the result rows as
+/// canonical JSON. When `sink` is given, the runtime streams per-point
+/// privacy blobs into it as the sweep progresses (the SSE endpoint polls
+/// the same sink); the sink's privacy interval is set from the spec.
+///
+/// # Errors
+///
+/// Returns a message when the runtime cannot be built.
+pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<String, String> {
+    let mut builder = Runtime::builder().workers(1);
+    if let Some(sink) = &sink {
+        sink.set_privacy_interval(spec.privacy_interval);
+        builder = builder.telemetry_sink(Arc::clone(sink));
+    }
+    let runtime = builder.build()?;
+    let params = spec.sweep_params();
+    let rows_json = match spec.experiment.as_str() {
+        "fig2" => serde_json::to_string(&fig2_sweep_with(&params, &runtime)),
+        "fig3" => serde_json::to_string(&fig3_sweep_with(&params, &runtime)),
+        "adversary" => serde_json::to_string(&adversary_panel_sweep_with(&params, &runtime)),
+        "victim" => serde_json::to_string(&victim_ablation_sweep_with(&params, &runtime)),
+        "delay" => serde_json::to_string(&delay_ablation_sweep_with(&params, &runtime)),
+        "mix" => serde_json::to_string(&mix_comparison_sweep_with(&params, &runtime)),
+        other => return Err(format!("unknown experiment {other:?}")),
+    };
+    rows_json.map_err(|e| format!("result serialization failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> JobSpec {
+        JobSpec {
+            experiment: "fig2".to_string(),
+            inv_lambdas: vec![4.0],
+            packets_per_source: 40,
+            delay_mean: 8.0,
+            capacity: 4,
+            seed: 7,
+            privacy_interval: 0,
+        }
+        .canonicalize()
+        .unwrap()
+    }
+
+    #[test]
+    fn minimal_body_fills_smoke_defaults() {
+        let spec = JobSpec::from_body(b"{\"experiment\":\"fig3\"}").unwrap();
+        let smoke = SweepParams::smoke();
+        assert_eq!(spec.inv_lambdas, smoke.inv_lambdas);
+        assert_eq!(spec.packets_per_source, smoke.packets_per_source);
+        assert_eq!(spec.delay_mean, smoke.delay_mean);
+        assert_eq!(spec.capacity, smoke.capacity);
+        assert_eq!(spec.seed, smoke.seed);
+        assert_eq!(spec.privacy_interval, 0);
+    }
+
+    #[test]
+    fn unknown_experiment_and_bad_params_are_rejected() {
+        assert!(JobSpec::from_body(b"{\"experiment\":\"fig9\"}")
+            .unwrap_err()
+            .contains("unknown experiment"));
+        assert!(JobSpec::from_body(b"not json").is_err());
+        assert!(
+            JobSpec::from_body(b"{\"experiment\":\"fig2\",\"inv_lambdas\":[-1.0]}")
+                .unwrap_err()
+                .contains("positive")
+        );
+    }
+
+    #[test]
+    fn key_is_stable_and_spec_sensitive() {
+        let a = tiny_spec();
+        let b = tiny_spec();
+        assert_eq!(a.key(), b.key());
+        let mut c = tiny_spec();
+        c.seed = 8;
+        assert_ne!(a.key(), c.key());
+        let mut d = tiny_spec();
+        d.experiment = "fig3".to_string();
+        assert_ne!(a.key(), d.key());
+    }
+
+    #[test]
+    fn execute_is_deterministic_byte_for_byte() {
+        let spec = tiny_spec();
+        let first = execute(&spec, None).unwrap();
+        let second = execute(&spec, None).unwrap();
+        assert_eq!(first, second, "same spec must produce identical bytes");
+        assert!(first.starts_with('['), "rows serialize as a JSON array");
+    }
+
+    #[test]
+    fn execute_streams_privacy_blobs_when_asked() {
+        let mut raw = tiny_spec();
+        raw.privacy_interval = 50;
+        let spec = raw.canonicalize().unwrap();
+        let sink = Arc::new(TelemetrySink::new());
+        execute(&spec, Some(Arc::clone(&sink))).unwrap();
+        let blobs = sink.take_all_privacy();
+        assert_eq!(blobs.len(), spec.points());
+        assert!(blobs[0].as_deref().is_some_and(|b| b.contains("series")));
+    }
+}

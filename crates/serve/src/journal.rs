@@ -1,0 +1,323 @@
+//! The serve journal: a JSONL record of every accepted and finished job.
+//!
+//! The server appends one [`ServeEvent::Submitted`] line the moment a
+//! cold job is admitted and one [`ServeEvent::Completed`] line when it
+//! finishes (or fails). Each line is serialized in full and handed to the
+//! OS in a single `write_all` + flush, so a live reader never sees a
+//! partial record; only a hard kill mid-write can tear the final line.
+//! On startup [`ServeJournal::open`] replays the file, *repairs* a torn
+//! final line by truncating it away, and reports the replayed events so
+//! the server can rebuild its queue exactly: submitted-but-not-completed
+//! jobs are re-enqueued, completed ones are answered from the cache.
+
+use serde::{Deserialize, Serialize};
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First line of a serve journal, identifying the format.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeHeader {
+    /// Format marker, always `"tempriv-serve"`.
+    pub format: String,
+    /// Journal schema version.
+    pub version: u32,
+}
+
+impl ServeHeader {
+    fn current() -> Self {
+        ServeHeader {
+            format: "tempriv-serve".to_string(),
+            version: 1,
+        }
+    }
+}
+
+/// One journaled lifecycle event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeEvent {
+    /// A cold job was admitted into the queue.
+    Submitted {
+        /// Monotonic submission sequence number (also orders resume).
+        seq: u64,
+        /// Public job id (`j<seq>`).
+        id: String,
+        /// Submitting tenant (`X-Tenant` header, default `anon`).
+        tenant: String,
+        /// Content-addressed cache key of the job spec.
+        key: String,
+        /// Canonical spec JSON, verbatim — enough to re-run the job.
+        spec_json: String,
+    },
+    /// A job left the queue with a result (or an error).
+    Completed {
+        /// Public job id this event resolves.
+        id: String,
+        /// Whether the job produced a result.
+        ok: bool,
+        /// Whether the result came from the cache without simulation.
+        cached: bool,
+        /// Wall-clock milliseconds spent on the job.
+        wall_ms: u64,
+        /// Digest of the serialized result (empty when `ok` is false).
+        outcome_digest: String,
+        /// Error message when `ok` is false.
+        error: Option<String>,
+    },
+}
+
+/// Append-only journal writer with crash-replay support.
+///
+/// Thread-safe (`&self` appends); dropping it flushes any buffered bytes
+/// so an unwinding worker still lands accepted records.
+#[derive(Debug)]
+pub struct ServeJournal {
+    file: Mutex<BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl ServeJournal {
+    /// Opens (or creates) the journal at `path`, returning the writer and
+    /// every intact event already on disk, in file order.
+    ///
+    /// A torn final line — the signature of a hard kill mid-write — is
+    /// repaired by truncating the file back to the last complete line
+    /// before reopening it for append, so the next writer never extends a
+    /// broken record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be read/created or its
+    /// header line is corrupt (a torn *event* line is repaired, a corrupt
+    /// header is fatal: the queue state would be meaningless).
+    pub fn open(path: impl Into<PathBuf>) -> Result<(Self, Vec<ServeEvent>), String> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create journal directory: {e}"))?;
+            }
+        }
+
+        let mut events = Vec::new();
+        let mut fresh = true;
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+            if !text.trim().is_empty() {
+                fresh = false;
+                let mut good_bytes = 0usize;
+                let mut lines = split_lines(&text);
+                let (header_line, header_len) = lines
+                    .next()
+                    .ok_or_else(|| format!("journal {} is empty", path.display()))?;
+                let header: ServeHeader = serde_json::from_str(header_line)
+                    .map_err(|e| format!("journal {} has a corrupt header: {e}", path.display()))?;
+                if header.format != "tempriv-serve" {
+                    return Err(format!(
+                        "journal {} has unknown format {:?}",
+                        path.display(),
+                        header.format
+                    ));
+                }
+                good_bytes += header_len;
+                for (line, len) in lines {
+                    match serde_json::from_str::<ServeEvent>(line) {
+                        Ok(event) => {
+                            events.push(event);
+                            good_bytes += len;
+                        }
+                        // Torn trailing line from a hard kill: stop here;
+                        // everything after the last good line is cut off
+                        // below so appends start on a clean boundary.
+                        Err(_) => break,
+                    }
+                }
+                if good_bytes < text.len() {
+                    let file = OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(|e| format!("cannot repair journal {}: {e}", path.display()))?;
+                    file.set_len(good_bytes as u64)
+                        .map_err(|e| format!("cannot truncate journal {}: {e}", path.display()))?;
+                }
+            }
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        let journal = ServeJournal {
+            file: Mutex::new(BufWriter::new(file)),
+            path,
+        };
+        if fresh {
+            journal
+                .write_line(&serde_json::to_string(&ServeHeader::current()).expect("header"))
+                .map_err(|e| format!("cannot write journal header: {e}"))?;
+        }
+        Ok((journal, events))
+    }
+
+    /// Appends one event and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the line cannot be written.
+    pub fn append(&self, event: &ServeEvent) -> std::io::Result<()> {
+        self.write_line(&serde_json::to_string(event).expect("event serializes"))
+    }
+
+    fn write_line(&self, line: &str) -> std::io::Result<()> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        let mut file = self.file.lock().expect("journal lock");
+        file.write_all(&bytes)?;
+        file.flush()
+    }
+
+    /// Where this journal lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ServeJournal {
+    fn drop(&mut self) {
+        // Best-effort: every append already flushes, this catches a
+        // future edit that buffers and an unwind through a worker.
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Splits `text` into `(line, byte_length_including_newline)` pairs so the
+/// repair path knows exactly how many bytes the good prefix occupies.
+fn split_lines(text: &str) -> impl Iterator<Item = (&str, usize)> {
+    let mut rest = text;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.find('\n') {
+            Some(pos) => {
+                let (line, tail) = rest.split_at(pos + 1);
+                rest = tail;
+                Some((line.trim_end_matches(['\r', '\n']), line.len()))
+            }
+            None => {
+                let line = rest;
+                rest = "";
+                Some((line, line.len()))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submitted(seq: u64) -> ServeEvent {
+        ServeEvent::Submitted {
+            seq,
+            id: format!("j{seq}"),
+            tenant: "t0".to_string(),
+            key: format!("k{seq}"),
+            spec_json: "{\"experiment\":\"fig1\"}".to_string(),
+        }
+    }
+
+    fn completed(seq: u64) -> ServeEvent {
+        ServeEvent::Completed {
+            id: format!("j{seq}"),
+            ok: true,
+            cached: false,
+            wall_ms: 3,
+            outcome_digest: "ab".to_string(),
+            error: None,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tempriv_serve_journal_{name}.jsonl"))
+    }
+
+    #[test]
+    fn events_round_trip_across_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (journal, replay) = ServeJournal::open(&path).unwrap();
+        assert!(replay.is_empty());
+        journal.append(&submitted(1)).unwrap();
+        journal.append(&completed(1)).unwrap();
+        journal.append(&submitted(2)).unwrap();
+        drop(journal);
+
+        let (_journal, replay) = ServeJournal::open(&path).unwrap();
+        assert_eq!(replay, vec![submitted(1), completed(1), submitted(2)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_repaired_and_appends_stay_clean() {
+        // The satellite fixture: a hard kill leaves a half-written event;
+        // reopening must drop it AND the next append must not produce a
+        // frankenline glued onto the torn bytes.
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = ServeJournal::open(&path).unwrap();
+        journal.append(&submitted(1)).unwrap();
+        drop(journal);
+
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"Submitted\":{\"seq\":2,\"id\":\"j2\",\"ten");
+        std::fs::write(&path, &text).unwrap();
+
+        let (journal, replay) = ServeJournal::open(&path).unwrap();
+        assert_eq!(replay, vec![submitted(1)], "torn line dropped");
+        journal.append(&submitted(3)).unwrap();
+        drop(journal);
+
+        // The file must now be three clean lines: header, j1, j3.
+        let (_journal, replay) = ServeJournal::open(&path).unwrap();
+        assert_eq!(replay, vec![submitted(1), submitted(3)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_fatal() {
+        let path = temp_path("bad_header");
+        std::fs::write(&path, "{\"format\":").unwrap();
+        assert!(ServeJournal::open(&path).unwrap_err().contains("header"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_format_is_rejected() {
+        let path = temp_path("bad_format");
+        std::fs::write(&path, "{\"format\":\"other\",\"version\":1}\n").unwrap();
+        assert!(ServeJournal::open(&path).unwrap_err().contains("format"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn completed_with_error_round_trips() {
+        let event = ServeEvent::Completed {
+            id: "j9".to_string(),
+            ok: false,
+            cached: false,
+            wall_ms: 1,
+            outcome_digest: String::new(),
+            error: Some("unknown experiment".to_string()),
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        let back: ServeEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+}
