@@ -2,7 +2,8 @@
 //! core. `--bench trace` (the default) times the flight-recorder ring on
 //! the four-flow Figure-1 sweep and writes `BENCH_trace.json`;
 //! `--bench privacy` times the streaming privacy observatory
-//! (`BENCH_privacy.json`); `--bench scale` sweeps random geometric
+//! (`BENCH_privacy.json`); `--bench span` times the engine self-profiler
+//! (`BENCH_span.json`); `--bench scale` sweeps random geometric
 //! convergecast fields at ~100/1k/10k nodes and writes `BENCH_core.json`
 //! (events/sec, peak future-event-set size, wall seconds per mode).
 //!
@@ -39,7 +40,7 @@ use tempriv_net::ids::NodeId;
 use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::TrafficModel;
 use tempriv_sim::rng::RngFactory;
-use tempriv_telemetry::{FlightRecorder, RecordingProbe};
+use tempriv_telemetry::{FlightRecorder, PhaseProfiler, RecordingProbe};
 
 /// Which instrumented mode the third timing column measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,8 @@ enum BenchKind {
     Trace,
     /// Streaming privacy observatory (`BENCH_privacy.json`).
     Privacy,
+    /// Engine self-profiler with batched timers (`BENCH_span.json`).
+    Span,
     /// Discrete-event core throughput on geometric fields (`BENCH_core.json`).
     Scale,
 }
@@ -107,6 +110,32 @@ struct PrivacyBenchReport {
     privacy_over_metrics: f64,
     /// Observatory overhead in percent: `(privacy/metrics - 1) * 100`.
     privacy_overhead_pct: f64,
+}
+
+/// The `BENCH_span.json` payload. `probes_off` is the profiler-off path
+/// — since the driver routes every run through the profiled loop with a
+/// no-op timer, its time *is* the zero-cost-when-off claim; `profiled`
+/// adds the batched [`PhaseProfiler`] on top of the metrics probe.
+#[derive(Debug, Serialize)]
+struct SpanBenchReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Inter-arrival times of the sweep points.
+    points: Vec<f64>,
+    /// Packets per source per point.
+    packets_per_source: u32,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// Per-mode timings: probes_off, metrics, profiled.
+    modes: Vec<ModeTiming>,
+    /// `metrics total / probes_off total`.
+    metrics_over_probes_off: f64,
+    /// `profiled total / probes_off total`.
+    profiled_over_probes_off: f64,
+    /// `profiled total / metrics total` — the self-profiler increment.
+    profiled_over_metrics: f64,
+    /// Self-profiler overhead in percent: `(profiled/metrics - 1) * 100`.
+    profiled_overhead_pct: f64,
 }
 
 /// One instrumentation mode's timing at one scale point.
@@ -322,6 +351,12 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
                     std::hint::black_box(sim.run_probed(&mut pair));
                     std::hint::black_box(&pair);
                 }
+                BenchKind::Span => {
+                    let mut probe = RecordingProbe::new(nodes);
+                    let mut timer = PhaseProfiler::new();
+                    std::hint::black_box(sim.run_profiled(&mut probe, &mut timer));
+                    std::hint::black_box(timer.finish());
+                }
                 BenchKind::Scale => unreachable!("scale bench has its own driver"),
             }));
         }
@@ -344,6 +379,7 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
     let third = match kind {
         BenchKind::Trace => "tracing",
         BenchKind::Privacy => "privacy",
+        BenchKind::Span => "profiled",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let [off, met, tra] = secs;
@@ -392,9 +428,12 @@ fn parse_args() -> Result<Args, String> {
                 kind = match value.as_str() {
                     "trace" => BenchKind::Trace,
                     "privacy" => BenchKind::Privacy,
+                    "span" => BenchKind::Span,
                     "scale" => BenchKind::Scale,
                     other => {
-                        return Err(format!("bad --bench `{other}`; trace, privacy, or scale"))
+                        return Err(format!(
+                            "bad --bench `{other}`; trace, privacy, span, or scale"
+                        ))
                     }
                 };
             }
@@ -449,6 +488,7 @@ fn parse_args() -> Result<Args, String> {
             .join(match kind {
                 BenchKind::Trace => "BENCH_trace.json",
                 BenchKind::Privacy => "BENCH_privacy.json",
+                BenchKind::Span => "BENCH_span.json",
                 BenchKind::Scale => "BENCH_core.json",
             })
     });
@@ -579,6 +619,24 @@ fn main() -> ExitCode {
                 report.privacy_over_probes_off,
             )
         }
+        BenchKind::Span => {
+            let report = SpanBenchReport {
+                bench: "figure1_sweep_profiler_overhead".to_string(),
+                points,
+                packets_per_source: packets,
+                repeats,
+                metrics_over_probes_off: ratio(&metrics, &probes_off),
+                profiled_over_probes_off: ratio(&third, &probes_off),
+                profiled_over_metrics: ratio(&third, &metrics),
+                profiled_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                modes: vec![probes_off, metrics, third],
+            };
+            (
+                serde_json::to_string_pretty(&report),
+                report.profiled_overhead_pct,
+                report.profiled_over_probes_off,
+            )
+        }
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let json = match json {
@@ -598,6 +656,7 @@ fn main() -> ExitCode {
     let label = match kind {
         BenchKind::Trace => "ring-buffer tracing",
         BenchKind::Privacy => "privacy observatory",
+        BenchKind::Span => "engine self-profiler",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     println!(

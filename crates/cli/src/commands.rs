@@ -14,15 +14,16 @@ use tempriv_core::experiment::{
 };
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
-use tempriv_core::telemetry::{privacy_flow_configs, TelemetryExport};
+use tempriv_core::telemetry::{privacy_flow_configs, JobSpans, JobTrace, TelemetryExport};
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_infotheory::DEFAULT_STREAMING_BINS;
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
 use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
 use tempriv_telemetry::{
-    FlightRecorder, FlowPrivacySummary, LineageOutcome, PrivacyProbe, SimProbe,
-    DEFAULT_FLIGHT_CAPACITY,
+    chrome_span_events, wrap_chrome_events, FlightRecorder, FlowPrivacySummary, LineageOutcome,
+    PhaseBreakdown, PrivacyProbe, SimProbe, SpanRecord, TraceCtx, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_PHASE_BATCH,
 };
 
 use crate::args::Args;
@@ -75,6 +76,16 @@ COMMANDS:
         [--format F]         text (default), jsonl, or chrome
                              (chrome loads in chrome://tracing / Perfetto)
         [--out PATH]         write the dump to a file instead of stdout
+    profile                  run a sweep under the engine self-profiler;
+                             print the per-phase wall-time table
+        [--experiment E]     sweep to profile (default fig2)
+        [--points 2,4,...]   inter-arrival times (default: smoke points)
+        [--packets N] [--seed N]
+        [--batch N]          switches per clock read (default 64)
+        [--json]             print the merged breakdown as JSON
+        [--out PATH]         also write the merged Chrome trace (spans +
+                             phase bands + packet residences; loads in
+                             chrome://tracing / Perfetto)
     watch [run.jsonl]        live streaming-privacy view: tail a manifest
                              journaled with --privacy-interval, or (with
                              no argument) run the paper default config
@@ -133,6 +144,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         Some("resume") => cmd_resume(args, out),
         Some("report") => cmd_report(args, out),
         Some("trace") => cmd_trace(args, out),
+        Some("profile") => cmd_profile(args, out),
         Some("watch") => cmd_watch(args, out),
         Some("cache") => cmd_cache(args, out),
         Some("serve") => crate::serve_cmd::cmd_serve(args, out),
@@ -665,6 +677,110 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+/// `tempriv profile`: run a sweep on a single-worker runtime with the
+/// span tracer and engine self-profiler on, then print the per-phase
+/// wall-time attribution merged across every scenario. The sweep's own
+/// rows are discarded — profile's stdout is the phase table (or the
+/// merged breakdown as JSON with `--json`). With `--out PATH` the full
+/// cross-layer Chrome trace (job/scenario spans, engine phase bands,
+/// and packet residences) is written alongside.
+fn cmd_profile<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let mut params = SweepParams::smoke();
+    params.inv_lambdas = args.option_list("points", params.inv_lambdas)?;
+    params.packets_per_source = args.option_as("packets", params.packets_per_source)?;
+    params.seed = args.option_as("seed", params.seed)?;
+    if params.inv_lambdas.is_empty() {
+        return Err("--points must name at least one inter-arrival time".into());
+    }
+    let experiment = args.option("experiment").unwrap_or("fig2").to_string();
+    let batch: u32 = args.option_as("batch", DEFAULT_PHASE_BATCH)?;
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+
+    let sink = Arc::new(TelemetrySink::new());
+    sink.set_span_batch(batch as usize);
+    let root = TraceCtx::root(params.seed, "profile");
+    sink.set_root_ctx(root.trace_id, root.span_id);
+    let chrome_out = args.option("out");
+    if chrome_out.is_some() {
+        // The exported timeline carries packet residences alongside the
+        // spans and phase bands.
+        sink.set_trace_capacity(1 << 14);
+    }
+    // One worker: profiling shares the core with the simulation, so a
+    // fan-out would have jobs contending for cycles and polluting the
+    // attribution.
+    let runtime = Runtime::builder()
+        .workers(1)
+        .telemetry_sink(Arc::clone(&sink))
+        .build()?;
+    let mut rows = Vec::new();
+    run_experiment(&experiment, &params, &runtime, &mut rows)?;
+
+    let mut jobs: Vec<JobSpans> = Vec::new();
+    for blob in sink.take_all_spans().iter().flatten() {
+        jobs.push(serde_json::from_str(blob).map_err(|e| format!("malformed span blob: {e}"))?);
+    }
+    let mut merged: Option<PhaseBreakdown> = None;
+    let mut scenarios = 0usize;
+    for job in &jobs {
+        for scenario in &job.profiles {
+            scenarios += 1;
+            match &mut merged {
+                Some(acc) => acc.merge(&scenario.profile),
+                None => merged = Some(scenario.profile.clone()),
+            }
+        }
+    }
+    let merged = merged.ok_or("no phase profiles recorded (empty sweep?)")?;
+
+    if args.flag("json") {
+        let json =
+            serde_json::to_string(&merged).map_err(|e| format!("serialize breakdown: {e}"))?;
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "profile {experiment}: {} jobs, {scenarios} scenarios, batch {batch}, seed {}",
+            jobs.len(),
+            params.seed
+        )
+        .map_err(io_err)?;
+        write!(out, "{}", merged.table()).map_err(io_err)?;
+    }
+
+    if let Some(path) = chrome_out {
+        let spans: Vec<SpanRecord> = jobs.iter().flat_map(|j| j.spans.clone()).collect();
+        let mut events = chrome_span_events(&spans, 0);
+        let mut phase_tid = 0u64;
+        for job in &jobs {
+            for (i, scenario) in job.profiles.iter().enumerate() {
+                // Anchor each phase band at its scenario span (index 0
+                // is the job span, scenarios follow in order).
+                let anchor = job.spans.get(i + 1).map_or(0, |s| s.start_us);
+                events.extend(scenario.profile.chrome_phase_events(
+                    &scenario.label,
+                    anchor,
+                    phase_tid,
+                ));
+                phase_tid += 1;
+            }
+        }
+        for blob in sink.take_all_traces().iter().flatten() {
+            let trace: JobTrace =
+                serde_json::from_str(blob).map_err(|e| format!("malformed trace blob: {e}"))?;
+            for scenario in &trace.scenarios {
+                events.extend(scenario.log.chrome_trace_events());
+            }
+        }
+        std::fs::write(path, wrap_chrome_events(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "[profile trace written to {path}]").map_err(io_err)?;
+    }
+    Ok(())
+}
+
 /// Renders one frame of the privacy view: delivery/drop totals plus a
 /// per-flow table of packets, empirical MI, the eq. 4 mean bound, the
 /// privacy margin, and the adversary's running MSE (`-` where the run
@@ -760,8 +876,8 @@ fn manifest_watch_frame(manifest: &ManifestReader) -> Result<String, String> {
     );
     if observed == 0 {
         s.push_str(
-            "note: no privacy blobs journaled (sweep with --telemetry, \
-             --privacy-interval N, and --manifest)\n",
+            "no privacy series recorded (run sweep with --telemetry \
+             --privacy-interval N --manifest PATH)\n",
         );
         return Ok(s);
     }
@@ -1663,7 +1779,8 @@ mod tests {
         ])
         .unwrap();
         let out = run(&["watch", plain.to_str().unwrap(), "--once"]).unwrap();
-        assert!(out.contains("no privacy blobs journaled"));
+        assert!(out.contains("no privacy series recorded"));
+        assert!(out.contains("--privacy-interval"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1675,6 +1792,88 @@ mod tests {
         assert!(err.contains("--bins must be at least 2"));
         let err = run(&["watch", "/nonexistent/run.jsonl", "--once"]).unwrap_err();
         assert!(err.contains("cannot read manifest"));
+    }
+
+    #[test]
+    fn profile_prints_phase_table_and_merged_chrome_trace() {
+        let dir = std::env::temp_dir().join("tempriv_cli_profile_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("profile.json");
+        let out = run(&[
+            "profile",
+            "--points",
+            "4",
+            "--packets",
+            "40",
+            "--seed",
+            "7",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("profile fig2: 1 jobs, 3 scenarios"), "{out}");
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("engine_loop"), "{out}");
+        assert!(out.contains("queue_push"), "{out}");
+        // The table closes with a total row at 100%.
+        let total = out
+            .lines()
+            .find(|l| l.starts_with("total"))
+            .expect("total row");
+        assert!(total.contains("100.0%"), "{total}");
+
+        // The merged Chrome trace is structurally valid and carries all
+        // three layers: spans, phase bands, and packet residences.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert!(text.contains("\"cat\":\"span\""), "span events");
+        assert!(text.contains("\"cat\":\"phase\""), "phase bands");
+        assert!(text.contains("\"cat\":\"residence\""), "flight events");
+        // One trace id end to end.
+        let ids: std::collections::BTreeSet<&str> = text
+            .split("\"trace_id\":\"")
+            .skip(1)
+            .filter_map(|rest| rest.split('"').next())
+            .collect();
+        assert_eq!(ids.len(), 1, "single trace id: {ids:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_json_is_a_parseable_breakdown_that_sums_to_total() {
+        let out = run(&[
+            "profile",
+            "--points",
+            "4",
+            "--packets",
+            "40",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .unwrap();
+        let breakdown: tempriv_telemetry::PhaseBreakdown = serde_json::from_str(&out).unwrap();
+        assert!(breakdown.total_secs > 0.0);
+        let sum: f64 = breakdown.phases.iter().map(|p| p.secs).sum();
+        assert!(
+            (sum - breakdown.total_secs).abs() < 1e-9,
+            "phases sum to total: {sum} vs {}",
+            breakdown.total_secs
+        );
+        assert!(breakdown
+            .phases
+            .iter()
+            .any(|p| p.phase == "victim_select" && p.count > 0));
+    }
+
+    #[test]
+    fn profile_rejects_bad_arguments() {
+        let err = run(&["profile", "--batch", "0"]).unwrap_err();
+        assert!(err.contains("--batch must be positive"));
+        let err = run(&["profile", "--experiment", "fig9", "--packets", "30"]).unwrap_err();
+        assert!(err.contains("unknown experiment"));
     }
 
     #[test]

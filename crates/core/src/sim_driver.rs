@@ -16,6 +16,7 @@ use tempriv_net::packet::Packet;
 use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::{TrafficModel, TrafficSampler};
 use tempriv_sim::engine::{Engine, Scheduler};
+use tempriv_sim::profile::{NoopPhaseTimer, Phase, PhaseTimer};
 use tempriv_sim::rng::{RngFactory, SimRng};
 use tempriv_sim::stats::{Histogram, OnlineStats, StateDwell};
 use tempriv_sim::time::SimTime;
@@ -421,6 +422,26 @@ impl NetworkSimulation {
     /// probe overhead.
     #[must_use]
     pub fn run_probed<P: SimProbe>(&self, probe: &mut P) -> SimOutcome {
+        self.run_profiled(probe, &mut NoopPhaseTimer)
+    }
+
+    /// Runs the simulation with a telemetry probe *and* a phase timer.
+    ///
+    /// The timer is the engine self-profiler hook: the driver calls
+    /// [`PhaseTimer::switch`] at phase boundaries (event dispatch per
+    /// event kind, future-event scheduling, RCAD victim selection, probe
+    /// clusters) and the timer attributes wall-time between switches to
+    /// phases. Like probes, timers observe and never act: they see no
+    /// scheduler and no RNGs, so the [`SimOutcome`] is byte-identical
+    /// with any timer attached. [`NoopPhaseTimer`] monomorphizes every
+    /// switch to nothing, keeping the `run`/`run_probed` hot path free
+    /// of profiling overhead.
+    #[must_use]
+    pub fn run_profiled<P: SimProbe, T: PhaseTimer>(
+        &self,
+        probe: &mut P,
+        timer: &mut T,
+    ) -> SimOutcome {
         let n_nodes = self.routing.len();
         let n_flows = self.sources.len();
         let factory = RngFactory::new(self.seed);
@@ -428,6 +449,7 @@ impl NetworkSimulation {
         let mut driver = Driver {
             sim: self,
             probe,
+            timer,
             sink: self.routing.sink(),
             capacity: self.buffer_policy.capacity(),
             strategies: (0..n_nodes)
@@ -550,9 +572,10 @@ impl NetworkSimulation {
     }
 }
 
-struct Driver<'a, P: SimProbe> {
+struct Driver<'a, P: SimProbe, T: PhaseTimer> {
     sim: &'a NetworkSimulation,
     probe: &'a mut P,
+    timer: &'a mut T,
     /// Cached per-run invariants, hoisted out of the per-event path.
     sink: NodeId,
     capacity: Option<usize>,
@@ -582,14 +605,26 @@ struct Driver<'a, P: SimProbe> {
     reading_rng: SimRng,
 }
 
-impl<P: SimProbe> Driver<'_, P> {
+impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
     #[inline]
     fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
         match ev {
-            Ev::Create { flow } => self.on_create(sched, flow),
-            Ev::Arrive { node, packet } => self.process_at(sched, node, packet),
-            Ev::Release { node, packet } => self.on_release(sched, node, packet),
+            Ev::Create { flow } => {
+                self.timer.switch(Phase::Create);
+                self.on_create(sched, flow);
+            }
+            Ev::Arrive { node, packet } => {
+                self.timer.switch(Phase::Arrive);
+                self.process_at(sched, node, packet);
+            }
+            Ev::Release { node, packet } => {
+                self.timer.switch(Phase::Release);
+                self.on_release(sched, node, packet);
+            }
         }
+        // Time between here and the next dispatch is the engine's own
+        // pop/peek/heap work.
+        self.timer.switch(Phase::EngineLoop);
     }
 
     fn on_create(&mut self, sched: &mut Scheduler<'_, Ev>, flow: FlowId) {
@@ -606,6 +641,7 @@ impl<P: SimProbe> Driver<'_, P> {
             flow,
             created_at: sched.now(),
         });
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
             PacketEvent::Created {
@@ -614,11 +650,14 @@ impl<P: SimProbe> Driver<'_, P> {
                 node: source.index(),
             },
         );
+        self.timer.switch(prev);
         if matches!(self.sim.workload, Workload::Model(_))
             && self.seq[i] < self.sim.packets_per_source
         {
             let gap = self.traffic_samplers[i].next_interarrival(&mut self.traffic_rngs[i]);
+            let prev = self.timer.switch(Phase::QueuePush);
             sched.schedule_in(gap, Ev::Create { flow });
+            self.timer.switch(prev);
         }
         self.process_at(sched, source, packet);
     }
@@ -633,6 +672,7 @@ impl<P: SimProbe> Driver<'_, P> {
         // Threshold mixes batch instead of delaying: the delay plan is
         // ignored at mix nodes.
         if let BufferPolicy::ThresholdMix { threshold } = self.sim.buffer_policy {
+            let prev = self.timer.switch(Phase::Probe);
             self.probe.on_arrival(node.index(), sched.now());
             self.probe.on_packet(
                 sched.now(),
@@ -642,6 +682,7 @@ impl<P: SimProbe> Driver<'_, P> {
                     node: node.index(),
                 },
             );
+            self.timer.switch(prev);
             self.buffers[node.index()].insert(BufferedPacket {
                 packet,
                 buffered_at: sched.now(),
@@ -650,11 +691,15 @@ impl<P: SimProbe> Driver<'_, P> {
             });
             let depth = self.buffers[node.index()].len() as u64;
             self.occupancy[node.index()].transition(sched.now(), depth);
+            let prev = self.timer.switch(Phase::Probe);
             self.probe.on_occupancy(node.index(), sched.now(), depth);
+            self.timer.switch(prev);
             if self.buffers[node.index()].len() >= threshold {
                 self.flushes[node.index()] += 1;
                 let batch = self.buffers[node.index()].len() as u64;
+                let prev = self.timer.switch(Phase::Probe);
                 self.probe.on_flush(node.index(), sched.now(), batch);
+                self.timer.switch(prev);
                 let mut scratch = std::mem::take(&mut self.mix_scratch);
                 self.buffers[node.index()].drain_all_into(&mut scratch);
                 for entry in scratch.drain(..) {
@@ -662,7 +707,9 @@ impl<P: SimProbe> Driver<'_, P> {
                 }
                 self.mix_scratch = scratch;
                 self.occupancy[node.index()].transition(sched.now(), 0);
+                let prev = self.timer.switch(Phase::Probe);
                 self.probe.on_occupancy(node.index(), sched.now(), 0);
+                self.timer.switch(prev);
             }
             return;
         }
@@ -671,7 +718,9 @@ impl<P: SimProbe> Driver<'_, P> {
             self.forward(sched, node, packet);
             return;
         }
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_arrival(node.index(), sched.now());
+        self.timer.switch(prev);
         let delay = strategy.sample(&mut self.delay_rngs[node.index()]);
         // Full buffer? Apply the policy before inserting.
         if let Some(cap) = self.capacity {
@@ -679,6 +728,7 @@ impl<P: SimProbe> Driver<'_, P> {
                 match self.sim.buffer_policy {
                     BufferPolicy::DropTail { .. } => {
                         self.drops[node.index()] += 1;
+                        let prev = self.timer.switch(Phase::Probe);
                         self.probe.on_drop(node.index(), sched.now());
                         self.probe.on_packet(
                             sched.now(),
@@ -688,9 +738,11 @@ impl<P: SimProbe> Driver<'_, P> {
                                 node: node.index(),
                             },
                         );
+                        self.timer.switch(prev);
                         return;
                     }
                     BufferPolicy::Rcad { victim, .. } => {
+                        let prev = self.timer.switch(Phase::VictimSelect);
                         let victim_id = self.buffers[node.index()]
                             .select_victim(victim, &mut self.victim_rng)
                             .expect("full buffer has a victim");
@@ -700,7 +752,9 @@ impl<P: SimProbe> Driver<'_, P> {
                         let timer = entry.timer.expect("timed entries outside mixes");
                         let cancelled = sched.cancel(timer);
                         debug_assert!(cancelled, "victim timer must be pending");
+                        self.timer.switch(prev);
                         self.preemptions[node.index()] += 1;
+                        let prev = self.timer.switch(Phase::Probe);
                         self.probe.on_preemption(node.index(), sched.now());
                         self.probe.on_packet(
                             sched.now(),
@@ -711,9 +765,12 @@ impl<P: SimProbe> Driver<'_, P> {
                                 victim_policy: victim.name(),
                             },
                         );
+                        self.timer.switch(prev);
                         let depth = self.buffers[node.index()].len() as u64;
                         self.occupancy[node.index()].transition(sched.now(), depth);
+                        let prev = self.timer.switch(Phase::Probe);
                         self.probe.on_occupancy(node.index(), sched.now(), depth);
+                        self.timer.switch(prev);
                         // "Transmit it immediately rather than drop packets."
                         self.forward(sched, node, entry.packet);
                     }
@@ -722,6 +779,7 @@ impl<P: SimProbe> Driver<'_, P> {
             }
         }
         let release_at = sched.now() + delay;
+        let prev = self.timer.switch(Phase::QueuePush);
         let timer = sched.schedule_in(
             delay,
             Ev::Release {
@@ -729,6 +787,8 @@ impl<P: SimProbe> Driver<'_, P> {
                 packet: packet.id,
             },
         );
+        self.timer.switch(prev);
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
             PacketEvent::Enqueued {
@@ -737,6 +797,7 @@ impl<P: SimProbe> Driver<'_, P> {
                 node: node.index(),
             },
         );
+        self.timer.switch(prev);
         self.buffers[node.index()].insert(BufferedPacket {
             packet,
             buffered_at: sched.now(),
@@ -745,7 +806,9 @@ impl<P: SimProbe> Driver<'_, P> {
         });
         let depth = self.buffers[node.index()].len() as u64;
         self.occupancy[node.index()].transition(sched.now(), depth);
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_occupancy(node.index(), sched.now(), depth);
+        self.timer.switch(prev);
     }
 
     #[inline]
@@ -755,12 +818,15 @@ impl<P: SimProbe> Driver<'_, P> {
             .expect("release timers fire only for buffered packets");
         let depth = self.buffers[node.index()].len() as u64;
         self.occupancy[node.index()].transition(sched.now(), depth);
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_occupancy(node.index(), sched.now(), depth);
+        self.timer.switch(prev);
         self.forward(sched, node, entry.packet);
     }
 
     #[inline]
     fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, mut packet: Packet) {
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
             PacketEvent::Departed {
@@ -769,6 +835,7 @@ impl<P: SimProbe> Driver<'_, P> {
                 node: node.index(),
             },
         );
+        self.timer.switch(prev);
         packet.record_hop(node);
         let next = self
             .sim
@@ -779,7 +846,9 @@ impl<P: SimProbe> Driver<'_, P> {
         match self.sim.link.transmit(&mut self.link_rng) {
             Some(delay) => {
                 self.rx_count[next.index()] += 1;
+                let prev = self.timer.switch(Phase::QueuePush);
                 sched.schedule_in(delay, Ev::Arrive { node: next, packet });
+                self.timer.switch(prev);
             }
             None => self.link_losses += 1,
         }
@@ -793,6 +862,7 @@ impl<P: SimProbe> Driver<'_, P> {
         self.latency[flow.index()].record(latency);
         self.latency_hist[flow.index()].record(latency);
         self.delivered[flow.index()] += 1;
+        let prev = self.timer.switch(Phase::Probe);
         self.probe.on_delivery(flow.index(), now, latency);
         self.probe.on_packet(
             now,
@@ -802,6 +872,7 @@ impl<P: SimProbe> Driver<'_, P> {
                 node: self.sim.routing.sink().index(),
             },
         );
+        self.timer.switch(prev);
         self.observations.push(Observation {
             arrival: now,
             origin: packet.header().origin,
@@ -965,6 +1036,35 @@ mod tests {
         let a = build().run();
         let b = build().run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiler_is_invisible_to_the_simulation() {
+        // The phase timer must not perturb the run: identical outcome,
+        // identical RNG draw counts, yet a non-trivial phase breakdown.
+        let build = || {
+            let layout = Convergecast::paper_figure1();
+            NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+                .traffic(TrafficModel::periodic(2.0))
+                .packets_per_source(150)
+                .seed(7)
+                .build()
+                .unwrap()
+        };
+        let plain = build().run();
+        let mut profiler = tempriv_telemetry::PhaseProfiler::with_batch(8);
+        let profiled = build().run_profiled(&mut NullProbe, &mut profiler);
+        assert_eq!(plain, profiled);
+        assert_eq!(plain.rng_draws, profiled.rng_draws);
+        let breakdown = profiler.finish();
+        assert!(breakdown.total_secs >= 0.0);
+        let dispatched: u64 = breakdown
+            .phases
+            .iter()
+            .filter(|p| p.phase != "engine_loop")
+            .map(|p| p.count)
+            .sum();
+        assert!(dispatched > 0, "switch sites must have fired");
     }
 
     #[test]

@@ -37,9 +37,9 @@ use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
 use tempriv_runtime::{Runtime, TelemetrySink};
 use tempriv_telemetry::{
-    BtqParams, FlightLog, FlightRecorder, FlowPrivacyConfig, MetricsRegistry, PrivacyProbe,
-    PrivacySeries, RecordingProbe, SimTelemetry, SpanSet, TelemetrySnapshot, TheoryCheck,
-    TheoryReport, TheoryTolerance,
+    BtqParams, FlightLog, FlightRecorder, FlowAoi, FlowPrivacyConfig, MetricsRegistry,
+    PhaseBreakdown, PhaseProfiler, PrivacyProbe, PrivacySeries, RecordingProbe, SimTelemetry,
+    SpanRecord, SpanSet, TelemetrySnapshot, TheoryCheck, TheoryReport, TheoryTolerance, TraceCtx,
 };
 
 use crate::buffer::BufferPolicy;
@@ -313,6 +313,11 @@ pub struct ScenarioTelemetry {
     pub sim: SimTelemetry,
     /// Queueing-theory cross-checks for this scenario.
     pub theory: TheoryReport,
+    /// Per-flow Age-of-Information summary, derived from the flight
+    /// recording's creation→arrival spans. Empty when flight recording
+    /// was off (and in blobs written before AoI existed).
+    #[serde(default)]
+    pub aoi: Vec<FlowAoi>,
 }
 
 /// Everything one job attaches to its manifest record when telemetry is
@@ -380,6 +385,29 @@ pub struct JobPrivacy {
     pub scenarios: Vec<ScenarioPrivacy>,
 }
 
+/// One scenario's engine phase breakdown within a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioProfile {
+    /// Scenario label within the job (matches the telemetry label).
+    pub label: String,
+    /// Wall-time attribution across the engine's kernel phases.
+    pub profile: PhaseBreakdown,
+}
+
+/// Everything one job attaches as its manifest *spans* blob when
+/// cross-layer span tracing is on: wall-clock spans carrying the
+/// request's trace id down to each simulated scenario, plus one engine
+/// phase breakdown per scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobSpans {
+    /// The job span followed by one span per scenario, all sharing the
+    /// run's trace id. Timestamps are microseconds since the owning
+    /// sink's epoch.
+    pub spans: Vec<SpanRecord>,
+    /// One phase breakdown per profiled scenario, in execution order.
+    pub profiles: Vec<ScenarioProfile>,
+}
+
 /// Runs a job's simulations, recording telemetry when the runtime has a
 /// [`TelemetrySink`] and running the plain, probe-free path otherwise.
 ///
@@ -394,10 +422,18 @@ pub struct JobTelemetryCollector<'a> {
     sink: Option<(&'a TelemetrySink, usize)>,
     trace_capacity: usize,
     privacy_interval: usize,
+    span_batch: usize,
+    epoch: std::time::Instant,
+    job_ctx: TraceCtx,
+    /// Parent span id for the job span: the serve/CLI root span when the
+    /// sink carries one, 0 (trace root) otherwise.
+    job_parent: u64,
+    job_started: std::time::Instant,
     tolerance: TheoryTolerance,
     job: JobTelemetry,
     trace: JobTrace,
     privacy: JobPrivacy,
+    spans: JobSpans,
 }
 
 impl<'a> JobTelemetryCollector<'a> {
@@ -410,14 +446,31 @@ impl<'a> JobTelemetryCollector<'a> {
     #[must_use]
     pub fn for_job(runtime: &'a Runtime, index: usize) -> Self {
         let sink = runtime.telemetry_sink();
+        // The job's trace context is a deterministic child of the run's
+        // root context: the serve layer mints a root per HTTP request and
+        // plants it on the sink; standalone runs fall back to a fixed
+        // root so exported traces still carry consistent ids.
+        let root = sink.and_then(TelemetrySink::root_ctx).map_or_else(
+            || TraceCtx::root(0, "run"),
+            |(trace_id, span_id)| TraceCtx { trace_id, span_id },
+        );
+        let job_parent = sink
+            .and_then(TelemetrySink::root_ctx)
+            .map_or(0, |(_, span_id)| span_id);
         JobTelemetryCollector {
             sink: sink.map(|sink| (sink, index)),
             trace_capacity: sink.map_or(0, TelemetrySink::trace_capacity),
             privacy_interval: sink.map_or(0, TelemetrySink::privacy_interval),
+            span_batch: sink.map_or(0, TelemetrySink::span_batch),
+            epoch: sink.map_or_else(std::time::Instant::now, TelemetrySink::epoch),
+            job_ctx: root.child(index as u64),
+            job_parent,
+            job_started: std::time::Instant::now(),
             tolerance: TheoryTolerance::default(),
             job: JobTelemetry::default(),
             trace: JobTrace::default(),
             privacy: JobPrivacy::default(),
+            spans: JobSpans::default(),
         }
     }
 
@@ -442,11 +495,20 @@ impl<'a> JobTelemetryCollector<'a> {
             (self.trace_capacity > 0).then(|| FlightRecorder::with_capacity(self.trace_capacity));
         let mut privacy = (self.privacy_interval > 0)
             .then(|| privacy_probe_for(sim, self.privacy_interval as u64));
-        let outcome = match (flight.as_mut(), privacy.as_mut()) {
-            (Some(f), Some(p)) => sim.run_probed(&mut ((&mut probe, f), p)),
-            (Some(f), None) => sim.run_probed(&mut (&mut probe, f)),
-            (None, Some(p)) => sim.run_probed(&mut (&mut probe, p)),
-            (None, None) => sim.run_probed(&mut probe),
+        let mut profiler = (self.span_batch > 0)
+            .then(|| PhaseProfiler::with_batch(u32::try_from(self.span_batch).unwrap_or(u32::MAX)));
+        // Optional instrumentation composes through monomorphized pair
+        // probes and a statically dispatched timer, so every disabled
+        // half costs nothing on the event path.
+        let outcome = match (flight.as_mut(), privacy.as_mut(), profiler.as_mut()) {
+            (Some(f), Some(p), Some(t)) => sim.run_profiled(&mut ((&mut probe, f), p), t),
+            (Some(f), None, Some(t)) => sim.run_profiled(&mut (&mut probe, f), t),
+            (None, Some(p), Some(t)) => sim.run_profiled(&mut (&mut probe, p), t),
+            (None, None, Some(t)) => sim.run_profiled(&mut probe, t),
+            (Some(f), Some(p), None) => sim.run_probed(&mut ((&mut probe, f), p)),
+            (Some(f), None, None) => sim.run_probed(&mut (&mut probe, f)),
+            (None, Some(p), None) => sim.run_probed(&mut (&mut probe, p)),
+            (None, None, None) => sim.run_probed(&mut probe),
         };
         let flight_log = flight.map(|f| f.finish(outcome.end_time));
         let privacy_series = privacy.map(|p| p.finish(outcome.end_time));
@@ -460,10 +522,37 @@ impl<'a> JobTelemetryCollector<'a> {
         self.job
             .spans
             .record(label, started.elapsed().as_secs_f64());
+        if let Some(profiler) = profiler {
+            // Scenario children hang off the job span; index 0 is
+            // reserved for the job itself, so scenarios start at 1.
+            let scenario_ctx = self.job_ctx.child(self.spans.profiles.len() as u64 + 1);
+            #[allow(clippy::cast_possible_truncation)]
+            let start_us = started.saturating_duration_since(self.epoch).as_micros() as u64;
+            #[allow(clippy::cast_possible_truncation)]
+            let dur_us = started.elapsed().as_micros() as u64;
+            self.spans.spans.push(SpanRecord {
+                trace_id: scenario_ctx.trace_id,
+                span_id: scenario_ctx.span_id,
+                parent_id: self.job_ctx.span_id,
+                name: label.to_string(),
+                layer: "scenario".to_string(),
+                start_us,
+                dur_us,
+            });
+            self.spans.profiles.push(ScenarioProfile {
+                label: label.to_string(),
+                profile: profiler.finish(),
+            });
+        }
+        let aoi = flight_log
+            .as_ref()
+            .map(FlightLog::aoi_by_flow)
+            .unwrap_or_default();
         self.job.scenarios.push(ScenarioTelemetry {
             label: label.to_string(),
             sim: telemetry,
             theory,
+            aoi,
         });
         if let Some(log) = flight_log {
             self.trace.scenarios.push(ScenarioTrace {
@@ -483,7 +572,7 @@ impl<'a> JobTelemetryCollector<'a> {
     /// Serializes the collected telemetry (and, when flight recording or
     /// the privacy observatory was on, those blobs too) and attaches them
     /// to the job's sink slots. No-op when collection is inactive.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         if let Some((sink, index)) = self.sink {
             let json = serde_json::to_string(&self.job).expect("job telemetry serializes");
             sink.attach(index, json);
@@ -494,6 +583,31 @@ impl<'a> JobTelemetryCollector<'a> {
             if !self.privacy.scenarios.is_empty() {
                 let json = serde_json::to_string(&self.privacy).expect("job privacy serializes");
                 sink.attach_privacy(index, json);
+            }
+            if self.span_batch > 0 {
+                #[allow(clippy::cast_possible_truncation)]
+                let start_us = self
+                    .job_started
+                    .saturating_duration_since(self.epoch)
+                    .as_micros() as u64;
+                #[allow(clippy::cast_possible_truncation)]
+                let dur_us = self.job_started.elapsed().as_micros() as u64;
+                // The job span leads the blob so readers see parents
+                // before children.
+                self.spans.spans.insert(
+                    0,
+                    SpanRecord {
+                        trace_id: self.job_ctx.trace_id,
+                        span_id: self.job_ctx.span_id,
+                        parent_id: self.job_parent,
+                        name: format!("job {index}"),
+                        layer: "job".to_string(),
+                        start_us,
+                        dur_us,
+                    },
+                );
+                let json = serde_json::to_string(&self.spans).expect("job spans serialize");
+                sink.attach_spans(index, json);
             }
         }
     }
@@ -766,6 +880,47 @@ impl TelemetryExport {
             }
         }
 
+        // Per-flow Age-of-Information gauges from the flight recorder's
+        // creation→arrival spans: mean AoI averages over traced
+        // scenarios, peak AoI takes the max (it is a worst case).
+        let n_aoi_flows = job_telemetry
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .flat_map(|s| &s.aoi)
+            .map(|a| a.flow + 1)
+            .max()
+            .unwrap_or(0);
+        let mut aoi_mean_sum = vec![0.0f64; n_aoi_flows];
+        let mut aoi_count = vec![0u64; n_aoi_flows];
+        let mut aoi_peak = vec![0.0f64; n_aoi_flows];
+        for aoi in job_telemetry
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .flat_map(|s| &s.aoi)
+        {
+            aoi_mean_sum[aoi.flow] += aoi.mean;
+            aoi_count[aoi.flow] += 1;
+            aoi_peak[aoi.flow] = aoi_peak[aoi.flow].max(aoi.peak);
+        }
+        for i in 0..n_aoi_flows {
+            if aoi_count[i] == 0 {
+                continue;
+            }
+            let g = registry.gauge(
+                format!("tempriv_aoi_mean{{flow=\"{i}\"}}"),
+                "Time-averaged Age of Information at the sink (time units), averaged over traced scenarios",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, aoi_mean_sum[i] / aoi_count[i] as f64);
+            let g = registry.gauge(
+                format!("tempriv_aoi_peak{{flow=\"{i}\"}}"),
+                "Peak Age of Information at the sink (time units), max across traced scenarios",
+            );
+            registry.set(g, aoi_peak[i]);
+        }
+
         Ok(TelemetryExport {
             experiment: experiment.to_string(),
             jobs: blobs.len(),
@@ -926,6 +1081,7 @@ mod tests {
                 label: "rcad".to_string(),
                 sim: telemetry,
                 theory,
+                aoi: Vec::new(),
             }],
             spans,
         };
@@ -1136,6 +1292,109 @@ mod tests {
             .any(|g| g.name.starts_with("tempriv_privacy_mi_nats{flow=")));
         let back: TelemetryExport = serde_json::from_str(&export.to_canonical_json()).unwrap();
         assert_eq!(back, export);
+    }
+
+    #[test]
+    fn collector_attaches_spans_and_profiles_when_batch_is_set() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_span_batch(16);
+        sink.set_root_ctx(0xdead_beef, 0x1234_5678);
+        sink.reset(1);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        let outcome = collector.run(&sim, "rcad");
+        collector.finish();
+        // The profiler observes without perturbing the outcome or the
+        // RNG draw count.
+        let plain = sim.run();
+        assert_eq!(outcome, plain);
+        assert_eq!(outcome.rng_draws, plain.rng_draws);
+        assert_eq!(
+            serde_json::to_string(&outcome).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "profiled outcome serializes byte-identically"
+        );
+        let blob = sink.get_spans(0).expect("spans attached");
+        let spans: JobSpans = serde_json::from_str(&blob).unwrap();
+        // Job span first, then one scenario span, all on one trace.
+        assert_eq!(spans.spans.len(), 2);
+        assert_eq!(spans.spans[0].layer, "job");
+        assert_eq!(spans.spans[1].layer, "scenario");
+        assert_eq!(spans.spans[1].name, "rcad");
+        assert!(spans.spans.iter().all(|s| s.trace_id != 0));
+        assert_eq!(spans.spans[0].trace_id, spans.spans[1].trace_id);
+        assert_eq!(spans.spans[1].parent_id, spans.spans[0].span_id);
+        assert_eq!(
+            spans.spans[0].parent_id, 0x1234_5678,
+            "serve root is the parent"
+        );
+        // One phase breakdown whose phases sum to its total.
+        assert_eq!(spans.profiles.len(), 1);
+        let profile = &spans.profiles[0].profile;
+        assert_eq!(profile.batch, 16);
+        let sum: f64 = profile.phases.iter().map(|p| p.secs).sum();
+        assert!((sum - profile.total_secs).abs() < 1e-9);
+        assert!(profile
+            .phases
+            .iter()
+            .any(|p| p.phase == "victim_select" && p.count > 0));
+    }
+
+    #[test]
+    fn job_ctx_is_deterministic_per_index() {
+        // Two collectors for the same job index derive the same trace
+        // context; different indices diverge.
+        let runtime = Runtime::new(tempriv_runtime::WorkerPool::with_workers(1));
+        let a = JobTelemetryCollector::for_job(&runtime, 3);
+        let b = JobTelemetryCollector::for_job(&runtime, 3);
+        let c = JobTelemetryCollector::for_job(&runtime, 4);
+        assert_eq!(a.job_ctx, b.job_ctx);
+        assert_ne!(a.job_ctx.span_id, c.job_ctx.span_id);
+        assert_eq!(a.job_ctx.trace_id, c.job_ctx.trace_id);
+    }
+
+    #[test]
+    fn aoi_rides_the_flight_recording_into_gauges() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_trace_capacity(1 << 16);
+        sink.reset(1);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let sim = paper_sim(BufferPolicy::Unlimited, TrafficModel::poisson(0.5));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        let _ = collector.run(&sim, "unlimited");
+        collector.finish();
+        let blob = sink.get(0).unwrap();
+        let job: JobTelemetry = serde_json::from_str(&blob).unwrap();
+        let aoi = &job.scenarios[0].aoi;
+        assert!(!aoi.is_empty(), "flight recording yields AoI per flow");
+        for flow in aoi {
+            assert!(flow.deliveries > 0);
+            assert!(flow.mean > 0.0);
+            assert!(flow.peak >= flow.mean);
+        }
+        // The blob aggregates into per-flow AoI gauges through collect().
+        let export = TelemetryExport::collect("fig2", &[Some(blob)], &[]).unwrap();
+        assert!(export
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_aoi_mean{flow=")));
+        assert!(export
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name.starts_with("tempriv_aoi_peak{flow=")));
     }
 
     #[test]

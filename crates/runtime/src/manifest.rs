@@ -68,6 +68,12 @@ pub struct JobRecord {
     /// before the observatory existed.
     #[serde(default)]
     pub privacy: Option<String>,
+    /// Per-job cross-layer span/profile blob (JSON), attached only when
+    /// the run traced spans and the job was actually computed. `None`
+    /// for cache-served jobs and for manifests written before span
+    /// tracing existed.
+    #[serde(default)]
+    pub spans: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -212,6 +218,7 @@ mod tests {
             telemetry: None,
             trace: None,
             privacy: None,
+            spans: None,
         }
     }
 
@@ -225,7 +232,17 @@ mod tests {
         assert_eq!(old.telemetry, None);
         assert_eq!(old.trace, None);
         assert_eq!(old.privacy, None);
+        assert_eq!(old.spans, None);
         assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn spans_blob_round_trips() {
+        let mut r = record(3);
+        r.spans = Some("{\"spans\":[],\"profiles\":[]}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

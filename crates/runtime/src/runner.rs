@@ -264,15 +264,20 @@ impl Runtime {
         json: &str,
     ) {
         // Cached jobs did no instrumented work, so they carry no blobs.
-        let (telemetry, trace, privacy) = match status {
-            JobStatus::Computed => self.telemetry.as_ref().map_or((None, None, None), |sink| {
-                (
-                    sink.get(index),
-                    sink.get_trace(index),
-                    sink.get_privacy(index),
-                )
-            }),
-            JobStatus::Cached => (None, None, None),
+        let (telemetry, trace, privacy, spans) = match status {
+            JobStatus::Computed => {
+                self.telemetry
+                    .as_ref()
+                    .map_or((None, None, None, None), |sink| {
+                        (
+                            sink.get(index),
+                            sink.get_trace(index),
+                            sink.get_privacy(index),
+                            sink.get_spans(index),
+                        )
+                    })
+            }
+            JobStatus::Cached => (None, None, None, None),
         };
         let record = JobRecord {
             index,
@@ -283,6 +288,7 @@ impl Runtime {
             telemetry,
             trace,
             privacy,
+            spans,
         };
         if let Err(e) = writer.record(&record) {
             eprintln!(

@@ -10,33 +10,65 @@
 //! The sink never participates in cache keys or result digests, so
 //! enabling telemetry cannot change experiment outputs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A slot-per-job mailbox for telemetry blobs, shared between the
 /// runtime and job closures.
 ///
 /// Thread-safe: jobs run on pool workers, each writing only its own
-/// slot. Next to the telemetry slots the sink keeps two parallel blob
+/// slot. Next to the telemetry slots the sink keeps three parallel blob
 /// families: *trace* slots for flight-recorder blobs (with the ring
 /// capacity the run's recorders should use,
-/// [`TelemetrySink::trace_capacity`], 0 = tracing off) and *privacy*
+/// [`TelemetrySink::trace_capacity`], 0 = tracing off), *privacy*
 /// slots for streaming privacy-observatory series (with the snapshot
-/// interval [`TelemetrySink::privacy_interval`], 0 = observatory off).
-#[derive(Debug, Default)]
+/// interval [`TelemetrySink::privacy_interval`], 0 = observatory off),
+/// and *span* slots for cross-layer span/profile blobs (with the phase
+/// switch batch [`TelemetrySink::span_batch`], 0 = span tracing off).
+///
+/// For span tracing the sink also carries a root trace context — two
+/// raw ids set by the layer that minted the trace (e.g. the HTTP
+/// server) — and an epoch instant fixed at construction, which job
+/// spans use as their time zero. Both survive [`TelemetrySink::reset`]
+/// so per-run reslotting cannot race a caller that configured the trace
+/// before submitting work.
+#[derive(Debug)]
 pub struct TelemetrySink {
     slots: Mutex<Vec<Option<String>>>,
     trace_slots: Mutex<Vec<Option<String>>>,
     trace_capacity: AtomicUsize,
     privacy_slots: Mutex<Vec<Option<String>>>,
     privacy_interval: AtomicUsize,
+    span_slots: Mutex<Vec<Option<String>>>,
+    span_batch: AtomicUsize,
+    root_trace_id: AtomicU64,
+    root_span_id: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for TelemetrySink {
+    fn default() -> Self {
+        TelemetrySink::new()
+    }
 }
 
 impl TelemetrySink {
     /// An empty sink; [`TelemetrySink::reset`] sizes it per run.
     #[must_use]
     pub fn new() -> Self {
-        TelemetrySink::default()
+        TelemetrySink {
+            slots: Mutex::new(Vec::new()),
+            trace_slots: Mutex::new(Vec::new()),
+            trace_capacity: AtomicUsize::new(0),
+            privacy_slots: Mutex::new(Vec::new()),
+            privacy_interval: AtomicUsize::new(0),
+            span_slots: Mutex::new(Vec::new()),
+            span_batch: AtomicUsize::new(0),
+            root_trace_id: AtomicU64::new(0),
+            root_span_id: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
     }
 
     /// Clears the sink and resizes it to `jobs` empty slots. Called by
@@ -53,6 +85,10 @@ impl TelemetrySink {
         let mut privacy = self.privacy_slots.lock().expect("privacy sink lock");
         privacy.clear();
         privacy.resize(jobs, None);
+        drop(privacy);
+        let mut spans = self.span_slots.lock().expect("span sink lock");
+        spans.clear();
+        spans.resize(jobs, None);
     }
 
     /// Sets the flight-recorder ring capacity jobs should trace with.
@@ -160,6 +196,66 @@ impl TelemetrySink {
         let mut privacy = self.privacy_slots.lock().expect("privacy sink lock");
         std::mem::take(&mut *privacy)
     }
+
+    /// Sets the phase-switch batch span-tracing jobs should profile
+    /// with. Zero (the default) disables span tracing and profiling.
+    pub fn set_span_batch(&self, batch: usize) {
+        self.span_batch.store(batch, Ordering::Relaxed);
+    }
+
+    /// The phase-switch batch for this run (0 = span tracing off).
+    #[must_use]
+    pub fn span_batch(&self) -> usize {
+        self.span_batch.load(Ordering::Relaxed)
+    }
+
+    /// Sets the root trace context (raw trace id + root span id) for
+    /// this sink's spans. Survives [`TelemetrySink::reset`]; a zero
+    /// trace id means "no root context".
+    pub fn set_root_ctx(&self, trace_id: u64, span_id: u64) {
+        self.root_trace_id.store(trace_id, Ordering::Relaxed);
+        self.root_span_id.store(span_id, Ordering::Relaxed);
+    }
+
+    /// The root `(trace id, span id)` pair, if one was set.
+    #[must_use]
+    pub fn root_ctx(&self) -> Option<(u64, u64)> {
+        let trace_id = self.root_trace_id.load(Ordering::Relaxed);
+        if trace_id == 0 {
+            return None;
+        }
+        Some((trace_id, self.root_span_id.load(Ordering::Relaxed)))
+    }
+
+    /// The instant job spans measure from (fixed at construction, so
+    /// every job attached to this sink shares one time zero).
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Attaches job `index`'s span/profile blob (JSON). Like
+    /// [`TelemetrySink::attach`], silently ignored when out of range.
+    pub fn attach_spans(&self, index: usize, json: impl Into<String>) {
+        let mut spans = self.span_slots.lock().expect("span sink lock");
+        if let Some(slot) = spans.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s span blob, if one was attached.
+    #[must_use]
+    pub fn get_spans(&self, index: usize) -> Option<String> {
+        let spans = self.span_slots.lock().expect("span sink lock");
+        spans.get(index).and_then(Clone::clone)
+    }
+
+    /// All span blobs in job order, draining the span slots.
+    #[must_use]
+    pub fn take_all_spans(&self) -> Vec<Option<String>> {
+        let mut spans = self.span_slots.lock().expect("span sink lock");
+        std::mem::take(&mut *spans)
+    }
 }
 
 #[cfg(test)]
@@ -244,5 +340,39 @@ mod tests {
         assert_eq!(sink.privacy_interval(), 0);
         sink.set_privacy_interval(100);
         assert_eq!(sink.privacy_interval(), 100);
+    }
+
+    #[test]
+    fn span_slots_mirror_telemetry_slots() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach_spans(1, "{\"spans\":[]}");
+        assert_eq!(sink.get_spans(0), None);
+        assert_eq!(sink.get_spans(1).as_deref(), Some("{\"spans\":[]}"));
+        sink.attach_spans(7, "{}"); // out of range: ignored
+        let all = sink.take_all_spans();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].as_deref(), Some("{\"spans\":[]}"));
+        sink.reset(1);
+        assert_eq!(sink.get_spans(1), None, "reset clears span slots");
+    }
+
+    #[test]
+    fn span_batch_defaults_to_off() {
+        let sink = TelemetrySink::new();
+        assert_eq!(sink.span_batch(), 0);
+        sink.set_span_batch(64);
+        assert_eq!(sink.span_batch(), 64);
+    }
+
+    #[test]
+    fn root_ctx_survives_reset() {
+        let sink = TelemetrySink::new();
+        assert_eq!(sink.root_ctx(), None);
+        sink.set_root_ctx(0xabc, 0xdef);
+        sink.reset(3);
+        assert_eq!(sink.root_ctx(), Some((0xabc, 0xdef)));
+        let early = sink.epoch();
+        assert!(sink.epoch() == early, "epoch is fixed at construction");
     }
 }

@@ -47,6 +47,13 @@ pub struct JobSpec {
     /// observatory (and the job's SSE stream ends immediately).
     #[serde(default)]
     pub privacy_interval: usize,
+    /// Enables cross-layer span tracing and the engine self-profiler:
+    /// the job records wall-clock spans carrying the request's trace id
+    /// plus per-scenario phase breakdowns, exposed at
+    /// `GET /v1/jobs/:id/trace`. Part of the canonical spec, so traced
+    /// and untraced submissions cache independently.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 impl JobSpec {
@@ -152,6 +159,14 @@ pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<Strin
     let mut builder = Runtime::builder().workers(1);
     if let Some(sink) = &sink {
         sink.set_privacy_interval(spec.privacy_interval);
+        if spec.trace {
+            sink.set_span_batch(tempriv_telemetry::DEFAULT_PHASE_BATCH as usize);
+            // Tracing implies a flight recording so the exported timeline
+            // carries packet residences alongside the spans.
+            if sink.trace_capacity() == 0 {
+                sink.set_trace_capacity(1 << 14);
+            }
+        }
         builder = builder.telemetry_sink(Arc::clone(sink));
     }
     let runtime = builder.build()?;
@@ -181,6 +196,7 @@ mod tests {
             capacity: 4,
             seed: 7,
             privacy_interval: 0,
+            trace: false,
         }
         .canonicalize()
         .unwrap()
@@ -231,6 +247,38 @@ mod tests {
         let second = execute(&spec, None).unwrap();
         assert_eq!(first, second, "same spec must produce identical bytes");
         assert!(first.starts_with('['), "rows serialize as a JSON array");
+    }
+
+    #[test]
+    fn trace_flag_changes_the_cache_key() {
+        let plain = tiny_spec();
+        let mut traced = tiny_spec();
+        traced.trace = true;
+        assert_ne!(plain.key(), traced.key());
+        // Wire form without the field still parses (defaults to off).
+        let spec = JobSpec::from_body(b"{\"experiment\":\"fig2\"}").unwrap();
+        assert!(!spec.trace);
+    }
+
+    #[test]
+    fn execute_attaches_spans_when_traced() {
+        use tempriv_core::telemetry::JobSpans;
+        let mut raw = tiny_spec();
+        raw.trace = true;
+        let spec = raw.canonicalize().unwrap();
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_root_ctx(0xabcd, 0xef01);
+        execute(&spec, Some(Arc::clone(&sink))).unwrap();
+        let blobs = sink.take_all_spans();
+        assert_eq!(blobs.len(), spec.points());
+        let spans: JobSpans = serde_json::from_str(blobs[0].as_deref().unwrap()).unwrap();
+        assert!(!spans.spans.is_empty());
+        assert!(!spans.profiles.is_empty());
+        // Every span hangs off the request's root trace id.
+        let trace_id = spans.spans[0].trace_id;
+        assert!(spans.spans.iter().all(|s| s.trace_id == trace_id));
+        // Tracing implies flight recording.
+        assert!(sink.get_trace(0).is_some());
     }
 
     #[test]

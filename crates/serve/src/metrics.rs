@@ -23,6 +23,7 @@ pub struct ServeMetrics {
     cache_hit_rate: GaugeId,
     request_latency: HistogramId,
     job_wall: HistogramId,
+    queue_wait: HistogramId,
     admitted: HashMap<String, CounterId>,
     rejected: HashMap<String, CounterId>,
 }
@@ -73,6 +74,13 @@ impl ServeMetrics {
             20_000.0,
             200,
         );
+        let queue_wait = registry.histogram(
+            "tempriv_serve_queue_wait_ms",
+            "cold-job queue wait in milliseconds: admission accept to worker pickup",
+            0.0,
+            10_000.0,
+            100,
+        );
         ServeMetrics {
             registry,
             requests_total,
@@ -85,9 +93,16 @@ impl ServeMetrics {
             cache_hit_rate,
             request_latency,
             job_wall,
+            queue_wait,
             admitted: HashMap::new(),
             rejected: HashMap::new(),
         }
+    }
+
+    /// Records one cold job's queue wait (admission accept to worker
+    /// pickup).
+    pub fn observe_queue_wait(&mut self, wait_ms: f64) {
+        self.registry.observe(self.queue_wait, wait_ms);
     }
 
     /// Counts one handled request and its latency.
@@ -218,10 +233,12 @@ mod tests {
         m.job_finished(true, 40.0);
         m.job_finished(false, 10.0);
         m.set_load(3, 1);
+        m.observe_queue_wait(120.0);
         let text = m.to_prometheus();
         assert!(text.contains("tempriv_serve_requests_total 1"));
         assert!(text.contains("tempriv_serve_jobs_completed_total 1"));
         assert!(text.contains("tempriv_serve_jobs_failed_total 1"));
         assert!(text.contains("tempriv_serve_queue_depth 3"));
+        assert!(text.contains("tempriv_serve_queue_wait_ms_count 1"));
     }
 }

@@ -28,7 +28,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use tempriv_core::telemetry::{JobSpans, JobTrace};
 use tempriv_runtime::{content_digest, ResultCache, TelemetrySink};
+use tempriv_telemetry::{chrome_span_events, wrap_chrome_events, SpanRecord, TraceCtx};
 
 /// Server configuration (the `tempriv serve` flags).
 #[derive(Debug, Clone)]
@@ -90,9 +92,19 @@ struct JobEntry {
     key: String,
     spec: JobSpec,
     state: JobState,
-    /// Live privacy sink while (and after) the job runs with a non-zero
-    /// privacy interval; the SSE endpoint polls it.
+    /// Live telemetry sink while (and after) the job runs with a privacy
+    /// interval or span tracing; the SSE endpoint polls it and the trace
+    /// endpoint reads its span/flight blobs.
     live: Option<Arc<TelemetrySink>>,
+    /// The request's trace context, minted at submission when the spec
+    /// asks for tracing.
+    ctx: Option<TraceCtx>,
+    /// When the submission was accepted (request span start).
+    submitted_at: Instant,
+    /// When a worker picked the job up (queue-wait span end).
+    picked_at: Option<Instant>,
+    /// When the job finished (request span end).
+    done_at: Option<Instant>,
 }
 
 struct StoreInner {
@@ -113,6 +125,8 @@ struct ServerState {
     done_cv: Condvar,
     metrics: Mutex<ServeMetrics>,
     shutdown: AtomicBool,
+    /// Server start: the zero point of every exported trace timeline.
+    epoch: Instant,
 }
 
 /// A bound (not yet running) server.
@@ -182,6 +196,7 @@ impl Server {
             done_cv: Condvar::new(),
             metrics: Mutex::new(ServeMetrics::new()),
             shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
         });
         Ok(Server { listener, state })
     }
@@ -255,6 +270,7 @@ fn replay(inner: &mut StoreInner, events: &[ServeEvent]) {
                     continue;
                 };
                 inner.next_seq = inner.next_seq.max(seq + 1);
+                let ctx = trace_ctx_for(&spec, id);
                 inner.entries.insert(
                     id.clone(),
                     JobEntry {
@@ -264,6 +280,10 @@ fn replay(inner: &mut StoreInner, events: &[ServeEvent]) {
                         spec,
                         state: JobState::Queued,
                         live: None,
+                        ctx,
+                        submitted_at: Instant::now(),
+                        picked_at: None,
+                        done_at: None,
                     },
                 );
                 inner.queue.push_back(id.clone());
@@ -293,6 +313,13 @@ fn replay(inner: &mut StoreInner, events: &[ServeEvent]) {
     }
 }
 
+/// The deterministic trace context of one submission: derived from the
+/// spec seed and the job id, so resubmitting the same id reproduces the
+/// same ids end to end. `None` when the spec does not ask for tracing.
+fn trace_ctx_for(spec: &JobSpec, id: &str) -> Option<TraceCtx> {
+    spec.trace.then(|| TraceCtx::root(spec.seed, id))
+}
+
 fn worker_loop(state: &ServerState) {
     loop {
         let id = {
@@ -317,14 +344,22 @@ fn worker_loop(state: &ServerState) {
 
 fn run_job(state: &ServerState, id: &str) {
     let started = Instant::now();
-    let (spec, key, tenant, sink) = {
+    let (spec, key, tenant, sink, queue_wait_ms) = {
         let mut inner = state.inner.lock().expect("store lock");
         let Some(entry) = inner.entries.get_mut(id) else {
             return;
         };
         entry.state = JobState::Running;
-        let sink = if entry.spec.privacy_interval > 0 {
+        entry.picked_at = Some(started);
+        let queue_wait_ms = started
+            .saturating_duration_since(entry.submitted_at)
+            .as_secs_f64()
+            * 1e3;
+        let sink = if entry.spec.privacy_interval > 0 || entry.spec.trace {
             let sink = Arc::new(TelemetrySink::new());
+            if let Some(ctx) = entry.ctx {
+                sink.set_root_ctx(ctx.trace_id, ctx.span_id);
+            }
             entry.live = Some(Arc::clone(&sink));
             Some(sink)
         } else {
@@ -335,10 +370,15 @@ fn run_job(state: &ServerState, id: &str) {
             entry.key.clone(),
             entry.tenant.clone(),
             sink,
+            queue_wait_ms,
         );
         inner.running += 1;
         picked
     };
+    {
+        let mut metrics = state.metrics.lock().expect("metrics lock");
+        metrics.observe_queue_wait(queue_wait_ms);
+    }
     update_load(state);
 
     // A resumed duplicate (or a concurrent identical submission) may
@@ -390,6 +430,7 @@ fn run_job(state: &ServerState, id: &str) {
         let mut inner = state.inner.lock().expect("store lock");
         if let Some(entry) = inner.entries.get_mut(id) {
             entry.state = JobState::Done(outcome);
+            entry.done_at = Some(Instant::now());
         }
         inner.running -= 1;
         inner.admission.release(&tenant);
@@ -459,6 +500,9 @@ fn route(state: &ServerState, request: &Request) -> Response {
                 if let Some(id) = rest.strip_suffix("/result") {
                     return job_result(state, id);
                 }
+                if let Some(id) = rest.strip_suffix("/trace") {
+                    return job_trace(state, id);
+                }
                 if !rest.contains('/') {
                     return job_status(state, rest, request);
                 }
@@ -526,6 +570,8 @@ fn submit(state: &ServerState, request: &Request) -> Response {
                 error: None,
             });
         }
+        let ctx = trace_ctx_for(&spec, &id);
+        let now = Instant::now();
         inner.entries.insert(
             id.clone(),
             JobEntry {
@@ -541,6 +587,10 @@ fn submit(state: &ServerState, request: &Request) -> Response {
                     error: None,
                 }),
                 live: None,
+                ctx,
+                submitted_at: now,
+                picked_at: None,
+                done_at: Some(now),
             },
         );
         return Response::json(
@@ -571,6 +621,7 @@ fn submit(state: &ServerState, request: &Request) -> Response {
             spec_json: spec.canonical_json(),
         });
     }
+    let ctx = trace_ctx_for(&spec, &id);
     inner.entries.insert(
         id.clone(),
         JobEntry {
@@ -580,6 +631,10 @@ fn submit(state: &ServerState, request: &Request) -> Response {
             spec,
             state: JobState::Queued,
             live: None,
+            ctx,
+            submitted_at: Instant::now(),
+            picked_at: None,
+            done_at: None,
         },
     );
     inner.queue.push_back(id.clone());
@@ -681,6 +736,113 @@ fn job_result(state: &ServerState, id: &str) -> Response {
         }
         _ => Response::error(404, &format!("job {id} not finished")),
     }
+}
+
+/// Child index reserved for the queue-wait span, outside the runtime's
+/// job-index range (jobs are capped at 64 sweep points).
+const QUEUE_SPAN_CHILD: u64 = 1 << 32;
+
+/// Exports one traced job's end-to-end Chrome trace: the serve request
+/// span, its queue-wait child, the runtime job/scenario spans and engine
+/// phase bands read from the job's sink, and the flight recorder's
+/// packet residences — one file, one trace id, loadable in Perfetto.
+///
+/// Wall-clock spans are rebased onto the server epoch so every layer
+/// shares one clock; flight events keep their simulation-time axis on
+/// separate process rows.
+#[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+fn job_trace(state: &ServerState, id: &str) -> Response {
+    let (ctx, points, submitted_at, picked_at, done_at, sink) = {
+        let inner = state.inner.lock().expect("store lock");
+        let Some(entry) = inner.entries.get(id) else {
+            return Response::error(404, &format!("no such job: {id}"));
+        };
+        let Some(ctx) = entry.ctx else {
+            return Response::error(
+                404,
+                &format!("job {id} was not submitted with \"trace\":true"),
+            );
+        };
+        (
+            ctx,
+            entry.spec.points(),
+            entry.submitted_at,
+            entry.picked_at,
+            entry.done_at,
+            entry.live.clone(),
+        )
+    };
+    let epoch = state.epoch;
+    let end = done_at.unwrap_or_else(Instant::now);
+    let mut spans = vec![SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_id: 0,
+        name: format!("POST /v1/jobs {id}"),
+        layer: "serve".to_string(),
+        start_us: submitted_at.saturating_duration_since(epoch).as_micros() as u64,
+        dur_us: end.saturating_duration_since(submitted_at).as_micros() as u64,
+    }];
+    if let Some(picked) = picked_at {
+        let queue_ctx = ctx.child(QUEUE_SPAN_CHILD);
+        spans.push(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: queue_ctx.span_id,
+            parent_id: ctx.span_id,
+            name: "queue wait".to_string(),
+            layer: "queue".to_string(),
+            start_us: submitted_at.saturating_duration_since(epoch).as_micros() as u64,
+            dur_us: picked.saturating_duration_since(submitted_at).as_micros() as u64,
+        });
+    }
+    let mut phase_events = Vec::new();
+    let mut flight_events = Vec::new();
+    let mut phase_tid = 0u64;
+    if let Some(sink) = &sink {
+        // Job-local timestamps count from the sink's epoch, which the
+        // worker created at pickup: rebase them onto the server epoch.
+        let offset = picked_at.map_or(0i64, |p| {
+            p.saturating_duration_since(epoch).as_micros() as i64
+        });
+        for point in 0..points {
+            if let Some(blob) = sink.get_spans(point) {
+                if let Ok(job) = serde_json::from_str::<JobSpans>(&blob) {
+                    for span in &job.spans {
+                        let start = (span.start_us as i64 + offset).max(0) as u64;
+                        spans.push(SpanRecord {
+                            start_us: start,
+                            ..span.clone()
+                        });
+                    }
+                    // Profile i belongs to scenario span i (spans[0] is
+                    // the job span): anchor its phase bands there.
+                    for (i, profile) in job.profiles.iter().enumerate() {
+                        let anchor = job
+                            .spans
+                            .get(i + 1)
+                            .map_or(0, |s| (s.start_us as i64 + offset).max(0) as u64);
+                        phase_events.extend(profile.profile.chrome_phase_events(
+                            &format!("point {point}: {}", profile.label),
+                            anchor,
+                            phase_tid,
+                        ));
+                        phase_tid += 1;
+                    }
+                }
+            }
+            if let Some(blob) = sink.get_trace(point) {
+                if let Ok(trace) = serde_json::from_str::<JobTrace>(&blob) {
+                    for scenario in &trace.scenarios {
+                        flight_events.extend(scenario.log.chrome_trace_events());
+                    }
+                }
+            }
+        }
+    }
+    let mut events = chrome_span_events(&spans, 0);
+    events.extend(phase_events);
+    events.extend(flight_events);
+    Response::json(200, wrap_chrome_events(&events))
 }
 
 /// Streams per-sweep-point privacy blobs as SSE `point` events while the

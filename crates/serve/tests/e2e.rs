@@ -306,6 +306,64 @@ fn resume_tolerates_a_torn_journal_line() {
 }
 
 #[test]
+fn traced_job_exports_one_chrome_timeline_with_a_consistent_trace_id() {
+    let (addr, handle) = spawn_server(ephemeral(|_| {}));
+
+    // Untraced job first: the trace endpoint refuses politely.
+    let plain = submit_job(&addr, "trace", &tiny_spec(41)).unwrap();
+    let plain_id = extract_id(&plain.text());
+    wait_done(&addr, &plain_id);
+    let refused = request(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{plain_id}/trace"),
+        &[],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(refused.status, 404);
+    assert!(refused.text().contains("\\\"trace\\\":true"));
+
+    // Traced two-point job: one Chrome JSON with serve + queue + job +
+    // scenario spans all carrying the same trace id.
+    let spec = "{\"experiment\":\"fig2\",\"inv_lambdas\":[4.0,6.0],\
+                \"packets_per_source\":40,\"seed\":42,\"trace\":true}";
+    let resp = submit_job(&addr, "trace", spec).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = extract_id(&resp.text());
+    wait_done(&addr, &id);
+    let trace = request(&addr, "GET", &format!("/v1/jobs/{id}/trace"), &[], &[]).unwrap();
+    assert_eq!(trace.status, 200, "{}", trace.text());
+    let body = trace.text();
+    assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+    assert!(body.trim_end().ends_with("]}"), "{body}");
+    // The request span, queue-wait span, per-point job spans, phase
+    // bands, and packet-residence events all ride along.
+    assert!(body.contains(&format!("POST /v1/jobs {id}")));
+    assert!(body.contains("queue wait"));
+    assert!(body.contains("\"job 0\""));
+    assert!(body.contains("\"job 1\""));
+    assert!(body.contains("engine_loop"));
+    assert!(body.contains("residence"), "flight events merged in");
+    // Exactly one trace id across every span event.
+    let ids: std::collections::BTreeSet<&str> = body
+        .split("\"trace_id\":\"")
+        .skip(1)
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert_eq!(ids.len(), 1, "single trace id end to end: {ids:?}");
+
+    // The queue-wait histogram saw the cold jobs.
+    let metrics = request(&addr, "GET", "/metrics", &[], &[]).unwrap().text();
+    assert!(
+        metrics.contains("tempriv_serve_queue_wait_ms_count"),
+        "{metrics}"
+    );
+
+    shutdown(&addr, handle);
+}
+
+#[test]
 fn unknown_routes_and_bad_specs_are_clean_errors() {
     let (addr, handle) = spawn_server(ephemeral(|_| {}));
 

@@ -65,6 +65,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -73,6 +74,7 @@ pub mod trace;
 
 pub use engine::{Engine, Scheduler, StopReason};
 pub use error::{SimError, SimResult};
+pub use profile::{NoopPhaseTimer, Phase, PhaseTimer, PHASE_COUNT};
 pub use queue::{EventId, EventQueue};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

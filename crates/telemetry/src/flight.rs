@@ -24,6 +24,7 @@ use tempriv_sim::trace::Trace;
 
 use crate::probe::SimProbe;
 use crate::registry::HistogramSample;
+use crate::span::{json_escape, wrap_chrome_events};
 
 /// One packet lifecycle boundary, emitted by the simulation driver.
 ///
@@ -596,7 +597,7 @@ impl FlightLog {
                 e.node
             );
             if let Some(vp) = &e.victim_policy {
-                let _ = write!(out, ",\"victim_policy\":\"{vp}\"");
+                let _ = write!(out, ",\"victim_policy\":\"{}\"", json_escape(vp));
             }
             out.push_str("}\n");
         }
@@ -613,6 +614,15 @@ impl FlightLog {
     /// is rendered as one microsecond.
     #[must_use]
     pub fn to_chrome_trace(&self) -> String {
+        wrap_chrome_events(&self.chrome_trace_events())
+    }
+
+    /// The individual Chrome `trace_event` objects of
+    /// [`FlightLog::to_chrome_trace`], unwrapped — callers merge them
+    /// with span and phase events into one timeline before wrapping with
+    /// [`wrap_chrome_events`].
+    #[must_use]
+    pub fn chrome_trace_events(&self) -> Vec<String> {
         let mut parts: Vec<String> = Vec::new();
         let mut pids: BTreeSet<usize> = BTreeSet::new();
         let mut threads: BTreeSet<(usize, usize)> = BTreeSet::new();
@@ -653,9 +663,12 @@ impl FlightLog {
                     | PacketEventKind::ArrivedAtSink
             );
             if instant {
+                let policy = e.victim_policy.as_deref().map_or(String::new(), |vp| {
+                    format!(",\"victim_policy\":\"{}\"", json_escape(vp))
+                });
                 parts.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"packet\":{}}}}}",
+                     \"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"packet\":{}{policy}}}}}",
                     e.kind.as_str(),
                     e.t,
                     e.flow,
@@ -664,8 +677,71 @@ impl FlightLog {
                 ));
             }
         }
-        format!("{{\"traceEvents\":[{}]}}\n", parts.join(","))
+        parts
     }
+
+    /// Per-flow Age-of-Information statistics from delivered packets.
+    ///
+    /// AoI is the classic sawtooth: right after a delivery at `a_i` of a
+    /// packet created at `c_i`, the sink's information age resets to
+    /// `a_i − c_i` and then grows linearly until the next delivery (or
+    /// run end). The mean is the exact trapezoid integral of the
+    /// sawtooth over the window from each flow's first delivery to
+    /// [`FlightLog::end_time`], divided by the window; the peak is the
+    /// largest age reached. Flows with no complete creation→arrival
+    /// lineage produce no entry.
+    #[must_use]
+    pub fn aoi_by_flow(&self) -> Vec<FlowAoi> {
+        let mut by_flow: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+        for lineage in self.lineages() {
+            if let (Some(c), Some(a)) = (lineage.created_at, lineage.arrived_at) {
+                by_flow.entry(lineage.flow).or_default().push((a, c));
+            }
+        }
+        let mut out = Vec::new();
+        for (flow, mut deliveries) in by_flow {
+            deliveries.sort_by(|x, y| x.partial_cmp(y).expect("finite event times"));
+            let last_arrival = deliveries.last().expect("non-empty").0;
+            let end = self.end_time.max(last_arrival);
+            let mut integral = 0.0;
+            let mut window = 0.0;
+            let mut peak = 0.0f64;
+            for (i, &(a, c)) in deliveries.iter().enumerate() {
+                let next = deliveries.get(i + 1).map_or(end, |d| d.0);
+                let lo = a - c;
+                let hi = next - c;
+                integral += (lo + hi) / 2.0 * (next - a);
+                window += next - a;
+                peak = peak.max(lo).max(hi);
+            }
+            let mean = if window > 0.0 {
+                integral / window
+            } else {
+                // Single delivery exactly at run end: the age observed.
+                peak
+            };
+            out.push(FlowAoi {
+                flow,
+                mean,
+                peak,
+                deliveries: deliveries.len() as u64,
+            });
+        }
+        out
+    }
+}
+
+/// Per-flow Age-of-Information summary (see [`FlightLog::aoi_by_flow`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowAoi {
+    /// Flow index.
+    pub flow: usize,
+    /// Time-averaged information age over the observation window.
+    pub mean: f64,
+    /// Largest information age reached.
+    pub peak: f64,
+    /// Delivered packets contributing to the sawtooth.
+    pub deliveries: u64,
 }
 
 #[cfg(test)]
@@ -928,5 +1004,69 @@ mod tests {
         let json = serde_json::to_string(&log).unwrap();
         let back: FlightLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn exports_escape_victim_policy_strings() {
+        let mut log = demo_log();
+        log.events.push(FlightEvent {
+            t: 45.0,
+            kind: PacketEventKind::Preempted,
+            packet: 0,
+            flow: 0,
+            node: 2,
+            victim_policy: Some("evil\"policy\\name".to_string()),
+        });
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("evil\\\"policy\\\\name"));
+        let chrome = log.to_chrome_trace();
+        assert!(chrome.contains("evil\\\"policy\\\\name"));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    }
+
+    #[test]
+    fn aoi_follows_the_sawtooth() {
+        let mut rec = FlightRecorder::with_capacity(32);
+        for (packet, created, arrived) in [(0u64, 0.0, 10.0), (1u64, 5.0, 20.0)] {
+            ev(
+                &mut rec,
+                created,
+                PacketEvent::Created {
+                    packet,
+                    flow: 0,
+                    node: 1,
+                },
+            );
+            ev(
+                &mut rec,
+                arrived,
+                PacketEvent::ArrivedAtSink {
+                    packet,
+                    flow: 0,
+                    node: 9,
+                },
+            );
+        }
+        let log = rec.finish(t(30.0));
+        let aoi = log.aoi_by_flow();
+        assert_eq!(aoi.len(), 1);
+        let flow0 = &aoi[0];
+        assert_eq!(flow0.flow, 0);
+        assert_eq!(flow0.deliveries, 2);
+        // Sawtooth: [10,20] ages 10→20, [20,30] ages 15→25.
+        assert!((flow0.mean - 17.5).abs() < 1e-9, "mean {}", flow0.mean);
+        assert!((flow0.peak - 25.0).abs() < 1e-9, "peak {}", flow0.peak);
+    }
+
+    #[test]
+    fn aoi_skips_flows_without_deliveries() {
+        let log = demo_log();
+        let aoi = log.aoi_by_flow();
+        // Flow 1's only packet was dropped: no AoI entry.
+        assert_eq!(aoi.len(), 1);
+        assert_eq!(aoi[0].flow, 0);
+        // Flow 0: one delivery (created 0, arrived 41), window [41, 50].
+        assert!((aoi[0].mean - 45.5).abs() < 1e-9, "mean {}", aoi[0].mean);
+        assert!((aoi[0].peak - 50.0).abs() < 1e-9);
     }
 }

@@ -19,10 +19,15 @@
 //! * [`privacy`] — the streaming privacy observatory: a [`PrivacyProbe`]
 //!   estimating per-flow `I(X; Z)` and adversary MSE online, with
 //!   journaled convergence snapshots and per-flow privacy gauges;
+//! * [`profiler`] — the engine self-profiler: a [`PhaseProfiler`]
+//!   attributing wall-time to kernel [`tempriv_sim::profile::Phase`]s
+//!   with coarse batched timers (~1 clock read per 64 phase switches);
 //! * [`theory`] — [`TheoryCheck`] comparisons of measured telemetry
 //!   against the `crates/queueing` predictions, with configurable
 //!   tolerances, collected into a [`TheoryReport`];
-//! * [`span`] — wall-clock spans for timing pipeline stages.
+//! * [`span`] — wall-clock spans for timing pipeline stages, plus the
+//!   cross-layer span tracer ([`TraceCtx`], [`SpanRecord`], [`SpanRing`])
+//!   whose Chrome-trace export merges with the flight recorder's.
 //!
 //! # Determinism contract
 //!
@@ -37,12 +42,13 @@
 pub mod flight;
 pub mod privacy;
 pub mod probe;
+pub mod profiler;
 pub mod registry;
 pub mod span;
 pub mod theory;
 
 pub use flight::{
-    FlightEvent, FlightLog, FlightRecorder, HopResidence, LatencySpectra, LineageOutcome,
+    FlightEvent, FlightLog, FlightRecorder, FlowAoi, HopResidence, LatencySpectra, LineageOutcome,
     PacketEvent, PacketEventKind, PacketLineage, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use privacy::{
@@ -50,8 +56,11 @@ pub use privacy::{
     DEFAULT_PRIVACY_SERIES_CAPACITY,
 };
 pub use probe::{NodeTelemetry, NullProbe, ProbeEvent, RecordingProbe, SimProbe, SimTelemetry};
+pub use profiler::{PhaseBreakdown, PhaseProfiler, PhaseStat, DEFAULT_PHASE_BATCH};
 pub use registry::{
     CounterId, GaugeId, HistogramId, HistogramSample, MetricsRegistry, TelemetrySnapshot,
 };
-pub use span::SpanSet;
+pub use span::{
+    chrome_span_events, json_escape, wrap_chrome_events, SpanRecord, SpanRing, SpanSet, TraceCtx,
+};
 pub use theory::{TheoryCheck, TheoryReport, TheoryTolerance};

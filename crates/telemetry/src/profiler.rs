@@ -1,0 +1,352 @@
+//! The engine self-profiler: coarse batched wall-time attribution to
+//! [`Phase`]s.
+//!
+//! [`PhaseProfiler`] implements the kernel's [`PhaseTimer`] hook. To keep
+//! the simulation hot path un-regressed it does **not** read the clock on
+//! every phase switch; instead it counts switches per phase and reads
+//! `Instant::now()` once per `batch` switches (default
+//! [`DEFAULT_PHASE_BATCH`]), distributing the elapsed interval across the
+//! pending phases proportionally to their segment counts. That makes each
+//! switch a couple of array increments, and — by construction — the phase
+//! durations sum exactly to the total profiled wall time, which the CI
+//! smoke step asserts.
+//!
+//! The coarse attribution is the documented trade-off: within one batch,
+//! time is split by segment *count*, not true per-segment duration, so a
+//! single pathologically slow segment is smeared across its batch. At the
+//! default batch of 64 and millions of switches per run, the smear is
+//! far below the phase-level signal the profiler exists to surface.
+//!
+//! Like every probe, the profiler observes and never acts: it consumes no
+//! RNG draws and cannot perturb outcomes (verified by byte-identical
+//! digest tests with the profiler on vs. off).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::span::{json_escape, PHASE_PID};
+use tempriv_sim::profile::{Phase, PhaseTimer, PHASE_COUNT};
+
+/// Default number of phase switches between clock reads.
+pub const DEFAULT_PHASE_BATCH: u32 = 64;
+
+/// A batching wall-time profiler over the kernel's [`Phase`] vocabulary.
+#[derive(Debug, Clone)]
+pub struct PhaseProfiler {
+    batch: u32,
+    pending: [u32; PHASE_COUNT],
+    pending_total: u32,
+    current: Phase,
+    last_flush: Instant,
+    counts: [u64; PHASE_COUNT],
+    secs: [f64; PHASE_COUNT],
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler::new()
+    }
+}
+
+impl PhaseProfiler {
+    /// A profiler with the default switch batch.
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseProfiler::with_batch(DEFAULT_PHASE_BATCH)
+    }
+
+    /// A profiler reading the clock every `batch` switches (1 = every
+    /// switch, maximum accuracy, maximum overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    #[must_use]
+    pub fn with_batch(batch: u32) -> Self {
+        assert!(batch > 0, "phase batch must be positive");
+        PhaseProfiler {
+            batch,
+            pending: [0; PHASE_COUNT],
+            pending_total: 0,
+            current: Phase::EngineLoop,
+            last_flush: Instant::now(),
+            counts: [0; PHASE_COUNT],
+            secs: [0.0; PHASE_COUNT],
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        let now = Instant::now();
+        if self.pending_total > 0 {
+            let elapsed = now.duration_since(self.last_flush).as_secs_f64();
+            let total = f64::from(self.pending_total);
+            for i in 0..PHASE_COUNT {
+                if self.pending[i] > 0 {
+                    self.counts[i] += u64::from(self.pending[i]);
+                    self.secs[i] += elapsed * f64::from(self.pending[i]) / total;
+                    self.pending[i] = 0;
+                }
+            }
+            self.pending_total = 0;
+        }
+        self.last_flush = now;
+    }
+
+    /// Closes the open segment, flushes pending time, and freezes the
+    /// attribution into a serializable [`PhaseBreakdown`].
+    #[must_use]
+    pub fn finish(mut self) -> PhaseBreakdown {
+        self.pending[self.current.index()] += 1;
+        self.pending_total += 1;
+        self.flush_pending();
+        PhaseBreakdown {
+            batch: self.batch,
+            total_secs: self.secs.iter().sum(),
+            phases: Phase::ALL
+                .iter()
+                .map(|p| PhaseStat {
+                    phase: p.name().to_string(),
+                    count: self.counts[p.index()],
+                    secs: self.secs[p.index()],
+                })
+                .collect(),
+        }
+    }
+}
+
+impl PhaseTimer for PhaseProfiler {
+    #[inline]
+    fn switch(&mut self, phase: Phase) -> Phase {
+        // Hot path: two array increments and a branch. Completed-segment
+        // counts are folded in from `pending` at flush time rather than
+        // incremented here.
+        let prev = self.current;
+        self.pending[prev.index()] += 1;
+        self.pending_total += 1;
+        self.current = phase;
+        if self.pending_total >= self.batch {
+            self.flush_pending();
+        }
+        prev
+    }
+}
+
+/// One phase's share of a [`PhaseBreakdown`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Stable phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Completed segments attributed to this phase.
+    pub count: u64,
+    /// Wall seconds attributed to this phase.
+    pub secs: f64,
+}
+
+/// A frozen per-phase wall-time attribution.
+///
+/// By construction `phases[..].secs` sums to `total_secs` (every flush
+/// distributes the whole inter-flush interval).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// The switch batch the profile ran with.
+    pub batch: u32,
+    /// Total profiled wall seconds.
+    pub total_secs: f64,
+    /// Per-phase attribution, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl PhaseBreakdown {
+    /// Seconds attributed to the named phase (0 when absent).
+    #[must_use]
+    pub fn secs_for(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map_or(0.0, |p| p.secs)
+    }
+
+    /// Folds `other` into `self` (summing counts, seconds, and totals);
+    /// used to aggregate per-scenario profiles into a run-level table.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.total_secs += other.total_secs;
+        for stat in &other.phases {
+            match self.phases.iter_mut().find(|p| p.phase == stat.phase) {
+                Some(mine) => {
+                    mine.count += stat.count;
+                    mine.secs += stat.secs;
+                }
+                None => self.phases.push(stat.clone()),
+            }
+        }
+    }
+
+    /// Renders an aligned text table: phase, segment count, seconds, and
+    /// share of total, with a closing `total` row.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>8}",
+            "phase", "segments", "seconds", "share"
+        );
+        for stat in &self.phases {
+            let share = if self.total_secs > 0.0 {
+                100.0 * stat.secs / self.total_secs
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12} {:>12.6} {:>7.1}%",
+                stat.phase, stat.count, stat.secs, share
+            );
+        }
+        let segments: u64 = self.phases.iter().map(|p| p.count).sum();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12.6} {:>7.1}%",
+            "total", segments, self.total_secs, 100.0
+        );
+        out
+    }
+
+    /// Renders the breakdown as sequential Chrome `"X"` phase bands on
+    /// the engine-phases process ([`PHASE_PID`]), starting at `start_us`
+    /// on thread `tid`, plus a thread-name metadata event carrying
+    /// `label`. Zero-duration phases are skipped.
+    #[must_use]
+    pub fn chrome_phase_events(&self, label: &str, start_us: u64, tid: u64) -> Vec<String> {
+        let mut parts = vec![
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PHASE_PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"engine phases\"}}}}"
+            ),
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PHASE_PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(label)
+            ),
+        ];
+        let mut cursor = start_us as f64;
+        for stat in &self.phases {
+            let dur = stat.secs * 1e6;
+            if dur <= 0.0 {
+                continue;
+            }
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":{PHASE_PID},\"tid\":{tid},\"args\":{{\"segments\":{}}}}}",
+                json_escape(&stat.phase),
+                cursor,
+                dur,
+                stat.count
+            ));
+            cursor += dur;
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::wrap_chrome_events;
+
+    #[test]
+    fn phases_sum_to_total_by_construction() {
+        let mut prof = PhaseProfiler::with_batch(3);
+        for _ in 0..100 {
+            let prev = prof.switch(Phase::Create);
+            prof.switch(prev);
+            prof.switch(Phase::QueuePush);
+            prof.switch(Phase::EngineLoop);
+        }
+        let breakdown = prof.finish();
+        let sum: f64 = breakdown.phases.iter().map(|p| p.secs).sum();
+        assert!(
+            (sum - breakdown.total_secs).abs() <= 1e-9 * breakdown.total_secs.max(1e-12),
+            "sum {sum} vs total {}",
+            breakdown.total_secs
+        );
+        assert!(breakdown.total_secs >= 0.0);
+        let segments: u64 = breakdown.phases.iter().map(|p| p.count).sum();
+        assert_eq!(segments, 401, "400 switches + the closing segment");
+    }
+
+    #[test]
+    fn switch_returns_the_previous_phase() {
+        let mut prof = PhaseProfiler::new();
+        assert_eq!(prof.switch(Phase::VictimSelect), Phase::EngineLoop);
+        assert_eq!(prof.switch(Phase::Probe), Phase::VictimSelect);
+        let _ = prof.finish();
+    }
+
+    #[test]
+    fn counts_attribute_to_the_phase_that_was_running() {
+        let mut prof = PhaseProfiler::with_batch(1000);
+        prof.switch(Phase::Create); // closes an EngineLoop segment
+        prof.switch(Phase::EngineLoop); // closes a Create segment
+        let breakdown = prof.finish();
+        let stat = |name: &str| {
+            breakdown
+                .phases
+                .iter()
+                .find(|p| p.phase == name)
+                .unwrap()
+                .count
+        };
+        assert_eq!(stat("create"), 1);
+        assert_eq!(stat("engine_loop"), 2, "initial + closing segment");
+    }
+
+    #[test]
+    fn breakdown_merge_and_table() {
+        let mut a = PhaseProfiler::with_batch(1).finish();
+        let b = PhaseProfiler::with_batch(1).finish();
+        let before = a.total_secs;
+        a.merge(&b);
+        assert!((a.total_secs - (before + b.total_secs)).abs() < 1e-12);
+        let table = a.table();
+        assert!(table.contains("engine_loop"));
+        assert!(table.contains("victim_select"));
+        assert!(table.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn breakdown_round_trips_through_json() {
+        let breakdown = PhaseProfiler::new().finish();
+        let json = serde_json::to_string(&breakdown).unwrap();
+        let back: PhaseBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, breakdown);
+    }
+
+    #[test]
+    fn chrome_phase_bands_are_sequential_and_escaped() {
+        let breakdown = PhaseBreakdown {
+            batch: 64,
+            total_secs: 0.003,
+            phases: vec![
+                PhaseStat {
+                    phase: "engine_loop".to_string(),
+                    count: 10,
+                    secs: 0.001,
+                },
+                PhaseStat {
+                    phase: "arrive".to_string(),
+                    count: 5,
+                    secs: 0.002,
+                },
+            ],
+        };
+        let events = breakdown.chrome_phase_events("point \"0\"", 100, 2);
+        let doc = wrap_chrome_events(&events);
+        assert!(doc.contains("point \\\"0\\\""));
+        assert!(doc.contains("\"ts\":100.000"));
+        // Second band starts where the first ends: 100 + 1000us.
+        assert!(doc.contains("\"ts\":1100.000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -345,14 +345,33 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume one multi-byte UTF-8 code point from a
+                    // bounded window (a code point is at most 4 bytes).
+                    // Validating the whole remaining input per character
+                    // makes parsing quadratic in document size.
+                    let end = self.bytes.len().min(self.pos + 4);
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .ok()
+                                .and_then(|s| s.chars().next())
+                        }
+                        Err(_) => None,
+                    };
+                    match c {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(Error::new("invalid UTF-8 in string")),
+                    }
                 }
                 None => return Err(Error::new("unterminated string")),
             }
@@ -503,5 +522,18 @@ mod tests {
         assert!(from_str::<u32>("12 34").is_err());
         assert!(from_str::<Vec<u32>>("[1, 2").is_err());
         assert!(from_str::<String>("\"open").is_err());
+    }
+
+    #[test]
+    fn megabyte_scale_documents_parse_quickly() {
+        // String decoding must stay linear in document size: each
+        // character decode may only look at a bounded window, never the
+        // whole remaining input. Before that held, this multi-megabyte
+        // parse was quadratic and took minutes.
+        let doc = to_string(&vec![("key_\u{00e9}".to_string(), 1.5f64); 80_000]).unwrap();
+        assert!(doc.len() > 1_000_000, "doc is {} bytes", doc.len());
+        let back: Vec<(String, f64)> = from_str(&doc).unwrap();
+        assert_eq!(back.len(), 80_000);
+        assert_eq!(back[79_999].0, "key_\u{00e9}");
     }
 }
