@@ -3,9 +3,11 @@
 //! the four-flow Figure-1 sweep and writes `BENCH_trace.json`;
 //! `--bench privacy` times the streaming privacy observatory
 //! (`BENCH_privacy.json`); `--bench span` times the engine self-profiler
-//! (`BENCH_span.json`); `--bench scale` sweeps random geometric
-//! convergecast fields at ~100/1k/10k nodes and writes `BENCH_core.json`
-//! (events/sec, peak future-event-set size, wall seconds per mode).
+//! (`BENCH_span.json`); `--bench audit` times the windowed determinism
+//! digest probe (`BENCH_audit.json`); `--bench scale` sweeps random
+//! geometric convergecast fields at ~100/1k/10k nodes and writes
+//! `BENCH_core.json` (events/sec, peak future-event-set size, wall
+//! seconds per mode).
 //!
 //! ```text
 //! cargo run --release -p tempriv-bench --bin perf_baseline
@@ -40,7 +42,7 @@ use tempriv_net::ids::NodeId;
 use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::TrafficModel;
 use tempriv_sim::rng::RngFactory;
-use tempriv_telemetry::{FlightRecorder, PhaseProfiler, RecordingProbe};
+use tempriv_telemetry::{DigestProbe, FlightRecorder, PhaseProfiler, RecordingProbe};
 
 /// Which instrumented mode the third timing column measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +53,8 @@ enum BenchKind {
     Privacy,
     /// Engine self-profiler with batched timers (`BENCH_span.json`).
     Span,
+    /// Windowed determinism digest probe (`BENCH_audit.json`).
+    Audit,
     /// Discrete-event core throughput on geometric fields (`BENCH_core.json`).
     Scale,
 }
@@ -136,6 +140,33 @@ struct SpanBenchReport {
     profiled_over_metrics: f64,
     /// Self-profiler overhead in percent: `(profiled/metrics - 1) * 100`.
     profiled_overhead_pct: f64,
+}
+
+/// The `BENCH_audit.json` payload. `audited` composes the
+/// [`DigestProbe`] over the metrics probe exactly as the runtime
+/// collector does when `--digest-window` is set, so
+/// `audited_overhead_pct` is the cost of always-on determinism
+/// auditing relative to the metrics instrumentation everyone runs.
+#[derive(Debug, Serialize)]
+struct AuditBenchReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Inter-arrival times of the sweep points.
+    points: Vec<f64>,
+    /// Packets per source per point.
+    packets_per_source: u32,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// Per-mode timings: probes_off, metrics, audited.
+    modes: Vec<ModeTiming>,
+    /// `metrics total / probes_off total`.
+    metrics_over_probes_off: f64,
+    /// `audited total / probes_off total`.
+    audited_over_probes_off: f64,
+    /// `audited total / metrics total` — the digest-probe increment.
+    audited_over_metrics: f64,
+    /// Digest-probe overhead in percent: `(audited/metrics - 1) * 100`.
+    audited_overhead_pct: f64,
 }
 
 /// One instrumentation mode's timing at one scale point.
@@ -357,6 +388,14 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
                     std::hint::black_box(sim.run_profiled(&mut probe, &mut timer));
                     std::hint::black_box(timer.finish());
                 }
+                BenchKind::Audit => {
+                    let mut pair = (
+                        RecordingProbe::new(nodes),
+                        DigestProbe::with_default_window(),
+                    );
+                    std::hint::black_box(sim.run_probed(&mut pair));
+                    std::hint::black_box(pair.1.finish());
+                }
                 BenchKind::Scale => unreachable!("scale bench has its own driver"),
             }));
         }
@@ -380,6 +419,7 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
         BenchKind::Trace => "tracing",
         BenchKind::Privacy => "privacy",
         BenchKind::Span => "profiled",
+        BenchKind::Audit => "audited",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let [off, met, tra] = secs;
@@ -429,10 +469,11 @@ fn parse_args() -> Result<Args, String> {
                     "trace" => BenchKind::Trace,
                     "privacy" => BenchKind::Privacy,
                     "span" => BenchKind::Span,
+                    "audit" => BenchKind::Audit,
                     "scale" => BenchKind::Scale,
                     other => {
                         return Err(format!(
-                            "bad --bench `{other}`; trace, privacy, span, or scale"
+                            "bad --bench `{other}`; trace, privacy, span, audit, or scale"
                         ))
                     }
                 };
@@ -489,6 +530,7 @@ fn parse_args() -> Result<Args, String> {
                 BenchKind::Trace => "BENCH_trace.json",
                 BenchKind::Privacy => "BENCH_privacy.json",
                 BenchKind::Span => "BENCH_span.json",
+                BenchKind::Audit => "BENCH_audit.json",
                 BenchKind::Scale => "BENCH_core.json",
             })
     });
@@ -637,6 +679,24 @@ fn main() -> ExitCode {
                 report.profiled_over_probes_off,
             )
         }
+        BenchKind::Audit => {
+            let report = AuditBenchReport {
+                bench: "figure1_sweep_audit_overhead".to_string(),
+                points,
+                packets_per_source: packets,
+                repeats,
+                metrics_over_probes_off: ratio(&metrics, &probes_off),
+                audited_over_probes_off: ratio(&third, &probes_off),
+                audited_over_metrics: ratio(&third, &metrics),
+                audited_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                modes: vec![probes_off, metrics, third],
+            };
+            (
+                serde_json::to_string_pretty(&report),
+                report.audited_overhead_pct,
+                report.audited_over_probes_off,
+            )
+        }
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let json = match json {
@@ -657,6 +717,7 @@ fn main() -> ExitCode {
         BenchKind::Trace => "ring-buffer tracing",
         BenchKind::Privacy => "privacy observatory",
         BenchKind::Span => "engine self-profiler",
+        BenchKind::Audit => "determinism digest probe",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     println!(

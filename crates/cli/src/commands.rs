@@ -21,9 +21,9 @@ use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_
 use tempriv_queueing::mm_inf::MmInf;
 use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
 use tempriv_telemetry::{
-    chrome_span_events, wrap_chrome_events, FlightRecorder, FlowPrivacySummary, LineageOutcome,
-    PhaseBreakdown, PrivacyProbe, SimProbe, SpanRecord, TraceCtx, DEFAULT_FLIGHT_CAPACITY,
-    DEFAULT_PHASE_BATCH,
+    chrome_span_events, wrap_chrome_events, DigestProbe, FlightRecorder, FlowPrivacySummary,
+    LineageOutcome, PhaseBreakdown, PrivacyProbe, SimProbe, SpanRecord, TraceCtx,
+    DEFAULT_DIGEST_WINDOW, DEFAULT_FLIGHT_CAPACITY, DEFAULT_PHASE_BATCH,
 };
 
 use crate::args::Args;
@@ -61,10 +61,13 @@ COMMANDS:
         [--privacy-interval N]  also stream per-flow I(X;Z) estimates,
                              snapshotting every N deliveries (needs
                              --telemetry; blobs journal to --manifest)
+        [--digest-window N]  also fold every scenario into windowed
+                             determinism digests (needs --telemetry;
+                             audit blobs journal to --manifest)
         [--quiet]            suppress stderr progress
     resume <run.jsonl>       finish an interrupted sweep from its manifest
         [--workers N] [--telemetry PATH] [--trace-capacity N]
-        [--privacy-interval N] [--quiet]
+        [--privacy-interval N] [--digest-window N] [--quiet]
     report <run.jsonl|dir>   aggregate per-job telemetry from a manifest,
                              or from every *.jsonl manifest in a directory
         [--format F]         text (default), json, or prometheus
@@ -76,6 +79,10 @@ COMMANDS:
         [--format F]         text (default), jsonl, or chrome
                              (chrome loads in chrome://tracing / Perfetto)
         [--out PATH]         write the dump to a file instead of stdout
+        [--expect-root HEX]  also digest the run and check its root;
+                             with [--fail-on-divergence] a mismatch
+                             exits with code 2
+        [--digest-window N]  checkpoint window for --expect-root
     profile                  run a sweep under the engine self-profiler;
                              print the per-phase wall-time table
         [--experiment E]     sweep to profile (default fig2)
@@ -122,35 +129,107 @@ COMMANDS:
     calc mu      --lambda L --slots K --alpha A   rate-controlled mu
     calc mminf   --lambda L --mu M          M/M/inf occupancy stats
     calc btq     --lambda L --mu M [--j J] [--n N]  leakage bounds (nats)
+    audit run [config.json]  digest one run: fold the packet event stream
+                             into windowed checkpoints + a run root
+        [--seed N] [--packets N]  override the config
+        [--window N]         events per checkpoint (default 4096)
+        [--out digest.json]  write the digest (stdout JSON otherwise)
+    audit diff <a.json> <b.json>   compare two digests; name the first
+                             divergent window
+    audit bisect [config.json]     run two variants, then re-run the
+                             first divergent window with full capture to
+                             pinpoint the exact first divergent event
+        (--against other.json | --against-seed M)
+        [--seed N] [--packets N] [--window N]
+    audit ledger (--check | --update)  verify or extend the committed
+                             determinism ledger (results/LEDGER.json)
+        [--ledger PATH] [--label L]
     help                     show this text
+
+Exit codes: 0 success / 1 error / 2 divergence. `audit diff`, `audit
+bisect`, `audit ledger --check`, and `trace --expect-root` report
+divergences on stdout and exit 0 unless --fail-on-divergence is given,
+which maps any detected divergence to exit code 2.
 ";
+
+/// A command failure plus the process exit code it maps to: ordinary
+/// errors exit 1, detected determinism divergences (under
+/// `--fail-on-divergence`) exit 2, so scripts can tell "the runs
+/// differ" from "the tool broke".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An ordinary failure (bad arguments, I/O, invalid config): exit 1.
+    Error(String),
+    /// A detected divergence escalated by `--fail-on-divergence`: exit 2.
+    Divergence(String),
+}
+
+impl CliError {
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            CliError::Error(msg) | CliError::Divergence(msg) => msg,
+        }
+    }
+
+    /// The process exit code this failure maps to.
+    #[must_use]
+    pub const fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Error(_) => 1,
+            CliError::Divergence(_) => 2,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Error(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
 
 /// Dispatches a parsed command line.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on any failure (unknown command, bad
-/// arguments, I/O, invalid config).
-pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+/// Returns a [`CliError`] carrying a human-readable message on any
+/// failure (unknown command, bad arguments, I/O, invalid config) and
+/// the exit code it maps to (1 for errors, 2 for divergences detected
+/// under `--fail-on-divergence`).
+pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     match args.positional(0) {
         None | Some("help") => {
             write!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
         }
-        Some("run") => cmd_run(args, out),
-        Some("assess") => cmd_assess(args, out),
-        Some("init-config") => cmd_init_config(args, out),
-        Some("sweep") => cmd_sweep(args, out),
-        Some("resume") => cmd_resume(args, out),
-        Some("report") => cmd_report(args, out),
+        Some("run") => cmd_run(args, out).map_err(CliError::Error),
+        Some("assess") => cmd_assess(args, out).map_err(CliError::Error),
+        Some("init-config") => cmd_init_config(args, out).map_err(CliError::Error),
+        Some("sweep") => cmd_sweep(args, out).map_err(CliError::Error),
+        Some("resume") => cmd_resume(args, out).map_err(CliError::Error),
+        Some("report") => cmd_report(args, out).map_err(CliError::Error),
         Some("trace") => cmd_trace(args, out),
-        Some("profile") => cmd_profile(args, out),
-        Some("watch") => cmd_watch(args, out),
-        Some("cache") => cmd_cache(args, out),
-        Some("serve") => crate::serve_cmd::cmd_serve(args, out),
-        Some("bench") => crate::serve_cmd::cmd_bench(args, out),
-        Some("calc") => cmd_calc(args, out),
-        Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`")),
+        Some("profile") => cmd_profile(args, out).map_err(CliError::Error),
+        Some("watch") => cmd_watch(args, out).map_err(CliError::Error),
+        Some("cache") => cmd_cache(args, out).map_err(CliError::Error),
+        Some("serve") => crate::serve_cmd::cmd_serve(args, out).map_err(CliError::Error),
+        Some("bench") => crate::serve_cmd::cmd_bench(args, out).map_err(CliError::Error),
+        Some("calc") => cmd_calc(args, out).map_err(CliError::Error),
+        Some("audit") => crate::audit_cmd::cmd_audit(args, out),
+        Some(other) => Err(format!("unknown command `{other}`; try `tempriv help`").into()),
     }
 }
 
@@ -345,6 +424,18 @@ fn build_runtime(
             return Err("--privacy-interval requires --telemetry".into());
         };
         sink.set_privacy_interval(interval);
+    }
+    if let Some(raw) = args.option("digest-window") {
+        let window: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --digest-window: `{raw}`"))?;
+        if window == 0 {
+            return Err("--digest-window must be positive".into());
+        }
+        let Some((sink, _)) = &telemetry else {
+            return Err("--digest-window requires --telemetry".into());
+        };
+        sink.set_digest_window(window);
     }
     Ok((builder.build()?, telemetry))
 }
@@ -587,7 +678,7 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 }
 
 /// Parses optional `--key` as `T`, distinguishing "absent" from "bad".
-fn optional<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, String> {
+pub(crate) fn optional<T: std::str::FromStr>(args: &Args, key: &str) -> Result<Option<T>, String> {
     args.option(key)
         .map(|raw| {
             raw.parse()
@@ -611,8 +702,11 @@ fn spectrum_line(label: &str, h: &tempriv_telemetry::HistogramSample) -> String 
 
 /// `tempriv trace [config.json]`: run one experiment under the flight
 /// recorder and dump the packet-lifecycle recording as a text summary,
-/// JSONL events, or a Chrome `trace_event` file.
-fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+/// JSONL events, or a Chrome `trace_event` file. With `--expect-root`
+/// the run is additionally folded through a [`DigestProbe`] and its run
+/// root checked against the given hex digest — a mismatch reports the
+/// divergence and, under `--fail-on-divergence`, exits with code 2.
+fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let mut cfg = match args.positional(1) {
         Some(path) => {
             let raw =
@@ -628,9 +722,20 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     if capacity == 0 {
         return Err("--capacity must be positive".into());
     }
+    let digest_window: usize = args.option_as("digest-window", DEFAULT_DIGEST_WINDOW)?;
+    if digest_window == 0 {
+        return Err("--digest-window must be positive".into());
+    }
     let sim = cfg.build().map_err(|e| e.to_string())?;
     let mut recorder = FlightRecorder::with_capacity(capacity);
-    let outcome = sim.run_probed(&mut recorder);
+    let mut digest = args
+        .option("expect-root")
+        .is_some()
+        .then(|| DigestProbe::new(digest_window));
+    let outcome = match digest.as_mut() {
+        Some(probe) => sim.run_probed(&mut (&mut recorder, probe)),
+        None => sim.run_probed(&mut recorder),
+    };
     let log = recorder.finish(outcome.end_time).filtered(
         optional(args, "flow")?,
         optional(args, "node")?,
@@ -673,6 +778,34 @@ fn cmd_trace<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             writeln!(out, "[trace written to {path}]").map_err(io_err)?;
         }
         None => write!(out, "{body}").map_err(io_err)?,
+    }
+    if let Some(expected) = args.option("expect-root") {
+        let run = digest
+            .as_ref()
+            .expect("digest probe exists when --expect-root is given")
+            .finish();
+        if run.root == expected {
+            writeln!(
+                out,
+                "audit: root={} matches --expect-root ({} events)",
+                run.root, run.events
+            )
+            .map_err(io_err)?;
+        } else {
+            writeln!(
+                out,
+                "audit: root={} DIVERGED from --expect-root {expected} ({} events); \
+                 bisect with `tempriv audit bisect`",
+                run.root, run.events
+            )
+            .map_err(io_err)?;
+            if args.flag("fail-on-divergence") {
+                return Err(CliError::Divergence(format!(
+                    "run root {} does not match expected {expected}",
+                    run.root
+                )));
+            }
+        }
     }
     Ok(())
 }
@@ -1075,6 +1208,11 @@ mod tests {
     use super::*;
 
     fn run(tokens: &[&str]) -> Result<String, String> {
+        run_raw(tokens).map_err(|e| e.message().to_string())
+    }
+
+    /// Like [`run`] but keeps the [`CliError`], for exit-code checks.
+    fn run_raw(tokens: &[&str]) -> Result<String, CliError> {
         let args = Args::parse(tokens.iter().copied());
         let mut buf = Vec::new();
         dispatch(&args, &mut buf)?;
@@ -1371,6 +1509,8 @@ mod tests {
         assert!(text.contains("theory checks"));
         assert!(text.contains("tempriv_engine_events_per_sec"));
         assert!(text.contains("tempriv_engine_peak_fes"));
+        // Queue introspection surfaces in the text summary.
+        assert!(text.contains("tempriv_engine_queue_compactions_total"));
 
         let json = run(&["report", man_str, "--format", "json"]).unwrap();
         let parsed: tempriv_core::telemetry::TelemetryExport = serde_json::from_str(&json).unwrap();
@@ -1616,6 +1756,105 @@ mod tests {
         assert!(err.contains("invalid value for --flow"));
         let err = run(&["trace", "/nonexistent/cfg.json"]).unwrap_err();
         assert!(err.contains("cannot read"));
+        let err = run(&["trace", "--digest-window", "0"]).unwrap_err();
+        assert!(err.contains("--digest-window must be positive"));
+    }
+
+    #[test]
+    fn trace_expect_root_checks_the_run_digest() {
+        // `audit run` over the same spec yields the expected root: the
+        // digest probe composes under the flight recorder without
+        // perturbing the event stream.
+        let json = run(&["audit", "run", "--packets", "60", "--seed", "3"]).unwrap();
+        let digest: tempriv_telemetry::RunDigest = serde_json::from_str(&json).unwrap();
+
+        let out = run(&[
+            "trace",
+            "--packets",
+            "60",
+            "--seed",
+            "3",
+            "--expect-root",
+            &digest.root,
+        ])
+        .unwrap();
+        assert!(out.contains("flight recording:"), "{out}");
+        assert!(out.contains("matches --expect-root"), "{out}");
+
+        // A wrong root reports the divergence but still exits 0...
+        let out = run(&[
+            "trace",
+            "--packets",
+            "60",
+            "--seed",
+            "3",
+            "--expect-root",
+            "0000000000000000",
+        ])
+        .unwrap();
+        assert!(out.contains("DIVERGED"), "{out}");
+        // ...unless --fail-on-divergence escalates it to exit code 2.
+        let err = run_raw(&[
+            "trace",
+            "--packets",
+            "60",
+            "--seed",
+            "3",
+            "--expect-root",
+            "0000000000000000",
+            "--fail-on-divergence",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
+        assert!(err.message().contains("does not match expected"));
+    }
+
+    #[test]
+    fn digest_window_journals_audit_blobs_and_requires_telemetry() {
+        let dir = std::env::temp_dir().join("tempriv_cli_digest_window_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("run.jsonl");
+        let man_str = manifest.to_str().unwrap();
+        run(&[
+            "sweep",
+            "--experiment",
+            "fig3",
+            "--points",
+            "2",
+            "--packets",
+            "60",
+            "--quiet",
+            "--manifest",
+            man_str,
+            "--telemetry",
+            dir.join("t.json").to_str().unwrap(),
+            "--digest-window",
+            "256",
+        ])
+        .unwrap();
+        let back = tempriv_runtime::ManifestReader::read(&manifest).unwrap();
+        assert_eq!(back.records.len(), 1);
+        let blob = back.records[0].audit.as_deref().expect("audit journaled");
+        let audit: tempriv_core::telemetry::JobAudit = serde_json::from_str(blob).unwrap();
+        assert_eq!(audit.root.len(), 16);
+        assert!(!audit.scenarios.is_empty());
+        assert!(audit.scenarios.iter().all(|s| s.digest.events > 0));
+        assert_eq!(audit.root, audit.compute_root());
+
+        let err = run(&["sweep", "--quiet", "--digest-window", "256"]).unwrap_err();
+        assert!(err.contains("requires --telemetry"));
+        let err = run(&[
+            "sweep",
+            "--quiet",
+            "--telemetry",
+            "t.json",
+            "--digest-window",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("must be positive"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

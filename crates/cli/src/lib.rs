@@ -17,5 +17,6 @@
 #![warn(clippy::all)]
 
 pub mod args;
+pub mod audit_cmd;
 pub mod commands;
 pub mod serve_cmd;

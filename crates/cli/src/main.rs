@@ -3,7 +3,7 @@
 use std::process::ExitCode;
 
 use tempriv_cli::args::Args;
-use tempriv_cli::commands::dispatch;
+use tempriv_cli::commands::{dispatch, CliError};
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -11,9 +11,12 @@ fn main() -> ExitCode {
     let mut out = stdout.lock();
     match dispatch(&args, &mut out) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            match &err {
+                CliError::Error(msg) => eprintln!("error: {msg}"),
+                CliError::Divergence(msg) => eprintln!("divergence: {msg}"),
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -225,15 +225,8 @@ impl SimOutcome {
     /// determinism.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(FNV_PRIME);
-            }
-        };
+        let mut hasher = tempriv_telemetry::audit::digest::Fnv64::new();
+        let mut eat = |bytes: &[u8]| hasher.update(bytes);
         eat(&self.end_time.ticks().to_le_bytes());
         for obs in &self.observations {
             eat(&obs.arrival.ticks().to_le_bytes());
@@ -251,7 +244,7 @@ impl SimOutcome {
             eat(&node.transmissions.to_le_bytes());
         }
         eat(&self.link_losses.to_le_bytes());
-        hash
+        hasher.finish()
     }
 
     /// Per-packet latencies of `flow` in arrival order (reconstructed

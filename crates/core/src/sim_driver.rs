@@ -519,11 +519,16 @@ impl NetworkSimulation {
         let end_time = engine.now();
         let events = engine.delivered();
         let peak_fes = engine.peak_pending() as u64;
+        let queue_footprint = engine.queue_footprint() as u64;
+        let queue_compactions = engine.queue_compactions();
 
         for (i, buffer) in driver.buffers.iter().enumerate() {
             driver.probe.on_high_water(i, buffer.high_water() as u64);
         }
         driver.probe.on_engine_stats(events, peak_fes);
+        driver
+            .probe
+            .on_queue_stats(queue_footprint, queue_compactions);
         driver.probe.on_run_end(end_time);
 
         let rng_draws = driver.delay_rngs.iter().map(SimRng::draws).sum::<u64>()

@@ -37,9 +37,10 @@ use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
 use tempriv_runtime::{Runtime, TelemetrySink};
 use tempriv_telemetry::{
-    BtqParams, FlightLog, FlightRecorder, FlowAoi, FlowPrivacyConfig, MetricsRegistry,
-    PhaseBreakdown, PhaseProfiler, PrivacyProbe, PrivacySeries, RecordingProbe, SimTelemetry,
-    SpanRecord, SpanSet, TelemetrySnapshot, TheoryCheck, TheoryReport, TheoryTolerance, TraceCtx,
+    BtqParams, DigestProbe, FlightLog, FlightRecorder, FlowAoi, FlowPrivacyConfig, MetricsRegistry,
+    PhaseBreakdown, PhaseProfiler, PrivacyProbe, PrivacySeries, RecordingProbe, RunDigest,
+    SimProbe, SimTelemetry, SpanRecord, SpanSet, TelemetrySnapshot, TheoryCheck, TheoryReport,
+    TheoryTolerance, TraceCtx,
 };
 
 use crate::buffer::BufferPolicy;
@@ -408,6 +409,67 @@ pub struct JobSpans {
     pub profiles: Vec<ScenarioProfile>,
 }
 
+/// One scenario's determinism-audit digest within a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioAudit {
+    /// Scenario label within the job (matches the telemetry label).
+    pub label: String,
+    /// The windowed checkpoint digests and run root for this scenario.
+    pub digest: RunDigest,
+}
+
+/// Everything one job attaches as its manifest *audit* blob when the
+/// determinism audit is on: one [`RunDigest`] per simulated scenario
+/// plus a job-level root folding the scenario roots together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobAudit {
+    /// One entry per audited scenario, in execution order.
+    pub scenarios: Vec<ScenarioAudit>,
+    /// Digest over every `label:root` pair in order — one line to
+    /// compare when asking "did this job replay identically?".
+    pub root: String,
+}
+
+impl JobAudit {
+    /// The job root implied by the current scenario list: the content
+    /// digest of each scenario's `label:root` line, in order.
+    #[must_use]
+    pub fn compute_root(&self) -> String {
+        let mut lines = String::new();
+        for scenario in &self.scenarios {
+            lines.push_str(&scenario.label);
+            lines.push(':');
+            lines.push_str(&scenario.digest.root);
+            lines.push('\n');
+        }
+        tempriv_telemetry::audit::digest::content_digest(lines.as_bytes())
+    }
+}
+
+/// Runs `sim` with `base` (plus whichever optional probe halves are
+/// active), keeping probe composition monomorphized without enumerating
+/// every on/off combination at the call site: the caller picks the base
+/// probe type (metrics alone, or metrics paired with a digest probe) and
+/// this helper handles the remaining three optional halves.
+fn run_with_base<P: SimProbe>(
+    sim: &NetworkSimulation,
+    base: &mut P,
+    flight: Option<&mut FlightRecorder>,
+    privacy: Option<&mut PrivacyProbe>,
+    profiler: Option<&mut PhaseProfiler>,
+) -> SimOutcome {
+    match (flight, privacy, profiler) {
+        (Some(f), Some(p), Some(t)) => sim.run_profiled(&mut ((base, f), p), t),
+        (Some(f), None, Some(t)) => sim.run_profiled(&mut (base, f), t),
+        (None, Some(p), Some(t)) => sim.run_profiled(&mut (base, p), t),
+        (None, None, Some(t)) => sim.run_profiled(base, t),
+        (Some(f), Some(p), None) => sim.run_probed(&mut ((base, f), p)),
+        (Some(f), None, None) => sim.run_probed(&mut (base, f)),
+        (None, Some(p), None) => sim.run_probed(&mut (base, p)),
+        (None, None, None) => sim.run_probed(base),
+    }
+}
+
 /// Runs a job's simulations, recording telemetry when the runtime has a
 /// [`TelemetrySink`] and running the plain, probe-free path otherwise.
 ///
@@ -423,6 +485,7 @@ pub struct JobTelemetryCollector<'a> {
     trace_capacity: usize,
     privacy_interval: usize,
     span_batch: usize,
+    digest_window: usize,
     epoch: std::time::Instant,
     job_ctx: TraceCtx,
     /// Parent span id for the job span: the serve/CLI root span when the
@@ -434,6 +497,7 @@ pub struct JobTelemetryCollector<'a> {
     trace: JobTrace,
     privacy: JobPrivacy,
     spans: JobSpans,
+    audit: JobAudit,
 }
 
 impl<'a> JobTelemetryCollector<'a> {
@@ -462,6 +526,7 @@ impl<'a> JobTelemetryCollector<'a> {
             trace_capacity: sink.map_or(0, TelemetrySink::trace_capacity),
             privacy_interval: sink.map_or(0, TelemetrySink::privacy_interval),
             span_batch: sink.map_or(0, TelemetrySink::span_batch),
+            digest_window: sink.map_or(0, TelemetrySink::digest_window),
             epoch: sink.map_or_else(std::time::Instant::now, TelemetrySink::epoch),
             job_ctx: root.child(index as u64),
             job_parent,
@@ -471,6 +536,7 @@ impl<'a> JobTelemetryCollector<'a> {
             trace: JobTrace::default(),
             privacy: JobPrivacy::default(),
             spans: JobSpans::default(),
+            audit: JobAudit::default(),
         }
     }
 
@@ -497,18 +563,27 @@ impl<'a> JobTelemetryCollector<'a> {
             .then(|| privacy_probe_for(sim, self.privacy_interval as u64));
         let mut profiler = (self.span_batch > 0)
             .then(|| PhaseProfiler::with_batch(u32::try_from(self.span_batch).unwrap_or(u32::MAX)));
+        let mut digest = (self.digest_window > 0).then(|| DigestProbe::new(self.digest_window));
         // Optional instrumentation composes through monomorphized pair
         // probes and a statically dispatched timer, so every disabled
-        // half costs nothing on the event path.
-        let outcome = match (flight.as_mut(), privacy.as_mut(), profiler.as_mut()) {
-            (Some(f), Some(p), Some(t)) => sim.run_profiled(&mut ((&mut probe, f), p), t),
-            (Some(f), None, Some(t)) => sim.run_profiled(&mut (&mut probe, f), t),
-            (None, Some(p), Some(t)) => sim.run_profiled(&mut (&mut probe, p), t),
-            (None, None, Some(t)) => sim.run_profiled(&mut probe, t),
-            (Some(f), Some(p), None) => sim.run_probed(&mut ((&mut probe, f), p)),
-            (Some(f), None, None) => sim.run_probed(&mut (&mut probe, f)),
-            (None, Some(p), None) => sim.run_probed(&mut (&mut probe, p)),
-            (None, None, None) => sim.run_probed(&mut probe),
+        // half costs nothing on the event path. The digest probe picks
+        // the *base* probe type so the other halves stay a single match.
+        let outcome = if let Some(d) = digest.as_mut() {
+            run_with_base(
+                sim,
+                &mut (&mut probe, d),
+                flight.as_mut(),
+                privacy.as_mut(),
+                profiler.as_mut(),
+            )
+        } else {
+            run_with_base(
+                sim,
+                &mut probe,
+                flight.as_mut(),
+                privacy.as_mut(),
+                profiler.as_mut(),
+            )
         };
         let flight_log = flight.map(|f| f.finish(outcome.end_time));
         let privacy_series = privacy.map(|p| p.finish(outcome.end_time));
@@ -566,6 +641,12 @@ impl<'a> JobTelemetryCollector<'a> {
                 series,
             });
         }
+        if let Some(digest) = digest {
+            self.audit.scenarios.push(ScenarioAudit {
+                label: label.to_string(),
+                digest: digest.finish(),
+            });
+        }
         outcome
     }
 
@@ -583,6 +664,11 @@ impl<'a> JobTelemetryCollector<'a> {
             if !self.privacy.scenarios.is_empty() {
                 let json = serde_json::to_string(&self.privacy).expect("job privacy serializes");
                 sink.attach_privacy(index, json);
+            }
+            if !self.audit.scenarios.is_empty() {
+                self.audit.root = self.audit.compute_root();
+                let json = serde_json::to_string(&self.audit).expect("job audit serializes");
+                sink.attach_audit(index, json);
             }
             if self.span_batch > 0 {
                 #[allow(clippy::cast_possible_truncation)]
@@ -712,6 +798,10 @@ impl TelemetryExport {
             "tempriv_engine_events_total",
             "Discrete events executed by the simulation engine across instrumented scenarios",
         );
+        let queue_compactions = registry.counter(
+            "tempriv_engine_queue_compactions_total",
+            "Tombstone compaction sweeps run by the future-event queue across instrumented scenarios",
+        );
         let latency_hist = registry.histogram(
             "tempriv_scenario_mean_latency",
             "Mean end-to-end delivery latency per instrumented scenario (time units)",
@@ -743,6 +833,7 @@ impl TelemetryExport {
         let mut engine_events_total = 0u64;
         let mut engine_wall_secs = 0.0f64;
         let mut peak_fes = 0u64;
+        let mut queue_footprint = 0u64;
         for job in job_telemetry.iter().flatten() {
             instrumented_jobs += 1;
             scenarios += job.scenarios.len();
@@ -756,8 +847,10 @@ impl TelemetryExport {
                 registry.inc(flushes, scenario.sim.total_flushes());
                 registry.inc(evicted, scenario.sim.trace_evicted);
                 registry.inc(engine_events, scenario.sim.engine_events);
+                registry.inc(queue_compactions, scenario.sim.queue_compactions);
                 engine_events_total += scenario.sim.engine_events;
                 peak_fes = peak_fes.max(scenario.sim.peak_fes);
+                queue_footprint = queue_footprint.max(scenario.sim.queue_footprint);
                 if scenario.sim.deliveries > 0 {
                     registry.observe(latency_hist, scenario.sim.mean_latency);
                 }
@@ -793,6 +886,17 @@ impl TelemetryExport {
             );
             #[allow(clippy::cast_precision_loss)]
             registry.set(g, peak_fes as f64);
+        }
+        // Queue-memory introspection: pre-audit blobs default the
+        // footprint to zero and get no gauge, so old manifests render
+        // unchanged.
+        if queue_footprint > 0 {
+            let g = registry.gauge(
+                "tempriv_engine_queue_footprint_bytes",
+                "Event-queue heap footprint in bytes, max across instrumented scenarios",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, queue_footprint as f64);
         }
         for i in 0..n_nodes {
             if occ_count[i] == 0 {
@@ -962,6 +1066,17 @@ impl TelemetryExport {
                 "  FLAGGED {}: predicted {:.4}, measured {:.4}, deviation {:.4} > tol {:.4}\n",
                 check.name, check.predicted, check.measured, check.deviation, check.tolerance
             ));
+        }
+        // Engine introspection counters surface in the text summary too:
+        // queue compactions and flight-ring evictions are the "did the
+        // engine shed state" signals an operator scans for first.
+        for counter in &self.metrics.counters {
+            if matches!(
+                counter.name.as_str(),
+                "tempriv_engine_queue_compactions_total" | "tempriv_trace_evicted_total"
+            ) {
+                out.push_str(&format!("  {} = {}\n", counter.name, counter.value));
+            }
         }
         for gauge in &self.metrics.gauges {
             out.push_str(&format!("  {} = {:.4}\n", gauge.name, gauge.value));
@@ -1395,6 +1510,78 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name.starts_with("tempriv_aoi_peak{flow=")));
+    }
+
+    #[test]
+    fn digest_probe_is_invisible_to_the_simulation() {
+        // The audit probe only observes: outcome byte-identical, RNG
+        // draw count unchanged — auditing can never perturb what it
+        // attests.
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let plain = sim.run();
+        let mut digest = DigestProbe::new(256);
+        let probed = sim.run_probed(&mut digest);
+        assert_eq!(probed.rng_draws, plain.rng_draws);
+        assert_eq!(probed, plain);
+        assert_eq!(
+            serde_json::to_string(&probed).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "audited outcome serializes byte-identically"
+        );
+        assert!(digest.events() > 0, "the probe did observe events");
+    }
+
+    #[test]
+    fn run_digest_is_invariant_to_probe_stacking() {
+        // The digest must describe the *simulation*, not the
+        // instrumentation: a full metrics+trace+privacy stack on top of
+        // the digest probe yields the same windows and root as the
+        // digest probe alone.
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::poisson(0.5));
+        let mut alone = DigestProbe::new(256);
+        let solo_outcome = sim.run_probed(&mut alone);
+
+        let mut stacked = DigestProbe::new(256);
+        let mut metrics = RecordingProbe::new(sim.routing().len());
+        let mut flight = FlightRecorder::with_capacity(1 << 16);
+        let mut privacy = privacy_probe_for(&sim, 25);
+        let stacked_outcome =
+            sim.run_probed(&mut (((&mut metrics, &mut stacked), &mut flight), &mut privacy));
+
+        assert_eq!(stacked_outcome, solo_outcome);
+        let solo = alone.finish();
+        let full = stacked.finish();
+        assert_eq!(solo.root, full.root);
+        assert_eq!(solo.checkpoints, full.checkpoints);
+        assert_eq!(solo, full);
+    }
+
+    #[test]
+    fn collector_attaches_audit_blob_when_window_is_set() {
+        use std::sync::Arc;
+        let sink = Arc::new(TelemetrySink::new());
+        sink.set_digest_window(256);
+        sink.reset(1);
+        let runtime = Runtime::builder()
+            .workers(1)
+            .telemetry_sink(sink.clone())
+            .build()
+            .unwrap();
+        let sim = paper_sim(BufferPolicy::paper_rcad(), TrafficModel::periodic(2.0));
+        let mut collector = JobTelemetryCollector::for_job(&runtime, 0);
+        let outcome = collector.run(&sim, "rcad");
+        collector.finish();
+        assert_eq!(outcome, sim.run(), "auditing does not perturb the run");
+        let blob = sink.get_audit(0).expect("audit blob attached");
+        let audit: JobAudit = serde_json::from_str(&blob).unwrap();
+        assert_eq!(audit.scenarios.len(), 1);
+        assert_eq!(audit.scenarios[0].label, "rcad");
+        assert_eq!(audit.root, audit.compute_root());
+        assert_eq!(audit.root.len(), 16);
+        // The scenario digest matches a direct probe of the same run.
+        let mut direct = DigestProbe::new(256);
+        let _ = sim.run_probed(&mut direct);
+        assert_eq!(audit.scenarios[0].digest, direct.finish());
     }
 
     #[test]

@@ -13,20 +13,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// A 64-bit FNV-1a digest of arbitrary bytes, rendered as fixed-width
-/// hex. The same function family the simulator uses for
-/// `SimOutcome::digest`, so cache keys and outcome fingerprints share one
-/// notion of content identity.
-#[must_use]
-pub fn content_digest(bytes: &[u8]) -> String {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    format!("{hash:016x}")
-}
+/// hex — the canonical [`tempriv_telemetry::audit::digest`] family, so
+/// cache keys, serve job keys, outcome fingerprints, and audit
+/// checkpoints share one notion of content identity and can never
+/// drift apart.
+pub use tempriv_telemetry::audit::digest::content_digest;
 
 /// A thread-safe key → JSON store with an optional disk tier.
 #[derive(Debug, Default)]

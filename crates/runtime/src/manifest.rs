@@ -74,6 +74,13 @@ pub struct JobRecord {
     /// tracing existed.
     #[serde(default)]
     pub spans: Option<String>,
+    /// Per-job determinism-audit digest blob (JSON `RunDigest`: windowed
+    /// checkpoints plus the run-root digest), attached only when the run
+    /// enabled auditing and the job was actually computed. `None` for
+    /// cache-served jobs and for manifests written before auditing
+    /// existed.
+    #[serde(default)]
+    pub audit: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -219,6 +226,7 @@ mod tests {
             trace: None,
             privacy: None,
             spans: None,
+            audit: None,
         }
     }
 
@@ -233,7 +241,17 @@ mod tests {
         assert_eq!(old.trace, None);
         assert_eq!(old.privacy, None);
         assert_eq!(old.spans, None);
+        assert_eq!(old.audit, None);
         assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn audit_blob_round_trips() {
+        let mut r = record(4);
+        r.audit = Some("{\"checkpoints\":[],\"root\":\"00\"}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -18,14 +18,16 @@ use std::time::Instant;
 /// runtime and job closures.
 ///
 /// Thread-safe: jobs run on pool workers, each writing only its own
-/// slot. Next to the telemetry slots the sink keeps three parallel blob
+/// slot. Next to the telemetry slots the sink keeps four parallel blob
 /// families: *trace* slots for flight-recorder blobs (with the ring
 /// capacity the run's recorders should use,
 /// [`TelemetrySink::trace_capacity`], 0 = tracing off), *privacy*
 /// slots for streaming privacy-observatory series (with the snapshot
 /// interval [`TelemetrySink::privacy_interval`], 0 = observatory off),
-/// and *span* slots for cross-layer span/profile blobs (with the phase
-/// switch batch [`TelemetrySink::span_batch`], 0 = span tracing off).
+/// *span* slots for cross-layer span/profile blobs (with the phase
+/// switch batch [`TelemetrySink::span_batch`], 0 = span tracing off),
+/// and *audit* slots for determinism-audit digest blobs (with the
+/// checkpoint window [`TelemetrySink::digest_window`], 0 = audit off).
 ///
 /// For span tracing the sink also carries a root trace context — two
 /// raw ids set by the layer that minted the trace (e.g. the HTTP
@@ -42,6 +44,8 @@ pub struct TelemetrySink {
     privacy_interval: AtomicUsize,
     span_slots: Mutex<Vec<Option<String>>>,
     span_batch: AtomicUsize,
+    audit_slots: Mutex<Vec<Option<String>>>,
+    digest_window: AtomicUsize,
     root_trace_id: AtomicU64,
     root_span_id: AtomicU64,
     epoch: Instant,
@@ -65,6 +69,8 @@ impl TelemetrySink {
             privacy_interval: AtomicUsize::new(0),
             span_slots: Mutex::new(Vec::new()),
             span_batch: AtomicUsize::new(0),
+            audit_slots: Mutex::new(Vec::new()),
+            digest_window: AtomicUsize::new(0),
             root_trace_id: AtomicU64::new(0),
             root_span_id: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -89,6 +95,10 @@ impl TelemetrySink {
         let mut spans = self.span_slots.lock().expect("span sink lock");
         spans.clear();
         spans.resize(jobs, None);
+        drop(spans);
+        let mut audits = self.audit_slots.lock().expect("audit sink lock");
+        audits.clear();
+        audits.resize(jobs, None);
     }
 
     /// Sets the flight-recorder ring capacity jobs should trace with.
@@ -256,6 +266,41 @@ impl TelemetrySink {
         let mut spans = self.span_slots.lock().expect("span sink lock");
         std::mem::take(&mut *spans)
     }
+
+    /// Sets the checkpoint window (events per digest window) audit-probe
+    /// jobs should digest with. Zero (the default) disables auditing.
+    pub fn set_digest_window(&self, window: usize) {
+        self.digest_window.store(window, Ordering::Relaxed);
+    }
+
+    /// The audit checkpoint window for this run (0 = auditing off).
+    #[must_use]
+    pub fn digest_window(&self) -> usize {
+        self.digest_window.load(Ordering::Relaxed)
+    }
+
+    /// Attaches job `index`'s audit-digest blob (JSON). Like
+    /// [`TelemetrySink::attach`], silently ignored when out of range.
+    pub fn attach_audit(&self, index: usize, json: impl Into<String>) {
+        let mut audits = self.audit_slots.lock().expect("audit sink lock");
+        if let Some(slot) = audits.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s audit blob, if one was attached.
+    #[must_use]
+    pub fn get_audit(&self, index: usize) -> Option<String> {
+        let audits = self.audit_slots.lock().expect("audit sink lock");
+        audits.get(index).and_then(Clone::clone)
+    }
+
+    /// All audit blobs in job order, draining the audit slots.
+    #[must_use]
+    pub fn take_all_audit(&self) -> Vec<Option<String>> {
+        let mut audits = self.audit_slots.lock().expect("audit sink lock");
+        std::mem::take(&mut *audits)
+    }
 }
 
 #[cfg(test)]
@@ -363,6 +408,29 @@ mod tests {
         assert_eq!(sink.span_batch(), 0);
         sink.set_span_batch(64);
         assert_eq!(sink.span_batch(), 64);
+    }
+
+    #[test]
+    fn audit_slots_mirror_telemetry_slots() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach_audit(1, "{\"root\":\"00\"}");
+        assert_eq!(sink.get_audit(0), None);
+        assert_eq!(sink.get_audit(1).as_deref(), Some("{\"root\":\"00\"}"));
+        sink.attach_audit(7, "{}"); // out of range: ignored
+        let all = sink.take_all_audit();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].as_deref(), Some("{\"root\":\"00\"}"));
+        sink.reset(1);
+        assert_eq!(sink.get_audit(1), None, "reset clears audit slots");
+    }
+
+    #[test]
+    fn digest_window_defaults_to_off() {
+        let sink = TelemetrySink::new();
+        assert_eq!(sink.digest_window(), 0);
+        sink.set_digest_window(4096);
+        assert_eq!(sink.digest_window(), 4096);
     }
 
     #[test]

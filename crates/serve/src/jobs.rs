@@ -15,8 +15,10 @@ use tempriv_core::experiment::{
     adversary_panel_sweep_with, delay_ablation_sweep_with, fig2_sweep_with, fig3_sweep_with,
     mix_comparison_sweep_with, victim_ablation_sweep_with, SweepParams,
 };
+use tempriv_core::telemetry::JobAudit;
 use tempriv_net::FlowId;
 use tempriv_runtime::{content_digest, Runtime, TelemetrySink};
+use tempriv_telemetry::DEFAULT_DIGEST_WINDOW;
 
 /// Experiment names [`execute`] understands.
 pub const EXPERIMENTS: &[&str] = &["fig2", "fig3", "adversary", "victim", "delay", "mix"];
@@ -158,6 +160,10 @@ impl JobSpec {
 pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<String, String> {
     let mut builder = Runtime::builder().workers(1);
     if let Some(sink) = &sink {
+        // Every instrumented serve job carries the determinism audit:
+        // the digest probe is cheap, observes only, and lets the digest
+        // endpoint attest any cold run.
+        sink.set_digest_window(DEFAULT_DIGEST_WINDOW);
         sink.set_privacy_interval(spec.privacy_interval);
         if spec.trace {
             sink.set_span_batch(tempriv_telemetry::DEFAULT_PHASE_BATCH as usize);
@@ -181,6 +187,48 @@ pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<Strin
         other => return Err(format!("unknown experiment {other:?}")),
     };
     rows_json.map_err(|e| format!("result serialization failed: {e}"))
+}
+
+/// The digest summary served at `GET /v1/jobs/:id/digest`: one
+/// [`JobAudit`] per sweep point plus a job-level root folding the point
+/// roots. The serialized summary is cached next to the result rows, so a
+/// warm hit replays the exact bytes — and therefore the exact root — the
+/// cold run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobDigest {
+    /// One audit record per sweep point, in point order.
+    pub points: Vec<JobAudit>,
+    /// Digest over the per-point roots, in order.
+    pub root: String,
+}
+
+/// The cache key a spec's digest summary lives under (parallel to the
+/// result rows cached under [`JobSpec::key`]).
+#[must_use]
+pub fn digest_key(key: &str) -> String {
+    format!("audit|{key}")
+}
+
+/// Folds the per-point audit blobs a cold run attached to `sink` into
+/// the serialized [`JobDigest`]. `None` when any point is missing its
+/// blob (the run was not audited).
+#[must_use]
+pub fn collect_digest(sink: &TelemetrySink, points: usize) -> Option<String> {
+    let mut audits = Vec::with_capacity(points);
+    for point in 0..points {
+        let blob = sink.get_audit(point)?;
+        audits.push(serde_json::from_str::<JobAudit>(&blob).ok()?);
+    }
+    let mut lines = String::new();
+    for audit in &audits {
+        lines.push_str(&audit.root);
+        lines.push('\n');
+    }
+    let digest = JobDigest {
+        points: audits,
+        root: content_digest(lines.as_bytes()),
+    };
+    Some(serde_json::to_string(&digest).expect("digest summary serializes"))
 }
 
 #[cfg(test)]

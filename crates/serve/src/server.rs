@@ -18,7 +18,7 @@
 
 use crate::admission::Admission;
 use crate::http::{write_sse_event, write_sse_preamble, Request, Response};
-use crate::jobs::{execute, JobSpec};
+use crate::jobs::{collect_digest, digest_key, execute, JobSpec};
 use crate::journal::{ServeEvent, ServeJournal};
 use crate::metrics::ServeMetrics;
 use std::collections::{HashMap, VecDeque};
@@ -355,15 +355,16 @@ fn run_job(state: &ServerState, id: &str) {
             .saturating_duration_since(entry.submitted_at)
             .as_secs_f64()
             * 1e3;
-        let sink = if entry.spec.privacy_interval > 0 || entry.spec.trace {
+        // Every cold job runs instrumented: the determinism audit needs
+        // a sink even when neither SSE privacy streaming nor span
+        // tracing was requested.
+        let sink = {
             let sink = Arc::new(TelemetrySink::new());
             if let Some(ctx) = entry.ctx {
                 sink.set_root_ctx(ctx.trace_id, ctx.span_id);
             }
             entry.live = Some(Arc::clone(&sink));
             Some(sink)
-        } else {
-            None
         };
         let picked = (
             entry.spec.clone(),
@@ -391,9 +392,17 @@ fn run_job(state: &ServerState, id: &str) {
             digest: content_digest(rows.as_bytes()),
             error: None,
         },
-        None => match execute(&spec, sink) {
+        None => match execute(&spec, sink.clone()) {
             Ok(rows) => {
                 state.cache.put(&key, &rows);
+                // Freeze the cold run's audit digests alongside the
+                // rows: a warm hit later serves these exact bytes, so
+                // warm and cold digest responses share one root.
+                if let Some(sink) = &sink {
+                    if let Some(digest) = collect_digest(sink, spec.points()) {
+                        state.cache.put(&digest_key(&key), &digest);
+                    }
+                }
                 Outcome {
                     ok: true,
                     cached: false,
@@ -502,6 +511,9 @@ fn route(state: &ServerState, request: &Request) -> Response {
                 }
                 if let Some(id) = rest.strip_suffix("/trace") {
                     return job_trace(state, id);
+                }
+                if let Some(id) = rest.strip_suffix("/digest") {
+                    return job_digest(state, id);
                 }
                 if !rest.contains('/') {
                     return job_status(state, rest, request);
@@ -719,6 +731,30 @@ fn status_json(entry: &JobEntry, outcome: &Outcome, result: Option<&str>) -> Str
     }
     out.push('}');
     out
+}
+
+/// Serves the determinism-audit digest summary a cold run froze next to
+/// its result rows. Warm submissions of the same spec share the cache
+/// key, so they return the byte-identical summary — and root — the cold
+/// run produced.
+fn job_digest(state: &ServerState, id: &str) -> Response {
+    let inner = state.inner.lock().expect("store lock");
+    let Some(entry) = inner.entries.get(id) else {
+        return Response::error(404, &format!("no such job: {id}"));
+    };
+    match &entry.state {
+        JobState::Done(outcome) if outcome.ok => match state.cache.get(&digest_key(&entry.key)) {
+            Some(digest) => Response::json(200, digest),
+            None => Response::error(
+                404,
+                "no digest recorded for this job (result predates the audit)",
+            ),
+        },
+        JobState::Done(outcome) => {
+            Response::error(404, outcome.error.as_deref().unwrap_or("job failed"))
+        }
+        _ => Response::error(404, &format!("job {id} not finished")),
+    }
 }
 
 fn job_result(state: &ServerState, id: &str) -> Response {

@@ -364,6 +364,69 @@ fn traced_job_exports_one_chrome_timeline_with_a_consistent_trace_id() {
 }
 
 #[test]
+fn digest_endpoint_returns_the_same_root_warm_and_cold() {
+    let (addr, handle) = spawn_server(ephemeral(|_| {}));
+
+    // Cold run: simulated, audit digests frozen next to the rows.
+    let cold = submit_job(&addr, "audit", &tiny_spec(61)).unwrap();
+    assert_eq!(cold.status, 202, "{}", cold.text());
+    let cold_id = extract_id(&cold.text());
+    wait_done(&addr, &cold_id);
+    let cold_digest = request(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{cold_id}/digest"),
+        &[],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(cold_digest.status, 200, "{}", cold_digest.text());
+    let cold_body = cold_digest.text();
+    assert!(cold_body.contains("\"root\":\""), "{cold_body}");
+    assert!(cold_body.contains("\"checkpoints\""), "{cold_body}");
+
+    // Warm hit: no simulation, but the digest response — and therefore
+    // the run root — is byte-identical to the cold run's.
+    let warm = submit_job(&addr, "audit", &tiny_spec(61)).unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.text());
+    assert!(warm.text().contains("\"cached\":true"));
+    let warm_id = extract_id(&warm.text());
+    let warm_digest = request(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{warm_id}/digest"),
+        &[],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(warm_digest.status, 200);
+    assert_eq!(
+        warm_digest.body, cold_digest.body,
+        "warm digest must be byte-identical to the cold run's"
+    );
+
+    // A different seed gets a different root.
+    let other = submit_job(&addr, "audit", &tiny_spec(62)).unwrap();
+    let other_id = extract_id(&other.text());
+    wait_done(&addr, &other_id);
+    let other_digest = request(
+        &addr,
+        "GET",
+        &format!("/v1/jobs/{other_id}/digest"),
+        &[],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(other_digest.status, 200);
+    assert_ne!(
+        other_digest.body, cold_digest.body,
+        "a different seed diverges"
+    );
+
+    shutdown(&addr, handle);
+}
+
+#[test]
 fn unknown_routes_and_bad_specs_are_clean_errors() {
     let (addr, handle) = spawn_server(ephemeral(|_| {}));
 

@@ -161,6 +161,21 @@ impl<E> Engine<E> {
         self.queue.peak_len()
     }
 
+    /// Entries physically held by the future-event heap right now,
+    /// including not-yet-collected cancellation tombstones (see
+    /// [`EventQueue::footprint`]).
+    #[must_use]
+    pub fn queue_footprint(&self) -> usize {
+        self.queue.footprint()
+    }
+
+    /// Tombstone compaction passes the future-event queue has performed
+    /// (see [`EventQueue::compactions`]).
+    #[must_use]
+    pub fn queue_compactions(&self) -> u64 {
+        self.queue.compactions()
+    }
+
     /// Schedules an event before the run starts (or between runs).
     ///
     /// # Errors

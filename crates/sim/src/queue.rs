@@ -114,6 +114,8 @@ pub struct EventQueue<E> {
     live: usize,
     /// Cancelled entries still physically in the heap.
     tombstones: usize,
+    /// Tombstone compaction passes performed over the queue's lifetime.
+    compactions: u64,
     peak_live: usize,
 }
 
@@ -131,6 +133,7 @@ impl<E> EventQueue<E> {
             delivered: 0,
             live: 0,
             tombstones: 0,
+            compactions: 0,
             peak_live: 0,
         }
     }
@@ -230,6 +233,7 @@ impl<E> EventQueue<E> {
         let settled = &self.settled;
         self.heap.retain(|slot| !settled.get(slot.seq));
         self.tombstones = 0;
+        self.compactions += 1;
         for i in (0..self.heap.len() / 4 + 1).rev() {
             self.sift_down(i);
         }
@@ -305,6 +309,14 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn footprint(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Tombstone compaction passes performed so far — how often the
+    /// cancel-heavy path had to sweep the heap. Deterministic: a pure
+    /// function of the push/cancel history.
+    #[must_use]
+    pub const fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Drops all pending events.
@@ -518,6 +530,22 @@ mod tests {
         let (_, id, first) = q.pop_with_id().unwrap();
         assert_eq!((id, first), (later[0], 100));
         assert!(q.is_pending(keep));
+    }
+
+    #[test]
+    fn compaction_counter_tracks_sweeps() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.compactions(), 0);
+        let ids: Vec<_> = (0..1000u64).map(|i| q.push(t(1e6 + i as f64), i)).collect();
+        for id in ids {
+            q.cancel(id);
+        }
+        assert!(q.compactions() > 0, "mass cancellation must compact");
+        // Delivering events never compacts.
+        let before = q.compactions();
+        q.push(t(1.0), 0);
+        q.pop();
+        assert_eq!(q.compactions(), before);
     }
 
     #[test]

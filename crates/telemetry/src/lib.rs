@@ -27,7 +27,13 @@
 //!   tolerances, collected into a [`TheoryReport`];
 //! * [`span`] — wall-clock spans for timing pipeline stages, plus the
 //!   cross-layer span tracer ([`TraceCtx`], [`SpanRecord`], [`SpanRing`])
-//!   whose Chrome-trace export merges with the flight recorder's.
+//!   whose Chrome-trace export merges with the flight recorder's;
+//! * [`audit`] — the determinism observatory: a [`DigestProbe`] folding
+//!   the packet event stream into windowed checkpoint digests and a
+//!   Merkle-style run root, [`audit::diff`] naming the first divergent
+//!   window between two runs, and the canonical [`audit::digest`]
+//!   content-identity primitives shared by the runtime cache, serve
+//!   keys, and outcome fingerprints.
 //!
 //! # Determinism contract
 //!
@@ -39,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod flight;
 pub mod privacy;
 pub mod probe;
@@ -47,6 +54,10 @@ pub mod registry;
 pub mod span;
 pub mod theory;
 
+pub use audit::{
+    diff, first_divergent_event, fold_root, CapturedEvent, DiffReport, DigestProbe, Divergence,
+    EventDivergence, RunDigest, WindowCapture, WindowDigest, DEFAULT_DIGEST_WINDOW,
+};
 pub use flight::{
     FlightEvent, FlightLog, FlightRecorder, FlowAoi, HopResidence, LatencySpectra, LineageOutcome,
     PacketEvent, PacketEventKind, PacketLineage, DEFAULT_FLIGHT_CAPACITY,

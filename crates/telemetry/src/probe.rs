@@ -77,6 +77,15 @@ pub trait SimProbe {
         let _ = (events, peak_fes);
     }
 
+    /// Future-event-queue accounting reported once at run end: the final
+    /// physical heap footprint (live entries plus uncollected
+    /// cancellation tombstones) and the number of tombstone compaction
+    /// passes. Deterministic — both are pure functions of the
+    /// push/cancel history.
+    fn on_queue_stats(&mut self, footprint: u64, compactions: u64) {
+        let _ = (footprint, compactions);
+    }
+
     /// The run ended at `end` (stop reason already resolved).
     fn on_run_end(&mut self, end: SimTime) {
         let _ = end;
@@ -129,6 +138,10 @@ impl<P: SimProbe + ?Sized> SimProbe for &mut P {
 
     fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
         (**self).on_engine_stats(events, peak_fes);
+    }
+
+    fn on_queue_stats(&mut self, footprint: u64, compactions: u64) {
+        (**self).on_queue_stats(footprint, compactions);
     }
 
     fn on_run_end(&mut self, end: SimTime) {
@@ -184,6 +197,11 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
         self.0.on_engine_stats(events, peak_fes);
         self.1.on_engine_stats(events, peak_fes);
+    }
+
+    fn on_queue_stats(&mut self, footprint: u64, compactions: u64) {
+        self.0.on_queue_stats(footprint, compactions);
+        self.1.on_queue_stats(footprint, compactions);
     }
 
     fn on_run_end(&mut self, end: SimTime) {
@@ -309,6 +327,8 @@ pub struct RecordingProbe {
     end: Option<SimTime>,
     engine_events: u64,
     peak_fes: u64,
+    queue_footprint: u64,
+    queue_compactions: u64,
 }
 
 /// Default capacity of the per-run bounded event trace.
@@ -340,6 +360,8 @@ impl RecordingProbe {
             end: None,
             engine_events: 0,
             peak_fes: 0,
+            queue_footprint: 0,
+            queue_compactions: 0,
         }
     }
 
@@ -359,6 +381,8 @@ impl RecordingProbe {
         self.end = None;
         self.engine_events = 0;
         self.peak_fes = 0;
+        self.queue_footprint = 0;
+        self.queue_compactions = 0;
     }
 
     /// The bounded trace of recent probe events.
@@ -408,6 +432,8 @@ impl RecordingProbe {
             trace_evicted: self.trace.dropped(),
             engine_events: self.engine_events,
             peak_fes: self.peak_fes,
+            queue_footprint: self.queue_footprint,
+            queue_compactions: self.queue_compactions,
         }
     }
 }
@@ -457,6 +483,11 @@ impl SimProbe for RecordingProbe {
     fn on_engine_stats(&mut self, events: u64, peak_fes: u64) {
         self.engine_events = events;
         self.peak_fes = peak_fes;
+    }
+
+    fn on_queue_stats(&mut self, footprint: u64, compactions: u64) {
+        self.queue_footprint = footprint;
+        self.queue_compactions = compactions;
     }
 
     fn on_run_end(&mut self, end: SimTime) {
@@ -538,6 +569,14 @@ pub struct SimTelemetry {
     /// Peak size of the engine's future-event set (0 for older blobs).
     #[serde(default)]
     pub peak_fes: u64,
+    /// Final physical footprint of the future-event heap, including
+    /// uncollected cancellation tombstones (0 for older blobs).
+    #[serde(default)]
+    pub queue_footprint: u64,
+    /// Tombstone compaction passes the future-event queue performed
+    /// (0 for older blobs).
+    #[serde(default)]
+    pub queue_compactions: u64,
 }
 
 impl SimTelemetry {
