@@ -4,7 +4,10 @@
 //! `--bench privacy` times the streaming privacy observatory
 //! (`BENCH_privacy.json`); `--bench span` times the engine self-profiler
 //! (`BENCH_span.json`); `--bench audit` times the windowed determinism
-//! digest probe (`BENCH_audit.json`); `--bench scale` sweeps random
+//! digest probe (`BENCH_audit.json`); `--bench mem` times the
+//! counting-allocator observatory and ledgers allocs per delivered
+//! packet across the seven buffer/victim configs plus 100/1k/10k scale
+//! points (`BENCH_mem.json`); `--bench scale` sweeps random
 //! geometric convergecast fields at ~100/1k/10k nodes and writes
 //! `BENCH_core.json` (events/sec, peak future-event-set size, wall
 //! seconds per mode).
@@ -29,10 +32,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use tempriv_core::buffer::BufferPolicy;
+use tempriv_bench::harness::{best_of_interleaved, ModeTiming, OverheadSummary};
+use tempriv_core::buffer::{BufferPolicy, VictimPolicy};
 use tempriv_core::delay::DelayPlan;
 use tempriv_core::sim_driver::NetworkSimulation;
 use tempriv_core::telemetry::privacy_probe_for;
@@ -42,7 +45,14 @@ use tempriv_net::ids::NodeId;
 use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::TrafficModel;
 use tempriv_sim::rng::RngFactory;
-use tempriv_telemetry::{DigestProbe, FlightRecorder, PhaseProfiler, RecordingProbe};
+use tempriv_telemetry::{
+    memprof, DigestProbe, FlightRecorder, MemScopeTimer, PhaseProfiler, RecordingProbe,
+};
+
+/// The mem bench counts through the real allocator; the other modes
+/// leave the gate off and pay one relaxed load per allocation.
+#[global_allocator]
+static ALLOC: tempriv_telemetry::CountingAlloc = tempriv_telemetry::CountingAlloc;
 
 /// Which instrumented mode the third timing column measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,19 +65,10 @@ enum BenchKind {
     Span,
     /// Windowed determinism digest probe (`BENCH_audit.json`).
     Audit,
+    /// Counting-allocator observatory (`BENCH_mem.json`).
+    Mem,
     /// Discrete-event core throughput on geometric fields (`BENCH_core.json`).
     Scale,
-}
-
-/// One instrumentation mode's timings across the sweep.
-#[derive(Debug, Serialize)]
-struct ModeTiming {
-    /// Mode name: `probes_off`, `metrics`, or `tracing`.
-    mode: String,
-    /// Best-of-repeats seconds per sweep point, in point order.
-    point_secs: Vec<f64>,
-    /// Sum of the per-point times.
-    total_secs: f64,
 }
 
 /// The `BENCH_trace.json` payload.
@@ -169,6 +170,73 @@ struct AuditBenchReport {
     audited_overhead_pct: f64,
 }
 
+/// One buffer/victim config's steady-state allocation ledger.
+#[derive(Debug, Serialize)]
+struct MemConfigLedger {
+    /// Config label, e.g. `rcad_shortest_remaining`.
+    config: String,
+    /// Heap allocations in one steady-state (post-warm-up) run.
+    allocs: u64,
+    /// Bytes requested in that run.
+    alloc_bytes: u64,
+    /// Packets delivered in that run.
+    delivered: u64,
+    /// `allocs / delivered` — the zero-alloc-data-plane ratchet figure.
+    allocs_per_delivered: f64,
+    /// Peak live heap bytes during that run (peak rebased beforehand).
+    peak_live_bytes: u64,
+}
+
+/// One geometric scale point's allocation ledger.
+#[derive(Debug, Serialize)]
+struct MemScalePoint {
+    /// Node count of the geometric field.
+    nodes: usize,
+    /// Heap allocations in one steady-state run.
+    allocs: u64,
+    /// Packets delivered in that run.
+    delivered: u64,
+    /// `allocs / delivered`.
+    allocs_per_delivered: f64,
+    /// Peak live heap bytes during that run.
+    peak_live_bytes: u64,
+}
+
+/// The `BENCH_mem.json` payload. The timing half gates the counting
+/// allocator + scope timer against the metrics probe like every other
+/// observability bench; the ledger half commits allocs-per-delivered
+/// baselines per buffer/victim config and per scale point.
+#[derive(Debug, Serialize)]
+struct MemBenchReport {
+    /// What was benchmarked.
+    bench: String,
+    /// Inter-arrival times of the timing sweep points.
+    points: Vec<f64>,
+    /// Packets per source per point.
+    packets_per_source: u32,
+    /// Timing repetitions per point (minimum kept).
+    repeats: u32,
+    /// Per-mode timings: probes_off, metrics, mem.
+    modes: Vec<ModeTiming>,
+    /// `metrics total / probes_off total`.
+    metrics_over_probes_off: f64,
+    /// `mem total / probes_off total`.
+    mem_over_probes_off: f64,
+    /// `mem total / metrics total` — the allocator-observatory increment.
+    mem_over_metrics: f64,
+    /// Observatory overhead in percent: `(mem/metrics - 1) * 100`.
+    mem_overhead_pct: f64,
+    /// Headline: paper-config (RCAD shortest-remaining) steady-state
+    /// allocs per delivered packet.
+    allocs_per_delivered: f64,
+    /// Headline: max peak live heap bytes across the configs.
+    peak_live_bytes: u64,
+    /// Per-config ledgers across the seven buffer/victim configs.
+    configs: Vec<MemConfigLedger>,
+    /// Ledgers at the geometric 100/1k/10k scale points.
+    scale_points: Vec<MemScalePoint>,
+}
+
 /// One instrumentation mode's timing at one scale point.
 #[derive(Debug, Serialize, Deserialize)]
 struct ScaleModeTiming {
@@ -264,19 +332,21 @@ fn run_scale(
         let outcome = sim.run();
         let (events, peak_fes) = (outcome.events, outcome.peak_fes);
         std::hint::black_box(outcome);
-        let mut best = [f64::INFINITY; 2];
-        for _ in 0..repeats {
-            best[0] = best[0].min(time_once(|| {
-                let out = sim.run();
-                assert_eq!(out.events, events, "scale runs must be deterministic");
-                std::hint::black_box(out);
-            }));
-            best[1] = best[1].min(time_once(|| {
-                let mut probe = RecordingProbe::new(n_buf_nodes);
-                std::hint::black_box(sim.run_probed(&mut probe));
-                std::hint::black_box(&probe);
-            }));
-        }
+        let best = best_of_interleaved(
+            repeats,
+            &mut [
+                &mut || {
+                    let out = sim.run();
+                    assert_eq!(out.events, events, "scale runs must be deterministic");
+                    std::hint::black_box(out);
+                },
+                &mut || {
+                    let mut probe = RecordingProbe::new(n_buf_nodes);
+                    std::hint::black_box(sim.run_probed(&mut probe));
+                    std::hint::black_box(&probe);
+                },
+            ],
+        );
         let modes: Vec<ScaleModeTiming> = ["probes_off", "metrics"]
             .iter()
             .zip(best)
@@ -326,22 +396,129 @@ fn run_scale(
 }
 
 fn figure1_sim(inv_lambda: f64, packets: u32) -> NetworkSimulation {
+    figure1_sim_with(inv_lambda, packets, BufferPolicy::paper_rcad())
+}
+
+fn figure1_sim_with(inv_lambda: f64, packets: u32, buffer: BufferPolicy) -> NetworkSimulation {
     let layout = Convergecast::paper_figure1();
     NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
         .traffic(TrafficModel::periodic(inv_lambda))
         .packets_per_source(packets)
         .delay_plan(DelayPlan::shared_exponential(30.0))
-        .buffer_policy(BufferPolicy::paper_rcad())
+        .buffer_policy(buffer)
         .seed(2007)
         .build()
         .expect("paper Figure-1 config is valid")
 }
 
-/// Wall-clock seconds for one run of `f`.
-fn time_once<F: FnMut()>(mut f: F) -> f64 {
-    let start = Instant::now();
-    f();
-    start.elapsed().as_secs_f64()
+/// The seven buffer/victim configurations the memory ledger pins:
+/// every buffering discipline in the repo, with RCAD expanded across
+/// all four victim policies.
+fn mem_configs() -> [(&'static str, BufferPolicy); 7] {
+    [
+        ("unlimited", BufferPolicy::Unlimited),
+        ("drop_tail", BufferPolicy::DropTail { capacity: 10 }),
+        (
+            "threshold_mix",
+            BufferPolicy::ThresholdMix { threshold: 10 },
+        ),
+        (
+            "rcad_shortest_remaining",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::ShortestRemaining,
+            },
+        ),
+        (
+            "rcad_longest_remaining",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::LongestRemaining,
+            },
+        ),
+        (
+            "rcad_random",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::Random,
+            },
+        ),
+        (
+            "rcad_oldest",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::Oldest,
+            },
+        ),
+    ]
+}
+
+/// Steady-state allocation ledger for one simulation: a warm-up run
+/// absorbs one-time lazy setup, then a measured run counts this
+/// thread's allocations and the rebased peak-live high-water mark.
+/// Requires counting to be enabled.
+fn measure_mem(sim: &NetworkSimulation) -> (u64, u64, u64, f64, u64) {
+    std::hint::black_box(sim.run());
+    memprof::reset_peak();
+    let base = memprof::thread_snapshot();
+    let outcome = sim.run();
+    let delta = memprof::thread_snapshot().since(base);
+    let peak = memprof::snapshot().peak_live_bytes;
+    let delivered = outcome.total_delivered();
+    std::hint::black_box(outcome);
+    #[allow(clippy::cast_precision_loss)]
+    let per_delivered = if delivered > 0 {
+        delta.allocs as f64 / delivered as f64
+    } else {
+        0.0
+    };
+    (delta.allocs, delta.bytes, delivered, per_delivered, peak)
+}
+
+/// Ledgers the seven buffer/victim configs on the Figure-1 layout.
+fn mem_config_ledgers(inv_lambda: f64, packets: u32) -> Vec<MemConfigLedger> {
+    mem_configs()
+        .into_iter()
+        .map(|(label, buffer)| {
+            let sim = figure1_sim_with(inv_lambda, packets, buffer);
+            let (allocs, alloc_bytes, delivered, allocs_per_delivered, peak_live_bytes) =
+                measure_mem(&sim);
+            eprintln!(
+                "[perf] mem {label}: {allocs} allocs / {delivered} delivered \
+                 = {allocs_per_delivered:.2}, peak live {peak_live_bytes} B"
+            );
+            MemConfigLedger {
+                config: label.to_string(),
+                allocs,
+                alloc_bytes,
+                delivered,
+                allocs_per_delivered,
+                peak_live_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Ledgers the geometric scale points (default 100/1k/10k nodes).
+fn mem_scale_ledgers(node_counts: &[usize], budget: u64, seed: u64) -> Vec<MemScalePoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let (sim, _, _) = scale_sim(nodes, budget, seed);
+            let (allocs, _, delivered, allocs_per_delivered, peak_live_bytes) = measure_mem(&sim);
+            eprintln!(
+                "[perf] mem scale n={nodes}: {allocs} allocs / {delivered} delivered \
+                 = {allocs_per_delivered:.2}, peak live {peak_live_bytes} B"
+            );
+            MemScalePoint {
+                nodes,
+                allocs,
+                delivered,
+                allocs_per_delivered,
+                peak_live_bytes,
+            }
+        })
+        .collect()
 }
 
 /// Times the three instrumentation modes over the sweep. Within each
@@ -352,7 +529,7 @@ fn time_once<F: FnMut()>(mut f: F) -> f64 {
 /// privacy observatory (`--bench privacy`), both composed over the
 /// metrics probe exactly as the runtime collector composes them.
 fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [ModeTiming; 3] {
-    let mut secs = [vec![], vec![], vec![]];
+    let mut secs: [Vec<f64>; 3] = [vec![], vec![], vec![]];
     // The ring is allocated once and reset between runs, as a long-lived
     // flight recorder would be: the steady-state cost is the per-event
     // record, not the one-time arena allocation.
@@ -360,73 +537,77 @@ fn time_modes(kind: BenchKind, points: &[f64], packets: u32, repeats: u32) -> [M
     for &inv_lambda in points {
         let sim = figure1_sim(inv_lambda, packets);
         let nodes = sim.routing().len();
-        let mut best = [f64::INFINITY; 3];
-        for _ in 0..repeats {
-            best[0] = best[0].min(time_once(|| {
-                std::hint::black_box(sim.run());
-            }));
-            best[1] = best[1].min(time_once(|| {
+        let mut instrumented = || match kind {
+            BenchKind::Trace => {
+                flight.reset();
+                let mut pair = (RecordingProbe::new(nodes), &mut flight);
+                std::hint::black_box(sim.run_probed(&mut pair));
+                std::hint::black_box(&pair);
+            }
+            BenchKind::Privacy => {
+                let mut pair = (RecordingProbe::new(nodes), privacy_probe_for(&sim, 100));
+                std::hint::black_box(sim.run_probed(&mut pair));
+                std::hint::black_box(&pair);
+            }
+            BenchKind::Span => {
                 let mut probe = RecordingProbe::new(nodes);
-                std::hint::black_box(sim.run_probed(&mut probe));
-                std::hint::black_box(&probe);
-            }));
-            best[2] = best[2].min(time_once(|| match kind {
-                BenchKind::Trace => {
-                    flight.reset();
-                    let mut pair = (RecordingProbe::new(nodes), &mut flight);
-                    std::hint::black_box(sim.run_probed(&mut pair));
-                    std::hint::black_box(&pair);
-                }
-                BenchKind::Privacy => {
-                    let mut pair = (RecordingProbe::new(nodes), privacy_probe_for(&sim, 100));
-                    std::hint::black_box(sim.run_probed(&mut pair));
-                    std::hint::black_box(&pair);
-                }
-                BenchKind::Span => {
+                let mut timer = PhaseProfiler::new();
+                std::hint::black_box(sim.run_profiled(&mut probe, &mut timer));
+                std::hint::black_box(timer.finish());
+            }
+            BenchKind::Audit => {
+                let mut pair = (
+                    RecordingProbe::new(nodes),
+                    DigestProbe::with_default_window(),
+                );
+                std::hint::black_box(sim.run_probed(&mut pair));
+                std::hint::black_box(pair.1.finish());
+            }
+            BenchKind::Mem => {
+                // The full observatory: counting gate open for the
+                // run, phase-attributed scope timer on the driver's
+                // switch hooks. The gate closes again so the other two
+                // modes time the counting-off path.
+                memprof::set_enabled(true);
+                let mut probe = RecordingProbe::new(nodes);
+                let mut timer = MemScopeTimer::new();
+                std::hint::black_box(sim.run_profiled(&mut probe, &mut timer));
+                std::hint::black_box(timer.finish());
+                memprof::set_enabled(false);
+            }
+            BenchKind::Scale => unreachable!("scale bench has its own driver"),
+        };
+        let best = best_of_interleaved(
+            repeats,
+            &mut [
+                &mut || {
+                    std::hint::black_box(sim.run());
+                },
+                &mut || {
                     let mut probe = RecordingProbe::new(nodes);
-                    let mut timer = PhaseProfiler::new();
-                    std::hint::black_box(sim.run_profiled(&mut probe, &mut timer));
-                    std::hint::black_box(timer.finish());
-                }
-                BenchKind::Audit => {
-                    let mut pair = (
-                        RecordingProbe::new(nodes),
-                        DigestProbe::with_default_window(),
-                    );
-                    std::hint::black_box(sim.run_probed(&mut pair));
-                    std::hint::black_box(pair.1.finish());
-                }
-                BenchKind::Scale => unreachable!("scale bench has its own driver"),
-            }));
-        }
+                    std::hint::black_box(sim.run_probed(&mut probe));
+                    std::hint::black_box(&probe);
+                },
+                &mut instrumented,
+            ],
+        );
         for (mode, &s) in secs.iter_mut().zip(&best) {
             mode.push(s);
         }
     }
-    let timing = |name: &str, point_secs: Vec<f64>| {
-        let total_secs: f64 = point_secs.iter().sum();
-        eprintln!(
-            "[perf] {name}: {total_secs:.3}s over {} points",
-            point_secs.len()
-        );
-        ModeTiming {
-            mode: name.to_string(),
-            point_secs,
-            total_secs,
-        }
-    };
     let third = match kind {
         BenchKind::Trace => "tracing",
         BenchKind::Privacy => "privacy",
         BenchKind::Span => "profiled",
         BenchKind::Audit => "audited",
+        BenchKind::Mem => "mem",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     let [off, met, tra] = secs;
     [
-        timing("probes_off", off),
-        timing("metrics", met),
-        timing(third, tra),
+        ModeTiming::new("probes_off", off),
+        ModeTiming::new("metrics", met),
+        ModeTiming::new(third, tra),
     ]
 }
 
@@ -470,10 +651,11 @@ fn parse_args() -> Result<Args, String> {
                     "privacy" => BenchKind::Privacy,
                     "span" => BenchKind::Span,
                     "audit" => BenchKind::Audit,
+                    "mem" => BenchKind::Mem,
                     "scale" => BenchKind::Scale,
                     other => {
                         return Err(format!(
-                            "bad --bench `{other}`; trace, privacy, span, audit, or scale"
+                            "bad --bench `{other}`; trace, privacy, span, audit, mem, or scale"
                         ))
                     }
                 };
@@ -531,6 +713,7 @@ fn parse_args() -> Result<Args, String> {
                 BenchKind::Privacy => "BENCH_privacy.json",
                 BenchKind::Span => "BENCH_span.json",
                 BenchKind::Audit => "BENCH_audit.json",
+                BenchKind::Mem => "BENCH_mem.json",
                 BenchKind::Scale => "BENCH_core.json",
             })
     });
@@ -615,6 +798,9 @@ fn main() -> ExitCode {
         packets,
         repeats,
         out,
+        nodes,
+        budget,
+        seed,
         ..
     } = args;
 
@@ -623,7 +809,7 @@ fn main() -> ExitCode {
 
     let [probes_off, metrics, third] = time_modes(kind, &points, packets, repeats);
 
-    let ratio = |a: &ModeTiming, b: &ModeTiming| a.total_secs / b.total_secs;
+    let oh = OverheadSummary::from_modes(&probes_off, &metrics, &third);
     let (json, overhead_pct, over_probes_off) = match kind {
         BenchKind::Trace => {
             let report = BenchReport {
@@ -631,10 +817,10 @@ fn main() -> ExitCode {
                 points,
                 packets_per_source: packets,
                 repeats,
-                metrics_over_probes_off: ratio(&metrics, &probes_off),
-                tracing_over_probes_off: ratio(&third, &probes_off),
-                tracing_over_metrics: ratio(&third, &metrics),
-                tracing_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                metrics_over_probes_off: oh.metrics_over_probes_off,
+                tracing_over_probes_off: oh.over_probes_off,
+                tracing_over_metrics: oh.over_metrics,
+                tracing_overhead_pct: oh.overhead_pct,
                 modes: vec![probes_off, metrics, third],
             };
             (
@@ -649,10 +835,10 @@ fn main() -> ExitCode {
                 points,
                 packets_per_source: packets,
                 repeats,
-                metrics_over_probes_off: ratio(&metrics, &probes_off),
-                privacy_over_probes_off: ratio(&third, &probes_off),
-                privacy_over_metrics: ratio(&third, &metrics),
-                privacy_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                metrics_over_probes_off: oh.metrics_over_probes_off,
+                privacy_over_probes_off: oh.over_probes_off,
+                privacy_over_metrics: oh.over_metrics,
+                privacy_overhead_pct: oh.overhead_pct,
                 modes: vec![probes_off, metrics, third],
             };
             (
@@ -667,10 +853,10 @@ fn main() -> ExitCode {
                 points,
                 packets_per_source: packets,
                 repeats,
-                metrics_over_probes_off: ratio(&metrics, &probes_off),
-                profiled_over_probes_off: ratio(&third, &probes_off),
-                profiled_over_metrics: ratio(&third, &metrics),
-                profiled_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                metrics_over_probes_off: oh.metrics_over_probes_off,
+                profiled_over_probes_off: oh.over_probes_off,
+                profiled_over_metrics: oh.over_metrics,
+                profiled_overhead_pct: oh.overhead_pct,
                 modes: vec![probes_off, metrics, third],
             };
             (
@@ -685,16 +871,49 @@ fn main() -> ExitCode {
                 points,
                 packets_per_source: packets,
                 repeats,
-                metrics_over_probes_off: ratio(&metrics, &probes_off),
-                audited_over_probes_off: ratio(&third, &probes_off),
-                audited_over_metrics: ratio(&third, &metrics),
-                audited_overhead_pct: (ratio(&third, &metrics) - 1.0) * 100.0,
+                metrics_over_probes_off: oh.metrics_over_probes_off,
+                audited_over_probes_off: oh.over_probes_off,
+                audited_over_metrics: oh.over_metrics,
+                audited_overhead_pct: oh.overhead_pct,
                 modes: vec![probes_off, metrics, third],
             };
             (
                 serde_json::to_string_pretty(&report),
                 report.audited_overhead_pct,
                 report.audited_over_probes_off,
+            )
+        }
+        BenchKind::Mem => {
+            // Ledger half: counting stays on for the steady-state
+            // allocation baselines (the timing half already ran with
+            // the gate closed for the uninstrumented modes).
+            memprof::set_enabled(true);
+            let configs = mem_config_ledgers(8.0, packets);
+            let scale_points = mem_scale_ledgers(&nodes, budget, seed);
+            let allocs_per_delivered = configs
+                .iter()
+                .find(|c| c.config == "rcad_shortest_remaining")
+                .map_or(0.0, |c| c.allocs_per_delivered);
+            let peak_live_bytes = configs.iter().map(|c| c.peak_live_bytes).max().unwrap_or(0);
+            let report = MemBenchReport {
+                bench: "figure1_sweep_mem_overhead".to_string(),
+                points,
+                packets_per_source: packets,
+                repeats,
+                metrics_over_probes_off: oh.metrics_over_probes_off,
+                mem_over_probes_off: oh.over_probes_off,
+                mem_over_metrics: oh.over_metrics,
+                mem_overhead_pct: oh.overhead_pct,
+                allocs_per_delivered,
+                peak_live_bytes,
+                configs,
+                scale_points,
+                modes: vec![probes_off, metrics, third],
+            };
+            (
+                serde_json::to_string_pretty(&report),
+                report.mem_overhead_pct,
+                report.mem_over_probes_off,
             )
         }
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
@@ -718,6 +937,7 @@ fn main() -> ExitCode {
         BenchKind::Privacy => "privacy observatory",
         BenchKind::Span => "engine self-profiler",
         BenchKind::Audit => "determinism digest probe",
+        BenchKind::Mem => "counting-allocator observatory",
         BenchKind::Scale => unreachable!("scale bench has its own driver"),
     };
     println!(

@@ -2,6 +2,8 @@
 //!
 //! Shared machinery for the Criterion benches and the `figures` binary:
 //!
+//! * [`harness`] — the interleaved best-of-N timing loop and overhead
+//!   ratios shared by every `perf_baseline` bench mode,
 //! * [`table`] — aligned-table printing and CSV export of result series,
 //! * [`validation`] — the analytic-validation experiments (V1–V4 in
 //!   DESIGN.md): bits-through-queues bound vs empirical MI, M/M/∞
@@ -15,5 +17,6 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod harness;
 pub mod table;
 pub mod validation;

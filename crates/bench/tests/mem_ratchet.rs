@@ -1,0 +1,157 @@
+//! Allocation ratchet and determinism guarantees for the memory
+//! observatory.
+//!
+//! The ratchet pins a ceiling on steady-state allocs per delivered
+//! packet for every buffer/victim configuration, so a regression that
+//! reintroduces per-packet heap traffic fails CI instead of silently
+//! eroding the zero-alloc data-plane goal (ROADMAP item 2). The
+//! ceilings carry ~2x headroom over the committed `BENCH_mem.json`
+//! baselines; tightening them is progress, loosening them needs a
+//! justification in the PR that does it.
+//!
+//! The determinism test proves the observatory is an observer: the
+//! simulation outcome digest and RNG draw count are byte-identical with
+//! the counting allocator + phase scopes on and off.
+
+use tempriv_core::buffer::{BufferPolicy, VictimPolicy};
+use tempriv_core::delay::DelayPlan;
+use tempriv_core::sim_driver::NetworkSimulation;
+use tempriv_net::convergecast::Convergecast;
+use tempriv_net::traffic::TrafficModel;
+use tempriv_telemetry::{memprof, MemScopeTimer, RecordingProbe};
+
+// The ratchet counts through the real allocator, so this test binary
+// must install it; without this the thread deltas would read zero and
+// the ceilings would pass vacuously (guarded against below).
+#[global_allocator]
+static ALLOC: tempriv_telemetry::CountingAlloc = tempriv_telemetry::CountingAlloc;
+
+// The counting gate is process-global and both tests toggle it, so
+// they must not interleave.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The Figure-1 four-flow layout under one buffering config — the same
+/// workload `perf_baseline --bench mem` ledgers.
+fn figure1_sim(buffer: BufferPolicy) -> NetworkSimulation {
+    let layout = Convergecast::paper_figure1();
+    NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
+        .traffic(TrafficModel::periodic(8.0))
+        .packets_per_source(1000)
+        .delay_plan(DelayPlan::shared_exponential(30.0))
+        .buffer_policy(buffer)
+        .seed(2007)
+        .build()
+        .expect("paper Figure-1 config is valid")
+}
+
+/// Steady-state allocs-per-delivered for one config: warm-up run, then
+/// a measured run counted via this thread's delta (immune to other test
+/// threads allocating concurrently).
+fn allocs_per_delivered(buffer: BufferPolicy) -> (f64, u64, u64) {
+    memprof::set_enabled(true);
+    let sim = figure1_sim(buffer);
+    std::hint::black_box(sim.run());
+    let base = memprof::thread_snapshot();
+    let outcome = sim.run();
+    let delta = memprof::thread_snapshot().since(base);
+    let delivered = outcome.total_delivered();
+    assert!(delivered > 0, "figure-1 run must deliver packets");
+    (
+        delta.allocs as f64 / delivered as f64,
+        delta.allocs,
+        delivered,
+    )
+}
+
+#[test]
+fn allocs_per_packet_ratchet_holds_for_every_config() {
+    let _gate = GATE.lock().unwrap();
+    // (config, ceiling) — baselines in results/BENCH_mem.json: roughly
+    // unlimited 1.11, drop_tail 0.16, threshold_mix 1.48, rcad_* 0.07-0.09.
+    let configs: [(&str, BufferPolicy, f64); 7] = [
+        ("unlimited", BufferPolicy::Unlimited, 2.2),
+        ("drop_tail", BufferPolicy::DropTail { capacity: 10 }, 0.4),
+        (
+            "threshold_mix",
+            BufferPolicy::ThresholdMix { threshold: 10 },
+            3.0,
+        ),
+        (
+            "rcad_shortest_remaining",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::ShortestRemaining,
+            },
+            0.2,
+        ),
+        (
+            "rcad_longest_remaining",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::LongestRemaining,
+            },
+            0.2,
+        ),
+        (
+            "rcad_random",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::Random,
+            },
+            0.25,
+        ),
+        (
+            "rcad_oldest",
+            BufferPolicy::Rcad {
+                capacity: 10,
+                victim: VictimPolicy::Oldest,
+            },
+            0.2,
+        ),
+    ];
+    for (label, buffer, ceiling) in configs {
+        let (per_delivered, allocs, delivered) = allocs_per_delivered(buffer);
+        assert!(
+            allocs > 0,
+            "{label}: counting allocator must be live (0 allocs over {delivered} delivered)"
+        );
+        assert!(
+            per_delivered <= ceiling,
+            "{label}: {per_delivered:.3} allocs/delivered ({allocs}/{delivered}) \
+             exceeds ratchet ceiling {ceiling}"
+        );
+    }
+}
+
+#[test]
+fn memprof_scopes_do_not_perturb_the_simulation() {
+    let _gate = GATE.lock().unwrap();
+    let sim = figure1_sim(BufferPolicy::paper_rcad());
+
+    memprof::set_enabled(false);
+    let plain = sim.run();
+
+    memprof::set_enabled(true);
+    let mut probe = RecordingProbe::new(sim.routing().len());
+    let mut timer = MemScopeTimer::new();
+    let scoped = sim.run_profiled(&mut probe, &mut timer);
+    std::hint::black_box(timer.finish());
+
+    assert_eq!(
+        plain.digest(),
+        scoped.digest(),
+        "outcome digest must be byte-identical with memprof scopes on"
+    );
+    assert_eq!(
+        plain.rng_draws, scoped.rng_draws,
+        "RNG draw count must be unchanged by the observatory"
+    );
+    assert_eq!(
+        plain, scoped,
+        "full outcome must be equal (mem fields excluded)"
+    );
+    assert!(
+        scoped.allocs > 0,
+        "scoped run should attribute in-run allocations"
+    );
+}

@@ -14,16 +14,16 @@ use tempriv_core::experiment::{
 };
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
-use tempriv_core::telemetry::{privacy_flow_configs, JobSpans, JobTrace, TelemetryExport};
+use tempriv_core::telemetry::{privacy_flow_configs, JobMem, JobSpans, JobTrace, TelemetryExport};
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_infotheory::DEFAULT_STREAMING_BINS;
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
 use tempriv_queueing::mm_inf::MmInf;
 use tempriv_runtime::{ManifestReader, ResultCache, Runtime, StderrReporter, TelemetrySink};
 use tempriv_telemetry::{
-    chrome_span_events, wrap_chrome_events, DigestProbe, FlightRecorder, FlowPrivacySummary,
-    LineageOutcome, PhaseBreakdown, PrivacyProbe, SimProbe, SpanRecord, TraceCtx,
-    DEFAULT_DIGEST_WINDOW, DEFAULT_FLIGHT_CAPACITY, DEFAULT_PHASE_BATCH,
+    chrome_span_events, memprof, wrap_chrome_events, DigestProbe, FlightRecorder,
+    FlowPrivacySummary, LineageOutcome, MemBreakdown, PhaseBreakdown, PrivacyProbe, SimProbe,
+    SpanRecord, TraceCtx, DEFAULT_DIGEST_WINDOW, DEFAULT_FLIGHT_CAPACITY, DEFAULT_PHASE_BATCH,
 };
 
 use crate::args::Args;
@@ -64,6 +64,9 @@ COMMANDS:
         [--digest-window N]  also fold every scenario into windowed
                              determinism digests (needs --telemetry;
                              audit blobs journal to --manifest)
+        [--mem-profile]      also count heap allocations per engine
+                             phase via the counting allocator (needs
+                             --telemetry; ledgers journal to --manifest)
         [--quiet]            suppress stderr progress
     resume <run.jsonl>       finish an interrupted sweep from its manifest
         [--workers N] [--telemetry PATH] [--trace-capacity N]
@@ -71,6 +74,9 @@ COMMANDS:
     report <run.jsonl|dir>   aggregate per-job telemetry from a manifest,
                              or from every *.jsonl manifest in a directory
         [--format F]         text (default), json, or prometheus
+        [--bench DIR]        instead summarize the committed BENCH_*.json
+                             benchmark reports in DIR: headline metric,
+                             overhead figure, CI gate pass/fail
     trace [config.json]      flight-record one run (paper default config
                              when omitted) and dump packet lifecycles
         [--seed N] [--packets N]  override the config
@@ -90,6 +96,8 @@ COMMANDS:
         [--packets N] [--seed N]
         [--batch N]          switches per clock read (default 64)
         [--json]             print the merged breakdown as JSON
+                             (text mode adds the per-phase allocation
+                             ledger and the process peak RSS)
         [--out PATH]         also write the merged Chrome trace (spans +
                              phase bands + packet residences; loads in
                              chrome://tracing / Perfetto)
@@ -437,6 +445,15 @@ fn build_runtime(
         };
         sink.set_digest_window(window);
     }
+    if args.flag("mem-profile") {
+        let Some((sink, _)) = &telemetry else {
+            return Err("--mem-profile requires --telemetry".into());
+        };
+        sink.set_mem_profile(true);
+        // The counting allocator is process-global; once any run wants
+        // attribution it stays on (workers may still be counting).
+        tempriv_telemetry::memprof::set_enabled(true);
+    }
     Ok((builder.build()?, telemetry))
 }
 
@@ -449,7 +466,12 @@ fn write_telemetry_export(
     path: &str,
     quiet: bool,
 ) -> Result<(), String> {
-    let export = TelemetryExport::collect(experiment, &sink.take_all(), &sink.take_all_privacy())?;
+    let export = TelemetryExport::collect(
+        experiment,
+        &sink.take_all(),
+        &sink.take_all_privacy(),
+        &sink.take_all_mem(),
+    )?;
     std::fs::write(path, export.to_canonical_json())
         .map_err(|e| format!("cannot write telemetry export {path}: {e}"))?;
     if !quiet {
@@ -596,53 +618,83 @@ fn manifest_privacy_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
     blobs
 }
 
+/// Per-job allocation-ledger blobs of one manifest, in job order.
+fn manifest_mem_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
+    let mut blobs: Vec<Option<String>> = vec![None; manifest.header.jobs];
+    for record in &manifest.records {
+        if let Some(slot) = blobs.get_mut(record.index) {
+            slot.clone_from(&record.mem);
+        }
+    }
+    blobs
+}
+
 /// `tempriv report <run.jsonl|dir>`: aggregate the per-job telemetry
 /// blobs journaled by one manifest — or by every `*.jsonl` manifest in a
 /// directory, concatenated in file-name order — and render them as text,
 /// JSON, or Prometheus exposition format.
 fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    if let Some(dir) = args.option("bench") {
+        return report_bench(dir, out);
+    }
     let path = args
         .positional(1)
-        .ok_or("usage: tempriv report <run.jsonl|dir> [--format text|json|prometheus]")?;
-    let (experiment, blobs, privacy_blobs, completed) = if std::path::Path::new(path).is_dir() {
-        let entries =
-            std::fs::read_dir(path).map_err(|e| format!("cannot read directory {path}: {e}"))?;
-        let mut manifests: Vec<std::path::PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
-            .collect();
-        manifests.sort();
-        if manifests.is_empty() {
-            writeln!(
-                out,
-                "no completed jobs: {path} contains no .jsonl manifests \
+        .ok_or("usage: tempriv report <run.jsonl|dir> [--format text|json|prometheus] | tempriv report --bench <dir>")?;
+    let (experiment, blobs, privacy_blobs, mem_blobs, completed) =
+        if std::path::Path::new(path).is_dir() {
+            let entries = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory {path}: {e}"))?;
+            let mut manifests: Vec<std::path::PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+                .collect();
+            manifests.sort();
+            if manifests.is_empty() {
+                writeln!(
+                    out,
+                    "no completed jobs: {path} contains no .jsonl manifests \
                  (run a sweep with --manifest to journal one)"
-            )
-            .map_err(io_err)?;
-            return Ok(());
-        }
-        let mut experiments: Vec<String> = Vec::new();
-        let mut blobs = Vec::new();
-        let mut privacy_blobs = Vec::new();
-        let mut completed = 0usize;
-        for manifest_path in &manifests {
-            let manifest = ManifestReader::read(manifest_path)?;
-            completed += manifest.records.len();
-            blobs.extend(manifest_blobs(&manifest));
-            privacy_blobs.extend(manifest_privacy_blobs(&manifest));
-            if !experiments.contains(&manifest.header.experiment) {
-                experiments.push(manifest.header.experiment.clone());
+                )
+                .map_err(io_err)?;
+                return Ok(());
             }
-        }
-        (experiments.join("+"), blobs, privacy_blobs, completed)
-    } else {
-        let manifest = ManifestReader::read(path)?;
-        let blobs = manifest_blobs(&manifest);
-        let privacy_blobs = manifest_privacy_blobs(&manifest);
-        let completed = manifest.records.len();
-        (manifest.header.experiment, blobs, privacy_blobs, completed)
-    };
+            let mut experiments: Vec<String> = Vec::new();
+            let mut blobs = Vec::new();
+            let mut privacy_blobs = Vec::new();
+            let mut mem_blobs = Vec::new();
+            let mut completed = 0usize;
+            for manifest_path in &manifests {
+                let manifest = ManifestReader::read(manifest_path)?;
+                completed += manifest.records.len();
+                blobs.extend(manifest_blobs(&manifest));
+                privacy_blobs.extend(manifest_privacy_blobs(&manifest));
+                mem_blobs.extend(manifest_mem_blobs(&manifest));
+                if !experiments.contains(&manifest.header.experiment) {
+                    experiments.push(manifest.header.experiment.clone());
+                }
+            }
+            (
+                experiments.join("+"),
+                blobs,
+                privacy_blobs,
+                mem_blobs,
+                completed,
+            )
+        } else {
+            let manifest = ManifestReader::read(path)?;
+            let blobs = manifest_blobs(&manifest);
+            let privacy_blobs = manifest_privacy_blobs(&manifest);
+            let mem_blobs = manifest_mem_blobs(&manifest);
+            let completed = manifest.records.len();
+            (
+                manifest.header.experiment,
+                blobs,
+                privacy_blobs,
+                mem_blobs,
+                completed,
+            )
+        };
     if completed == 0 {
         // An interrupted (or never-started) run: the manifest header is
         // there but no job finished yet — say so instead of rendering a
@@ -655,7 +707,7 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         .map_err(io_err)?;
         return Ok(());
     }
-    let export = TelemetryExport::collect(&experiment, &blobs, &privacy_blobs)?;
+    let export = TelemetryExport::collect(&experiment, &blobs, &privacy_blobs, &mem_blobs)?;
     match args.option("format").unwrap_or("text") {
         "text" => {
             write!(out, "{}", export.summary_text()).map_err(io_err)?;
@@ -674,6 +726,135 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         other => Err(format!(
             "unknown --format `{other}`; expected text, json, or prometheus"
         )),
+    }
+}
+
+/// `tempriv report --bench <dir>`: one summary table across every
+/// committed `BENCH_*.json` benchmark report — headline metric, the
+/// instrumentation-overhead figure where the bench measures one, and
+/// pass/fail against the CI gate where one is enforced.
+fn report_bench<W: Write>(dir: &str, out: &mut W) -> Result<(), String> {
+    use serde::value::Value;
+
+    // Overhead budgets the CI workflow enforces (percent over the
+    // metrics probe); benches without a gate report their figure only.
+    const GATES: &[(&str, f64)] = &[("audit", 5.0), ("mem", 5.0)];
+
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read directory {dir}: {e}"))?;
+    let mut files: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        writeln!(out, "no BENCH_*.json reports in {dir}").map_err(io_err)?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{:<8} {:<44} {:>10} {:>6} {:>6}",
+        "bench", "headline", "overhead", "gate", "status"
+    )
+    .map_err(io_err)?;
+    let mut failures = 0usize;
+    for path in &files {
+        let name = path
+            .file_stem()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .trim_start_matches("BENCH_")
+            .to_string();
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report: Value = serde_json::from_str(&raw)
+            .map_err(|e| format!("malformed bench report {}: {e}", path.display()))?;
+
+        // The overhead-style benches all export one `*_overhead_pct`.
+        let overhead = match &report {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k.ends_with("_overhead_pct"))
+                .and_then(|(_, v)| v.as_f64()),
+            _ => None,
+        };
+        let headline = bench_headline(&name, &report);
+        let gate = GATES
+            .iter()
+            .find(|(g, _)| *g == name.as_str())
+            .map(|(_, pct)| *pct);
+        let (gate_col, status) = match (gate, overhead) {
+            (Some(budget), Some(pct)) => {
+                let ok = pct < budget;
+                failures += usize::from(!ok);
+                (format!("<{budget:.0}%"), if ok { "PASS" } else { "FAIL" })
+            }
+            _ => ("-".to_string(), "-"),
+        };
+        let overhead_col = overhead.map_or_else(|| "-".to_string(), |pct| format!("{pct:+.2}%"));
+        writeln!(
+            out,
+            "{name:<8} {headline:<44} {overhead_col:>10} {gate_col:>6} {status:>6}"
+        )
+        .map_err(io_err)?;
+    }
+    if failures > 0 {
+        writeln!(out, "{failures} gate(s) FAILED").map_err(io_err)?;
+    } else {
+        writeln!(out, "all gates pass").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// One-line headline metric for a bench report, by report shape.
+fn bench_headline(name: &str, report: &serde::value::Value) -> String {
+    use serde::value::Value;
+    let f = |key: &str| report.get(key).and_then(Value::as_f64);
+    match name {
+        "serve" => match (f("throughput_rps"), f("cache_hit_rate")) {
+            (Some(rps), Some(hit)) => format!("{rps:.0} rps, cache hit rate {hit:.2}"),
+            _ => "-".to_string(),
+        },
+        "core" => {
+            // Scale bench: per-point speedups vs the committed baseline.
+            let best = match report.get("points") {
+                Some(Value::Seq(points)) => points
+                    .iter()
+                    .filter_map(|p| p.get("speedup").and_then(Value::as_f64))
+                    .fold(0.0f64, f64::max),
+                _ => 0.0,
+            };
+            if best > 0.0 {
+                format!("engine speedup x{best:.2} (best scale point)")
+            } else {
+                "-".to_string()
+            }
+        }
+        "mem" => match (f("allocs_per_delivered"), f("peak_live_bytes")) {
+            (Some(app), Some(peak)) => {
+                format!("{app:.1} allocs/packet, peak live {peak:.0} B")
+            }
+            _ => "-".to_string(),
+        },
+        _ => match &report {
+            // figure-1 overhead benches: slowdown of the instrumented
+            // mode over the metrics probe.
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k.ends_with("_over_metrics"))
+                .and_then(|(k, v)| {
+                    v.as_f64()
+                        .map(|x| format!("{} x{x:.3}", k.trim_end_matches("_over_metrics")))
+                })
+                .unwrap_or_else(|| "-".to_string()),
+            _ => "-".to_string(),
+        },
     }
 }
 
@@ -833,6 +1014,10 @@ fn cmd_profile<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 
     let sink = Arc::new(TelemetrySink::new());
     sink.set_span_batch(batch as usize);
+    // Phase attribution and allocation attribution share the same
+    // switch hooks, so the profiler always carries the memory ledger.
+    sink.set_mem_profile(true);
+    memprof::set_enabled(true);
     let root = TraceCtx::root(params.seed, "profile");
     sink.set_root_ctx(root.trace_id, root.span_id);
     let chrome_out = args.option("out");
@@ -854,6 +1039,10 @@ fn cmd_profile<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let mut jobs: Vec<JobSpans> = Vec::new();
     for blob in sink.take_all_spans().iter().flatten() {
         jobs.push(serde_json::from_str(blob).map_err(|e| format!("malformed span blob: {e}"))?);
+    }
+    let mut mem_jobs: Vec<JobMem> = Vec::new();
+    for blob in sink.take_all_mem().iter().flatten() {
+        mem_jobs.push(serde_json::from_str(blob).map_err(|e| format!("malformed mem blob: {e}"))?);
     }
     let mut merged: Option<PhaseBreakdown> = None;
     let mut scenarios = 0usize;
@@ -881,13 +1070,26 @@ fn cmd_profile<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         )
         .map_err(io_err)?;
         write!(out, "{}", merged.table()).map_err(io_err)?;
+        let mut mem_ledger = MemBreakdown::empty();
+        for job in &mem_jobs {
+            for scenario in &job.scenarios {
+                mem_ledger.merge(&scenario.ledger);
+            }
+        }
+        if !mem_ledger.is_empty() {
+            writeln!(out, "memory (allocations by phase):").map_err(io_err)?;
+            write!(out, "{}", mem_ledger.table()).map_err(io_err)?;
+        }
+        if let Some(rss) = memprof::peak_rss_bytes() {
+            writeln!(out, "peak RSS (VmHWM): {rss} bytes").map_err(io_err)?;
+        }
     }
 
     if let Some(path) = chrome_out {
         let spans: Vec<SpanRecord> = jobs.iter().flat_map(|j| j.spans.clone()).collect();
         let mut events = chrome_span_events(&spans, 0);
         let mut phase_tid = 0u64;
-        for job in &jobs {
+        for (job_idx, job) in jobs.iter().enumerate() {
             for (i, scenario) in job.profiles.iter().enumerate() {
                 // Anchor each phase band at its scenario span (index 0
                 // is the job span, scenarios follow in order).
@@ -897,6 +1099,15 @@ fn cmd_profile<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
                     anchor,
                     phase_tid,
                 ));
+                // Live-bytes counter track riding the same thread lane
+                // as the scenario's phase bands.
+                if let Some(smem) = mem_jobs.get(job_idx).and_then(|m| m.scenarios.get(i)) {
+                    events.extend(smem.ledger.chrome_counter_events(
+                        anchor,
+                        phase_tid,
+                        &scenario.profile,
+                    ));
+                }
                 phase_tid += 1;
             }
         }
@@ -999,7 +1210,7 @@ fn manifest_watch_frame(manifest: &ManifestReader) -> Result<String, String> {
     let blobs = manifest_blobs(manifest);
     let privacy = manifest_privacy_blobs(manifest);
     let observed = privacy.iter().flatten().count();
-    let export = TelemetryExport::collect(&manifest.header.experiment, &blobs, &privacy)?;
+    let export = TelemetryExport::collect(&manifest.header.experiment, &blobs, &privacy, &[])?;
     let mut s = format!(
         "watch {}: {}/{} jobs recorded, {} with privacy series\n",
         manifest.header.experiment,

@@ -5,6 +5,12 @@ use std::process::ExitCode;
 use tempriv_cli::args::Args;
 use tempriv_cli::commands::{dispatch, CliError};
 
+/// Counting allocator behind `--mem-profile`, `profile`, and the serve
+/// memory gauges. Dormant (one relaxed atomic load per allocation)
+/// until a command enables it.
+#[global_allocator]
+static ALLOC: tempriv_telemetry::CountingAlloc = tempriv_telemetry::CountingAlloc;
+
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     let stdout = std::io::stdout();

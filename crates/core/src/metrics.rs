@@ -108,7 +108,13 @@ pub struct NodeReport {
 }
 
 /// Everything one simulation run produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares simulation content only: the allocation gauges
+/// (`allocs`, `alloc_bytes`) are instrumentation readings that vary
+/// with which probes happen to be attached, so — like wall-clock time —
+/// they are excluded from both [`PartialEq`] and
+/// [`digest`](SimOutcome::digest).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimOutcome {
     /// When the last event fired.
     pub end_time: SimTime,
@@ -139,6 +145,34 @@ pub struct SimOutcome {
     /// events). Defaults to 0 when deserializing older outcomes.
     #[serde(default)]
     pub peak_fes: u64,
+    /// Heap allocations made on the driver thread during the run, as
+    /// counted by `tempriv_telemetry::memprof` — 0 unless a counting
+    /// allocator is installed and enabled. Excluded from equality and
+    /// digests: attached probes allocate, simulation content does not
+    /// change. Defaults to 0 when deserializing older outcomes.
+    #[serde(default)]
+    pub allocs: u64,
+    /// Bytes requested by those allocations. Excluded from equality and
+    /// digests, like [`allocs`](SimOutcome::allocs). Defaults to 0 when
+    /// deserializing older outcomes.
+    #[serde(default)]
+    pub alloc_bytes: u64,
+}
+
+impl PartialEq for SimOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the allocation gauges, which measure the
+        // instrumentation rather than the simulation.
+        self.end_time == other.end_time
+            && self.flows == other.flows
+            && self.observations == other.observations
+            && self.truth == other.truth
+            && self.nodes == other.nodes
+            && self.link_losses == other.link_losses
+            && self.rng_draws == other.rng_draws
+            && self.events == other.events
+            && self.peak_fes == other.peak_fes
+    }
 }
 
 impl SimOutcome {
@@ -210,6 +244,24 @@ impl SimOutcome {
             self.nodes.iter().map(|n| (n.transmissions, n.receptions)),
             self.total_delivered(),
         )
+    }
+
+    /// Heap allocations per delivered packet — the figure ROADMAP
+    /// item 2 (zero-alloc data plane) drives toward zero. Infinite if
+    /// nothing was delivered; 0 unless a counting allocator was active
+    /// during the run.
+    #[must_use]
+    pub fn allocs_per_delivered(&self) -> f64 {
+        let delivered = self.total_delivered();
+        if delivered == 0 {
+            if self.allocs == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.allocs as f64 / delivered as f64
+        }
     }
 
     /// The calibration oracle for this run (per-flow realized mean
@@ -432,6 +484,8 @@ mod tests {
             rng_draws: 0,
             events: 0,
             peak_fes: 0,
+            allocs: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -482,6 +536,22 @@ mod tests {
         let mut d = outcome_with_one_flow();
         d.observations.swap(0, 1);
         assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn allocation_gauges_are_outside_equality_and_digest() {
+        let a = outcome_with_one_flow();
+        let mut b = outcome_with_one_flow();
+        b.allocs = 12345;
+        b.alloc_bytes = 67890;
+        assert_eq!(a, b, "alloc gauges must not affect equality");
+        assert_eq!(a.digest(), b.digest(), "alloc gauges must not be hashed");
+        assert!((b.allocs_per_delivered() - 12345.0 / 2.0).abs() < 1e-9);
+        assert_eq!(a.allocs_per_delivered(), 0.0);
+        let mut empty = outcome_with_one_flow();
+        empty.flows[0].delivered = 0;
+        empty.allocs = 1;
+        assert!(empty.allocs_per_delivered().is_infinite());
     }
 
     #[test]

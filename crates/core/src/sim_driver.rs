@@ -444,6 +444,10 @@ impl NetworkSimulation {
     ) -> SimOutcome {
         let n_nodes = self.routing.len();
         let n_flows = self.sources.len();
+        // Allocation gauge: everything the driver thread allocates
+        // between here and outcome assembly is this run's footprint.
+        // Reads zero unless a counting allocator is installed + enabled.
+        let mem_base = tempriv_telemetry::memprof::thread_snapshot();
         let factory = RngFactory::new(self.seed);
 
         let mut driver = Driver {
@@ -537,6 +541,8 @@ impl NetworkSimulation {
             + driver.link_rng.draws()
             + driver.reading_rng.draws();
 
+        let mem = tempriv_telemetry::memprof::thread_snapshot().since(mem_base);
+
         SimOutcome {
             end_time,
             flows: (0..n_flows)
@@ -573,6 +579,8 @@ impl NetworkSimulation {
             rng_draws,
             events,
             peak_fes,
+            allocs: mem.allocs,
+            alloc_bytes: mem.bytes,
         }
     }
 }

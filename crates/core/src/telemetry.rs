@@ -36,11 +36,12 @@ use tempriv_net::ids::{FlowId, NodeId};
 use tempriv_net::traffic::TrafficModel;
 use tempriv_queueing::erlang::erlang_b;
 use tempriv_runtime::{Runtime, TelemetrySink};
+use tempriv_sim::profile::PhaseTimer;
 use tempriv_telemetry::{
-    BtqParams, DigestProbe, FlightLog, FlightRecorder, FlowAoi, FlowPrivacyConfig, MetricsRegistry,
-    PhaseBreakdown, PhaseProfiler, PrivacyProbe, PrivacySeries, RecordingProbe, RunDigest,
-    SimProbe, SimTelemetry, SpanRecord, SpanSet, TelemetrySnapshot, TheoryCheck, TheoryReport,
-    TheoryTolerance, TraceCtx,
+    memprof, BtqParams, DigestProbe, FlightLog, FlightRecorder, FlowAoi, FlowPrivacyConfig,
+    MemBreakdown, MemScopeTimer, MemSnapshot, MetricsRegistry, PhaseBreakdown, PhaseProfiler,
+    PrivacyProbe, PrivacySeries, RecordingProbe, RunDigest, SimProbe, SimTelemetry, SpanRecord,
+    SpanSet, TelemetrySnapshot, TheoryCheck, TheoryReport, TheoryTolerance, TraceCtx,
 };
 
 use crate::buffer::BufferPolicy;
@@ -446,19 +447,55 @@ impl JobAudit {
     }
 }
 
+/// One scenario's allocation ledger within a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMem {
+    /// Scenario label within the job (matches the telemetry label).
+    pub label: String,
+    /// Per-slot allocation attribution for this scenario's run window
+    /// (kernel phases plus the pipeline layers).
+    pub ledger: MemBreakdown,
+    /// Heap allocations made on the driver thread during the run.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Packets the scenario delivered (the ratio's denominator).
+    pub delivered: u64,
+    /// Allocations per delivered packet (0 when nothing was delivered)
+    /// — the figure the zero-alloc data-plane work drives to zero.
+    pub allocs_per_delivered: f64,
+}
+
+/// Everything one job attaches as its manifest *mem* blob when memory
+/// profiling is on: one [`ScenarioMem`] per simulated scenario plus
+/// process-wide allocator gauges sampled when the job finished.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobMem {
+    /// One entry per profiled scenario, in execution order.
+    pub scenarios: Vec<ScenarioMem>,
+    /// Process-wide allocator counters when the job finished (shared
+    /// across workers; per-scenario numbers above are thread-exact).
+    #[serde(default)]
+    pub process: Option<MemSnapshot>,
+    /// Peak resident set size in bytes (`/proc/self/status` `VmHWM`),
+    /// `None` off-Linux.
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
+}
+
 /// Runs `sim` with `base` (plus whichever optional probe halves are
 /// active), keeping probe composition monomorphized without enumerating
 /// every on/off combination at the call site: the caller picks the base
 /// probe type (metrics alone, or metrics paired with a digest probe) and
 /// this helper handles the remaining three optional halves.
-fn run_with_base<P: SimProbe>(
+fn run_with_base<P: SimProbe, T: PhaseTimer>(
     sim: &NetworkSimulation,
     base: &mut P,
     flight: Option<&mut FlightRecorder>,
     privacy: Option<&mut PrivacyProbe>,
-    profiler: Option<&mut PhaseProfiler>,
+    timer: Option<&mut T>,
 ) -> SimOutcome {
-    match (flight, privacy, profiler) {
+    match (flight, privacy, timer) {
         (Some(f), Some(p), Some(t)) => sim.run_profiled(&mut ((base, f), p), t),
         (Some(f), None, Some(t)) => sim.run_profiled(&mut (base, f), t),
         (None, Some(p), Some(t)) => sim.run_profiled(&mut (base, p), t),
@@ -486,6 +523,7 @@ pub struct JobTelemetryCollector<'a> {
     privacy_interval: usize,
     span_batch: usize,
     digest_window: usize,
+    mem_profile: bool,
     epoch: std::time::Instant,
     job_ctx: TraceCtx,
     /// Parent span id for the job span: the serve/CLI root span when the
@@ -498,6 +536,7 @@ pub struct JobTelemetryCollector<'a> {
     privacy: JobPrivacy,
     spans: JobSpans,
     audit: JobAudit,
+    mem: JobMem,
 }
 
 impl<'a> JobTelemetryCollector<'a> {
@@ -527,6 +566,7 @@ impl<'a> JobTelemetryCollector<'a> {
             privacy_interval: sink.map_or(0, TelemetrySink::privacy_interval),
             span_batch: sink.map_or(0, TelemetrySink::span_batch),
             digest_window: sink.map_or(0, TelemetrySink::digest_window),
+            mem_profile: sink.is_some_and(TelemetrySink::mem_profile),
             epoch: sink.map_or_else(std::time::Instant::now, TelemetrySink::epoch),
             job_ctx: root.child(index as u64),
             job_parent,
@@ -537,6 +577,7 @@ impl<'a> JobTelemetryCollector<'a> {
             privacy: JobPrivacy::default(),
             spans: JobSpans::default(),
             audit: JobAudit::default(),
+            mem: JobMem::default(),
         }
     }
 
@@ -564,26 +605,73 @@ impl<'a> JobTelemetryCollector<'a> {
         let mut profiler = (self.span_batch > 0)
             .then(|| PhaseProfiler::with_batch(u32::try_from(self.span_batch).unwrap_or(u32::MAX)));
         let mut digest = (self.digest_window > 0).then(|| DigestProbe::new(self.digest_window));
+        // The allocation-scope timer rides the same phase-switch hooks
+        // as the profiler; it must be constructed *after* the probes so
+        // their setup allocations stay outside its baseline.
+        let mut mem_timer = self.mem_profile.then(|| {
+            memprof::set_enabled(true);
+            MemScopeTimer::new()
+        });
         // Optional instrumentation composes through monomorphized pair
         // probes and a statically dispatched timer, so every disabled
         // half costs nothing on the event path. The digest probe picks
-        // the *base* probe type so the other halves stay a single match.
-        let outcome = if let Some(d) = digest.as_mut() {
-            run_with_base(
+        // the *base* probe type, the profiler and mem timer pair up as
+        // the timer, and the other halves stay a single match.
+        let outcome = match (digest.as_mut(), profiler.as_mut(), mem_timer.as_mut()) {
+            (Some(d), Some(p), Some(m)) => {
+                let mut timer = (p, m);
+                run_with_base(
+                    sim,
+                    &mut (&mut probe, d),
+                    flight.as_mut(),
+                    privacy.as_mut(),
+                    Some(&mut timer),
+                )
+            }
+            (Some(d), Some(p), None) => run_with_base(
                 sim,
                 &mut (&mut probe, d),
                 flight.as_mut(),
                 privacy.as_mut(),
-                profiler.as_mut(),
-            )
-        } else {
-            run_with_base(
+                Some(p),
+            ),
+            (Some(d), None, Some(m)) => run_with_base(
+                sim,
+                &mut (&mut probe, d),
+                flight.as_mut(),
+                privacy.as_mut(),
+                Some(m),
+            ),
+            (Some(d), None, None) => run_with_base::<_, PhaseProfiler>(
+                sim,
+                &mut (&mut probe, d),
+                flight.as_mut(),
+                privacy.as_mut(),
+                None,
+            ),
+            (None, Some(p), Some(m)) => {
+                let mut timer = (p, m);
+                run_with_base(
+                    sim,
+                    &mut probe,
+                    flight.as_mut(),
+                    privacy.as_mut(),
+                    Some(&mut timer),
+                )
+            }
+            (None, Some(p), None) => {
+                run_with_base(sim, &mut probe, flight.as_mut(), privacy.as_mut(), Some(p))
+            }
+            (None, None, Some(m)) => {
+                run_with_base(sim, &mut probe, flight.as_mut(), privacy.as_mut(), Some(m))
+            }
+            (None, None, None) => run_with_base::<_, PhaseProfiler>(
                 sim,
                 &mut probe,
                 flight.as_mut(),
                 privacy.as_mut(),
-                profiler.as_mut(),
-            )
+                None,
+            ),
         };
         let flight_log = flight.map(|f| f.finish(outcome.end_time));
         let privacy_series = privacy.map(|p| p.finish(outcome.end_time));
@@ -647,6 +735,26 @@ impl<'a> JobTelemetryCollector<'a> {
                 digest: digest.finish(),
             });
         }
+        if let Some(timer) = mem_timer {
+            let delivered = outcome.total_delivered();
+            self.mem.scenarios.push(ScenarioMem {
+                label: label.to_string(),
+                ledger: timer.finish(),
+                allocs: outcome.allocs,
+                alloc_bytes: outcome.alloc_bytes,
+                delivered,
+                // Stored as 0.0 (not inf) when nothing was delivered so
+                // the blob stays JSON-serializable.
+                allocs_per_delivered: if delivered > 0 {
+                    #[allow(clippy::cast_precision_loss)]
+                    {
+                        outcome.allocs as f64 / delivered as f64
+                    }
+                } else {
+                    0.0
+                },
+            });
+        }
         outcome
     }
 
@@ -669,6 +777,12 @@ impl<'a> JobTelemetryCollector<'a> {
                 self.audit.root = self.audit.compute_root();
                 let json = serde_json::to_string(&self.audit).expect("job audit serializes");
                 sink.attach_audit(index, json);
+            }
+            if !self.mem.scenarios.is_empty() {
+                self.mem.process = Some(memprof::snapshot());
+                self.mem.peak_rss_bytes = memprof::peak_rss_bytes();
+                let json = serde_json::to_string(&self.mem).expect("job mem serializes");
+                sink.attach_mem(index, json);
             }
             if self.span_batch > 0 {
                 #[allow(clippy::cast_possible_truncation)]
@@ -728,13 +842,19 @@ pub struct TelemetryExport {
     /// written before the observatory existed.
     #[serde(default)]
     pub job_privacy: Vec<Option<JobPrivacy>>,
+    /// Raw per-job memory ledgers, indexed by job (None = the job ran
+    /// without the allocation observatory). Absent in exports written
+    /// before memory profiling existed.
+    #[serde(default)]
+    pub job_mem: Vec<Option<JobMem>>,
 }
 
 impl TelemetryExport {
     /// Aggregates per-job telemetry blobs (as journaled in a manifest or
     /// drained from a [`TelemetrySink`]) into one export.
-    /// `privacy_blobs` carries the parallel privacy-series blobs; pass
-    /// `&[]` when the run had no privacy observatory.
+    /// `privacy_blobs` carries the parallel privacy-series blobs and
+    /// `mem_blobs` the parallel allocation-ledger blobs; pass `&[]` for
+    /// either when the run had no such observatory.
     ///
     /// # Errors
     ///
@@ -743,6 +863,7 @@ impl TelemetryExport {
         experiment: &str,
         blobs: &[Option<String>],
         privacy_blobs: &[Option<String>],
+        mem_blobs: &[Option<String>],
     ) -> Result<Self, String> {
         let mut job_telemetry: Vec<Option<JobTelemetry>> = Vec::with_capacity(blobs.len());
         for (i, blob) in blobs.iter().enumerate() {
@@ -761,6 +882,17 @@ impl TelemetryExport {
                 Some(json) => job_privacy.push(Some(
                     serde_json::from_str(json)
                         .map_err(|e| format!("job {i}: bad privacy blob: {e}"))?,
+                )),
+            }
+        }
+
+        let mut job_mem: Vec<Option<JobMem>> = Vec::with_capacity(blobs.len());
+        for i in 0..blobs.len() {
+            match mem_blobs.get(i).and_then(Option::as_ref) {
+                None => job_mem.push(None),
+                Some(json) => job_mem.push(Some(
+                    serde_json::from_str(json)
+                        .map_err(|e| format!("job {i}: bad mem blob: {e}"))?,
                 )),
             }
         }
@@ -1025,6 +1157,66 @@ impl TelemetryExport {
             registry.set(g, aoi_peak[i]);
         }
 
+        // Allocation-observatory aggregates: totals sum over scenario
+        // ledgers, the allocs-per-delivered gauge ratios the sums, and
+        // the peak gauges take the max (they are worst cases). Runs
+        // without memory profiling attach no mem blobs and get none of
+        // these, so old manifests render unchanged.
+        let mut mem_allocs = 0u64;
+        let mut mem_bytes = 0u64;
+        let mut mem_delivered = 0u64;
+        let mut mem_peak_live = 0u64;
+        let mut mem_peak_rss = 0u64;
+        for job in job_mem.iter().flatten() {
+            for scenario in &job.scenarios {
+                mem_allocs += scenario.allocs;
+                mem_bytes += scenario.alloc_bytes;
+                mem_delivered += scenario.delivered;
+            }
+            if let Some(process) = &job.process {
+                mem_peak_live = mem_peak_live.max(process.peak_live_bytes);
+            }
+            if let Some(rss) = job.peak_rss_bytes {
+                mem_peak_rss = mem_peak_rss.max(rss);
+            }
+        }
+        if mem_allocs > 0 {
+            let c = registry.counter(
+                "tempriv_allocs_total",
+                "Heap allocations inside instrumented simulation runs",
+            );
+            registry.inc(c, mem_allocs);
+            let c = registry.counter(
+                "tempriv_alloc_bytes_total",
+                "Heap bytes requested inside instrumented simulation runs",
+            );
+            registry.inc(c, mem_bytes);
+            if mem_delivered > 0 {
+                let g = registry.gauge(
+                    "tempriv_allocs_per_delivered",
+                    "Heap allocations per delivered packet across instrumented scenarios",
+                );
+                #[allow(clippy::cast_precision_loss)]
+                registry.set(g, mem_allocs as f64 / mem_delivered as f64);
+            }
+        }
+        if mem_peak_live > 0 {
+            let g = registry.gauge(
+                "tempriv_mem_peak_live_bytes",
+                "Peak live heap bytes observed by the counting allocator",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, mem_peak_live as f64);
+        }
+        if mem_peak_rss > 0 {
+            let g = registry.gauge(
+                "tempriv_mem_peak_rss_bytes",
+                "Peak resident set size (VmHWM) of the sweep process",
+            );
+            #[allow(clippy::cast_precision_loss)]
+            registry.set(g, mem_peak_rss as f64);
+        }
+
         Ok(TelemetryExport {
             experiment: experiment.to_string(),
             jobs: blobs.len(),
@@ -1036,6 +1228,7 @@ impl TelemetryExport {
             metrics: registry.snapshot(),
             job_telemetry,
             job_privacy,
+            job_mem,
         })
     }
 
@@ -1081,7 +1274,62 @@ impl TelemetryExport {
         for gauge in &self.metrics.gauges {
             out.push_str(&format!("  {} = {:.4}\n", gauge.name, gauge.value));
         }
+        if let Some(mem) = self.memory_text() {
+            out.push_str(&mem);
+        }
         out
+    }
+
+    /// Memory section of the report: merged phase-attributed allocation
+    /// ledger plus the steady-state allocs-per-delivered figure. `None`
+    /// when no job carried a mem blob (the common, unprofiled case).
+    #[must_use]
+    pub fn memory_text(&self) -> Option<String> {
+        let scenarios: Vec<&ScenarioMem> = self
+            .job_mem
+            .iter()
+            .flatten()
+            .flat_map(|j| &j.scenarios)
+            .collect();
+        if scenarios.is_empty() {
+            return None;
+        }
+        let mut ledger = MemBreakdown::empty();
+        let mut allocs = 0u64;
+        let mut delivered = 0u64;
+        for s in &scenarios {
+            ledger.merge(&s.ledger);
+            allocs += s.allocs;
+            delivered += s.delivered;
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "memory: {} profiled scenario(s), {} alloc(s) in-run\n",
+            scenarios.len(),
+            allocs
+        ));
+        if delivered > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            out.push_str(&format!(
+                "  allocs per delivered packet = {:.3}\n",
+                allocs as f64 / delivered as f64
+            ));
+        }
+        for line in ledger.table().lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+        if let Some(job) = self.job_mem.iter().flatten().next() {
+            if let Some(process) = &job.process {
+                out.push_str(&format!(
+                    "  process: live={} peak_live={} allocs={}\n",
+                    process.live_bytes, process.peak_live_bytes, process.allocs
+                ));
+            }
+            if let Some(rss) = job.peak_rss_bytes {
+                out.push_str(&format!("  peak RSS (VmHWM) = {rss} bytes\n"));
+            }
+        }
+        Some(out)
     }
 }
 
@@ -1201,7 +1449,7 @@ mod tests {
             spans,
         };
         let blob = serde_json::to_string(&job).unwrap();
-        let export = TelemetryExport::collect("fig2", &[Some(blob), None], &[]).unwrap();
+        let export = TelemetryExport::collect("fig2", &[Some(blob), None], &[], &[]).unwrap();
         assert_eq!(export.jobs, 2);
         assert_eq!(export.instrumented_jobs, 1);
         assert_eq!(export.scenarios, 1);
@@ -1305,11 +1553,11 @@ mod tests {
 
     #[test]
     fn bad_blob_is_a_named_error() {
-        let err =
-            TelemetryExport::collect("fig2", &[Some("not json".to_string())], &[]).unwrap_err();
+        let err = TelemetryExport::collect("fig2", &[Some("not json".to_string())], &[], &[])
+            .unwrap_err();
         assert!(err.contains("job 0"));
-        let err =
-            TelemetryExport::collect("fig2", &[None], &[Some("not json".to_string())]).unwrap_err();
+        let err = TelemetryExport::collect("fig2", &[None], &[Some("not json".to_string())], &[])
+            .unwrap_err();
         assert!(err.contains("bad privacy blob"));
     }
 
@@ -1398,6 +1646,7 @@ mod tests {
                 serde_json::to_string(&JobTelemetry::default()).unwrap(),
             )],
             &[Some(blob)],
+            &[],
         )
         .unwrap();
         assert!(export
@@ -1499,7 +1748,7 @@ mod tests {
             assert!(flow.peak >= flow.mean);
         }
         // The blob aggregates into per-flow AoI gauges through collect().
-        let export = TelemetryExport::collect("fig2", &[Some(blob)], &[]).unwrap();
+        let export = TelemetryExport::collect("fig2", &[Some(blob)], &[], &[]).unwrap();
         assert!(export
             .metrics
             .gauges

@@ -258,7 +258,7 @@ fn export_round_trips_through_manifest_blobs() {
     let blobs = sink.take_all();
     assert_eq!(blobs.len(), 2);
     assert!(blobs.iter().all(Option::is_some), "every job instruments");
-    let export = TelemetryExport::collect("fig2", &blobs, &[]).unwrap();
+    let export = TelemetryExport::collect("fig2", &blobs, &[], &[]).unwrap();
     assert_eq!(export.instrumented_jobs, 2);
     // Three scenarios per fig2 point: no_delay, unlimited, rcad.
     assert_eq!(export.scenarios, 6);

@@ -81,6 +81,13 @@ pub struct JobRecord {
     /// existed.
     #[serde(default)]
     pub audit: Option<String>,
+    /// Per-job allocation-ledger blob (JSON: per-slot allocs/bytes plus
+    /// allocs-per-delivered figures), attached only when the run enabled
+    /// memory profiling and the job was actually computed. `None` for
+    /// cache-served jobs and for manifests written before the memory
+    /// observatory existed.
+    #[serde(default)]
+    pub mem: Option<String>,
 }
 
 /// An append-only, line-buffered manifest writer (thread-safe: jobs
@@ -227,6 +234,7 @@ mod tests {
             privacy: None,
             spans: None,
             audit: None,
+            mem: None,
         }
     }
 
@@ -242,7 +250,17 @@ mod tests {
         assert_eq!(old.privacy, None);
         assert_eq!(old.spans, None);
         assert_eq!(old.audit, None);
+        assert_eq!(old.mem, None);
         assert_eq!(old.index, 0);
+    }
+
+    #[test]
+    fn mem_blob_round_trips() {
+        let mut r = record(5);
+        r.mem = Some("{\"slots\":[],\"total_allocs\":0}".to_string());
+        let line = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -264,21 +264,22 @@ impl Runtime {
         json: &str,
     ) {
         // Cached jobs did no instrumented work, so they carry no blobs.
-        let (telemetry, trace, privacy, spans, audit) = match status {
+        let (telemetry, trace, privacy, spans, audit, mem) = match status {
             JobStatus::Computed => {
                 self.telemetry
                     .as_ref()
-                    .map_or((None, None, None, None, None), |sink| {
+                    .map_or((None, None, None, None, None, None), |sink| {
                         (
                             sink.get(index),
                             sink.get_trace(index),
                             sink.get_privacy(index),
                             sink.get_spans(index),
                             sink.get_audit(index),
+                            sink.get_mem(index),
                         )
                     })
             }
-            JobStatus::Cached => (None, None, None, None, None),
+            JobStatus::Cached => (None, None, None, None, None, None),
         };
         let record = JobRecord {
             index,
@@ -291,6 +292,7 @@ impl Runtime {
             privacy,
             spans,
             audit,
+            mem,
         };
         if let Err(e) = writer.record(&record) {
             eprintln!(

@@ -26,8 +26,10 @@ use std::time::Instant;
 /// interval [`TelemetrySink::privacy_interval`], 0 = observatory off),
 /// *span* slots for cross-layer span/profile blobs (with the phase
 /// switch batch [`TelemetrySink::span_batch`], 0 = span tracing off),
-/// and *audit* slots for determinism-audit digest blobs (with the
-/// checkpoint window [`TelemetrySink::digest_window`], 0 = audit off).
+/// *audit* slots for determinism-audit digest blobs (with the
+/// checkpoint window [`TelemetrySink::digest_window`], 0 = audit off),
+/// and *mem* slots for allocation-ledger blobs (gated by
+/// [`TelemetrySink::mem_profile`], off by default).
 ///
 /// For span tracing the sink also carries a root trace context — two
 /// raw ids set by the layer that minted the trace (e.g. the HTTP
@@ -46,6 +48,8 @@ pub struct TelemetrySink {
     span_batch: AtomicUsize,
     audit_slots: Mutex<Vec<Option<String>>>,
     digest_window: AtomicUsize,
+    mem_slots: Mutex<Vec<Option<String>>>,
+    mem_profile: AtomicUsize,
     root_trace_id: AtomicU64,
     root_span_id: AtomicU64,
     epoch: Instant,
@@ -71,6 +75,8 @@ impl TelemetrySink {
             span_batch: AtomicUsize::new(0),
             audit_slots: Mutex::new(Vec::new()),
             digest_window: AtomicUsize::new(0),
+            mem_slots: Mutex::new(Vec::new()),
+            mem_profile: AtomicUsize::new(0),
             root_trace_id: AtomicU64::new(0),
             root_span_id: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -99,6 +105,10 @@ impl TelemetrySink {
         let mut audits = self.audit_slots.lock().expect("audit sink lock");
         audits.clear();
         audits.resize(jobs, None);
+        drop(audits);
+        let mut mems = self.mem_slots.lock().expect("mem sink lock");
+        mems.clear();
+        mems.resize(jobs, None);
     }
 
     /// Sets the flight-recorder ring capacity jobs should trace with.
@@ -301,6 +311,42 @@ impl TelemetrySink {
         let mut audits = self.audit_slots.lock().expect("audit sink lock");
         std::mem::take(&mut *audits)
     }
+
+    /// Turns per-job allocation-ledger collection on or off for this
+    /// run. Off (the default) means jobs neither enable the counting
+    /// allocator nor attach mem blobs.
+    pub fn set_mem_profile(&self, on: bool) {
+        self.mem_profile.store(usize::from(on), Ordering::Relaxed);
+    }
+
+    /// Whether jobs should collect allocation ledgers this run.
+    #[must_use]
+    pub fn mem_profile(&self) -> bool {
+        self.mem_profile.load(Ordering::Relaxed) != 0
+    }
+
+    /// Attaches job `index`'s allocation-ledger blob (JSON). Like
+    /// [`TelemetrySink::attach`], silently ignored when out of range.
+    pub fn attach_mem(&self, index: usize, json: impl Into<String>) {
+        let mut mems = self.mem_slots.lock().expect("mem sink lock");
+        if let Some(slot) = mems.get_mut(index) {
+            *slot = Some(json.into());
+        }
+    }
+
+    /// A copy of job `index`'s mem blob, if one was attached.
+    #[must_use]
+    pub fn get_mem(&self, index: usize) -> Option<String> {
+        let mems = self.mem_slots.lock().expect("mem sink lock");
+        mems.get(index).and_then(Clone::clone)
+    }
+
+    /// All mem blobs in job order, draining the mem slots.
+    #[must_use]
+    pub fn take_all_mem(&self) -> Vec<Option<String>> {
+        let mut mems = self.mem_slots.lock().expect("mem sink lock");
+        std::mem::take(&mut *mems)
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +477,31 @@ mod tests {
         assert_eq!(sink.digest_window(), 0);
         sink.set_digest_window(4096);
         assert_eq!(sink.digest_window(), 4096);
+    }
+
+    #[test]
+    fn mem_slots_mirror_telemetry_slots() {
+        let sink = TelemetrySink::new();
+        sink.reset(2);
+        sink.attach_mem(1, "{\"slots\":[]}");
+        assert_eq!(sink.get_mem(0), None);
+        assert_eq!(sink.get_mem(1).as_deref(), Some("{\"slots\":[]}"));
+        sink.attach_mem(7, "{}"); // out of range: ignored
+        let all = sink.take_all_mem();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].as_deref(), Some("{\"slots\":[]}"));
+        sink.reset(1);
+        assert_eq!(sink.get_mem(1), None, "reset clears mem slots");
+    }
+
+    #[test]
+    fn mem_profile_defaults_to_off() {
+        let sink = TelemetrySink::new();
+        assert!(!sink.mem_profile());
+        sink.set_mem_profile(true);
+        assert!(sink.mem_profile());
+        sink.set_mem_profile(false);
+        assert!(!sink.mem_profile());
     }
 
     #[test]

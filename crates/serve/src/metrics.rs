@@ -8,6 +8,7 @@
 //! registry's unquoted label convention (`name{tenant=t0}`).
 
 use std::collections::HashMap;
+use tempriv_telemetry::memprof::{self, MemSnapshot};
 use tempriv_telemetry::registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 
 /// All serve metrics, pre-registered on one registry.
@@ -24,6 +25,10 @@ pub struct ServeMetrics {
     request_latency: HistogramId,
     job_wall: HistogramId,
     queue_wait: HistogramId,
+    mem_live_bytes: GaugeId,
+    mem_peak_bytes: GaugeId,
+    mem_allocs: GaugeId,
+    mem_rss_peak: GaugeId,
     admitted: HashMap<String, CounterId>,
     rejected: HashMap<String, CounterId>,
 }
@@ -81,6 +86,22 @@ impl ServeMetrics {
             10_000.0,
             100,
         );
+        let mem_live_bytes = registry.gauge(
+            "tempriv_mem_live_bytes",
+            "live heap bytes per the counting allocator",
+        );
+        let mem_peak_bytes = registry.gauge(
+            "tempriv_mem_peak_bytes",
+            "peak live heap bytes since the counting allocator was enabled",
+        );
+        let mem_allocs = registry.gauge(
+            "tempriv_mem_allocs_total",
+            "heap allocations since the counting allocator was enabled",
+        );
+        let mem_rss_peak = registry.gauge(
+            "tempriv_mem_rss_peak_bytes",
+            "peak resident set size (VmHWM) of the server process",
+        );
         ServeMetrics {
             registry,
             requests_total,
@@ -94,6 +115,10 @@ impl ServeMetrics {
             request_latency,
             job_wall,
             queue_wait,
+            mem_live_bytes,
+            mem_peak_bytes,
+            mem_allocs,
+            mem_rss_peak,
             admitted: HashMap::new(),
             rejected: HashMap::new(),
         }
@@ -171,6 +196,27 @@ impl ServeMetrics {
         self.registry.gauge_value(self.cache_hit_rate)
     }
 
+    /// Writes the process memory gauges from a counting-allocator
+    /// snapshot and the kernel's peak-RSS reading (`None` off-Linux
+    /// leaves the RSS gauge at its last value).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn set_mem(&mut self, snap: &MemSnapshot, peak_rss: Option<u64>) {
+        self.registry
+            .set(self.mem_live_bytes, snap.live_bytes as f64);
+        self.registry
+            .set(self.mem_peak_bytes, snap.peak_live_bytes as f64);
+        self.registry.set(self.mem_allocs, snap.allocs as f64);
+        if let Some(rss) = peak_rss {
+            self.registry.set(self.mem_rss_peak, rss as f64);
+        }
+    }
+
+    /// Refreshes the memory gauges from the live allocator and kernel
+    /// state — what the `/metrics` handler calls on every scrape.
+    pub fn refresh_mem(&mut self) {
+        self.set_mem(&memprof::snapshot(), memprof::peak_rss_bytes());
+    }
+
     /// Renders every metric as Prometheus exposition text.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
@@ -224,6 +270,30 @@ mod tests {
         assert!(text.contains("tempriv_serve_admitted_total{tenant=noisy} 2"));
         assert!(text.contains("tempriv_serve_rejected_total{tenant=noisy} 1"));
         assert!(text.contains("tempriv_serve_admitted_total{tenant=quiet} 1"));
+    }
+
+    #[test]
+    fn mem_gauges_export_from_snapshot() {
+        let mut m = ServeMetrics::new();
+        let snap = MemSnapshot {
+            allocs: 42,
+            deallocs: 40,
+            reallocs: 1,
+            alloc_bytes: 4096,
+            live_bytes: 512,
+            peak_live_bytes: 2048,
+        };
+        m.set_mem(&snap, Some(1 << 20));
+        let text = m.to_prometheus();
+        assert!(text.contains("tempriv_mem_live_bytes 512"));
+        assert!(text.contains("tempriv_mem_peak_bytes 2048"));
+        assert!(text.contains("tempriv_mem_allocs_total 42"));
+        assert!(text.contains("tempriv_mem_rss_peak_bytes 1048576"));
+        // Off-Linux scrapes keep the last RSS reading.
+        m.set_mem(&snap, None);
+        assert!(m
+            .to_prometheus()
+            .contains("tempriv_mem_rss_peak_bytes 1048576"));
     }
 
     #[test]

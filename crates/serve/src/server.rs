@@ -158,6 +158,10 @@ impl Server {
     /// Returns a message when the address, cache directory, or journal
     /// cannot be opened.
     pub fn bind(cfg: ServeConfig) -> Result<Server, String> {
+        // Turn the counting allocator on for the server's lifetime so
+        // the /metrics memory gauges read live values (no-op unless the
+        // binary installed it as #[global_allocator]).
+        tempriv_telemetry::memprof::set_enabled(true);
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
         let addr = listener
@@ -493,7 +497,8 @@ fn route(state: &ServerState, request: &Request) -> Response {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}"),
         ("GET", "/metrics") => {
             update_load(state);
-            let metrics = state.metrics.lock().expect("metrics lock");
+            let mut metrics = state.metrics.lock().expect("metrics lock");
+            metrics.refresh_mem();
             Response::text(200, metrics.to_prometheus())
         }
         ("POST", "/v1/shutdown") => {

@@ -110,6 +110,19 @@ impl<T: PhaseTimer + ?Sized> PhaseTimer for &mut T {
     }
 }
 
+/// Fans one phase switch out to two timers (e.g. a wall-clock profiler
+/// paired with an allocation-scope timer). The pair reports the first
+/// timer's notion of the previous phase; both receive every switch, so
+/// their attributions stay aligned.
+impl<A: PhaseTimer, B: PhaseTimer> PhaseTimer for (A, B) {
+    #[inline]
+    fn switch(&mut self, phase: Phase) -> Phase {
+        let prev = self.0.switch(phase);
+        let _ = self.1.switch(phase);
+        prev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,10 @@
 //! * [`span`] — wall-clock spans for timing pipeline stages, plus the
 //!   cross-layer span tracer ([`TraceCtx`], [`SpanRecord`], [`SpanRing`])
 //!   whose Chrome-trace export merges with the flight recorder's;
+//! * [`memprof`] — the memory observatory: a counting
+//!   [`CountingAlloc`] global-allocator wrapper with thread-local
+//!   [`AllocScope`] attribution to kernel phases and pipeline layers,
+//!   serializable [`MemBreakdown`] ledgers, and peak-RSS gauges;
 //! * [`audit`] — the determinism observatory: a [`DigestProbe`] folding
 //!   the packet event stream into windowed checkpoint digests and a
 //!   Merkle-style run root, [`audit::diff`] naming the first divergent
@@ -47,6 +51,7 @@
 
 pub mod audit;
 pub mod flight;
+pub mod memprof;
 pub mod privacy;
 pub mod probe;
 pub mod profiler;
@@ -58,6 +63,11 @@ pub use audit::{
     diff, first_divergent_event, fold_root, CapturedEvent, DiffReport, DigestProbe, Divergence,
     EventDivergence, RunDigest, WindowCapture, WindowDigest, DEFAULT_DIGEST_WINDOW,
 };
+pub use memprof::{
+    AllocLayer, AllocScope, CountingAlloc, MemBreakdown, MemScopeTimer, MemSnapshot, SlotMem,
+    ThreadMemSnapshot,
+};
+
 pub use flight::{
     FlightEvent, FlightLog, FlightRecorder, FlowAoi, HopResidence, LatencySpectra, LineageOutcome,
     PacketEvent, PacketEventKind, PacketLineage, DEFAULT_FLIGHT_CAPACITY,

@@ -96,6 +96,20 @@ impl Value {
     }
 }
 
+// `Value` round-trips through itself, so callers can parse JSON whose
+// shape is only known at runtime (e.g. heterogeneous report files).
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Serialization/deserialization error: a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
