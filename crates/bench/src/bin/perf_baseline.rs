@@ -270,6 +270,12 @@ struct ScalePoint {
     /// `events_per_sec / baseline_events_per_sec` for `probes_off`.
     #[serde(default)]
     speedup: Option<f64>,
+    /// Per-shard event counts of the balanced-cut sharded run, when
+    /// `--shards` was given (empty for serial-only runs). Sums to that
+    /// run's own event total; the exact-cut cross-check separately
+    /// asserts bit-equality with the serial engine.
+    #[serde(default)]
+    shard_events: Vec<u64>,
 }
 
 /// The `BENCH_core.json` payload.
@@ -296,13 +302,25 @@ struct ScaleReport {
 /// buffering so the cancel-heavy preemption path is exercised.
 fn scale_sim(n_nodes: usize, budget: u64, seed: u64) -> (NetworkSimulation, usize, u32) {
     let side = (n_nodes as f64).sqrt().max(3.0);
-    let deploy = GeometricDeployment::new(side, side, n_nodes, 2.0);
+    // Constant density keeps 100/1k/10k byte-identical to the committed
+    // baselines; past 100k the random-geometric connectivity threshold
+    // (πr² vs ln n) catches up with range 2, so the million-node point
+    // widens the radio range slightly to stay connected.
+    let range = if n_nodes > 100_000 { 2.5 } else { 2.0 };
+    let deploy = GeometricDeployment::new(side, side, n_nodes, range);
     let mut rng = RngFactory::new(seed).stream(0x5CA1E);
     let topo = deploy
         .sample_connected(&mut rng, 64)
         .expect("constant-density field should connect within 64 attempts");
     let routing = RoutingTree::shortest_path(&topo, NodeId(0)).expect("connected topology routes");
-    let sources: Vec<NodeId> = (1..n_nodes).step_by(10).map(|i| NodeId(i as u32)).collect();
+    // Every 10th node sources traffic up to 10k nodes (the committed
+    // points); larger fields keep ~1000 sources so the packet budget
+    // stays meaningful per flow.
+    let stride = if n_nodes > 10_000 { n_nodes / 1000 } else { 10 };
+    let sources: Vec<NodeId> = (1..n_nodes)
+        .step_by(stride)
+        .map(|i| NodeId(i as u32))
+        .collect();
     let n_sources = sources.len();
     let packets = u32::try_from((budget / n_sources as u64).clamp(20, 5000)).expect("clamped");
     let sim = NetworkSimulation::builder(routing, sources)
@@ -322,6 +340,8 @@ fn run_scale(
     budget: u64,
     seed: u64,
     repeats: u32,
+    shards: u32,
+    workers: usize,
     baseline: Option<&ScaleReport>,
 ) -> ScaleReport {
     let mut points = Vec::with_capacity(node_counts.len());
@@ -331,23 +351,57 @@ fn run_scale(
         // Warm-up run; also pins the mode-invariant event statistics.
         let outcome = sim.run();
         let (events, peak_fes) = (outcome.events, outcome.peak_fes);
+        // Sharded cross-checks. The exact (trunk-edge) cut must
+        // reproduce the serial run bit-for-bit: same event count, same
+        // outcome digest. The balanced (load-carved) cut — the one the
+        // timed `sharded` mode below runs, since a corner-sink geometric
+        // field is one giant subtree the exact cut cannot split — must
+        // conserve the packet population; its per-shard event counts are
+        // what the report's shard table shows.
+        let shard_events: Vec<u64> = if shards > 1 {
+            let exact = sim.run_sharded(shards, workers);
+            assert_eq!(
+                exact.events, events,
+                "exact sharded run must deliver the serial event count at n={n}"
+            );
+            assert_eq!(
+                exact.digest(),
+                outcome.digest(),
+                "exact sharded run must reproduce the serial outcome digest at n={n}"
+            );
+            let balanced = sim.run_sharded_balanced(shards, workers);
+            let created: u64 = balanced.flows.iter().map(|f| f.created).sum();
+            assert_eq!(
+                balanced.total_delivered() + balanced.total_drops() + balanced.total_stranded(),
+                created,
+                "balanced sharded run must conserve the packet population at n={n}"
+            );
+            balanced.shards.iter().map(|s| s.events).collect()
+        } else {
+            Vec::new()
+        };
         std::hint::black_box(outcome);
-        let best = best_of_interleaved(
-            repeats,
-            &mut [
-                &mut || {
-                    let out = sim.run();
-                    assert_eq!(out.events, events, "scale runs must be deterministic");
-                    std::hint::black_box(out);
-                },
-                &mut || {
-                    let mut probe = RecordingProbe::new(n_buf_nodes);
-                    std::hint::black_box(sim.run_probed(&mut probe));
-                    std::hint::black_box(&probe);
-                },
-            ],
-        );
-        let modes: Vec<ScaleModeTiming> = ["probes_off", "metrics"]
+        let mut serial = || {
+            let out = sim.run();
+            assert_eq!(out.events, events, "scale runs must be deterministic");
+            std::hint::black_box(out);
+        };
+        let mut metrics = || {
+            let mut probe = RecordingProbe::new(n_buf_nodes);
+            std::hint::black_box(sim.run_probed(&mut probe));
+            std::hint::black_box(&probe);
+        };
+        let mut sharded_mode = || {
+            std::hint::black_box(sim.run_sharded_balanced(shards, workers));
+        };
+        let mut modes_run: Vec<&mut dyn FnMut()> = vec![&mut serial, &mut metrics];
+        let mut mode_names = vec!["probes_off", "metrics"];
+        if shards > 1 {
+            modes_run.push(&mut sharded_mode);
+            mode_names.push("sharded");
+        }
+        let best = best_of_interleaved(repeats, &mut modes_run);
+        let modes: Vec<ScaleModeTiming> = mode_names
             .iter()
             .zip(best)
             .map(|(name, secs)| ScaleModeTiming {
@@ -379,6 +433,7 @@ fn run_scale(
             modes,
             baseline_events_per_sec,
             speedup,
+            shard_events,
         });
     }
     let headline_speedup = points
@@ -626,6 +681,11 @@ struct Args {
     seed: u64,
     /// `--bench scale` only: previous `BENCH_core.json` to compare against.
     baseline: Option<PathBuf>,
+    /// `--bench scale` only: shard count for the sharded cross-check
+    /// mode (1 = serial only).
+    shards: u32,
+    /// `--bench scale` only: worker threads for the sharded mode.
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -638,6 +698,8 @@ fn parse_args() -> Result<Args, String> {
     let mut budget: u64 = 40_000;
     let mut seed: u64 = 4242;
     let mut baseline: Option<PathBuf> = None;
+    let mut shards: u32 = 1;
+    let mut workers: usize = 1;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -695,6 +757,16 @@ fn parse_args() -> Result<Args, String> {
                 seed = value.parse().map_err(|_| format!("bad --seed `{value}`"))?;
             }
             "--baseline" => baseline = Some(PathBuf::from(value)),
+            "--shards" => {
+                shards = value
+                    .parse()
+                    .map_err(|_| format!("bad --shards `{value}`"))?;
+            }
+            "--workers" => {
+                workers = value
+                    .parse()
+                    .map_err(|_| format!("bad --workers `{value}`"))?;
+            }
             "--out" => out = Some(PathBuf::from(value)),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -705,6 +777,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if nodes.is_empty() || nodes.iter().any(|&n| n < 2) || budget == 0 {
         return Err("--nodes needs counts >= 2 and --budget must be positive".into());
+    }
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be positive".into());
     }
     let out = out.unwrap_or_else(|| {
         PathBuf::from(std::env::var("TEMPRIV_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
@@ -727,6 +802,8 @@ fn parse_args() -> Result<Args, String> {
         budget,
         seed,
         baseline,
+        shards,
+        workers,
     })
 }
 
@@ -757,6 +834,8 @@ fn run_scale_main(args: &Args) -> Result<(), String> {
         args.budget,
         args.seed,
         args.repeats,
+        args.shards,
+        args.workers,
         baseline.as_ref(),
     );
     write_report(&report, &args.out)?;

@@ -1,12 +1,18 @@
 //! Allocation ratchet and determinism guarantees for the memory
 //! observatory.
 //!
-//! The ratchet pins a ceiling on steady-state allocs per delivered
+//! The ratchet pins a ceiling on *steady-state* allocs per delivered
 //! packet for every buffer/victim configuration, so a regression that
 //! reintroduces per-packet heap traffic fails CI instead of silently
-//! eroding the zero-alloc data-plane goal (ROADMAP item 2). The
-//! ceilings carry ~2x headroom over the committed `BENCH_mem.json`
-//! baselines; tightening them is progress, loosening them needs a
+//! eroding the zero-alloc data-plane goal (ROADMAP item 2). Steady
+//! state is measured marginally: two identical runs that differ only in
+//! packet count, ratioed by the extra deliveries. Fixed per-run costs
+//! (driver construction, outcome assembly, histogram/PMF builds) cancel
+//! out, leaving exactly the per-packet heap traffic of the data plane —
+//! which with the SoA packet store is a handful of `Vec` doublings,
+//! ~0.001 allocs/packet. A second ratchet bounds those fixed per-run
+//! costs in absolute terms so they cannot quietly balloon either.
+//! Tightening ceilings is progress; loosening them needs a
 //! justification in the PR that does it.
 //!
 //! The determinism test proves the observatory is an observer: the
@@ -22,21 +28,22 @@ use tempriv_telemetry::{memprof, MemScopeTimer, RecordingProbe};
 
 // The ratchet counts through the real allocator, so this test binary
 // must install it; without this the thread deltas would read zero and
-// the ceilings would pass vacuously (guarded against below).
+// the ceilings would pass vacuously (guarded by the liveness test).
 #[global_allocator]
 static ALLOC: tempriv_telemetry::CountingAlloc = tempriv_telemetry::CountingAlloc;
 
-// The counting gate is process-global and both tests toggle it, so
+// The counting gate is process-global and every test toggles it, so
 // they must not interleave.
 static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// The Figure-1 four-flow layout under one buffering config — the same
-/// workload `perf_baseline --bench mem` ledgers.
-fn figure1_sim(buffer: BufferPolicy) -> NetworkSimulation {
+/// workload `perf_baseline --bench mem` ledgers — at a chosen packet
+/// budget per source.
+fn figure1_sim(buffer: BufferPolicy, packets_per_source: u32) -> NetworkSimulation {
     let layout = Convergecast::paper_figure1();
     NetworkSimulation::builder(layout.routing().clone(), layout.sources().to_vec())
         .traffic(TrafficModel::periodic(8.0))
-        .packets_per_source(1000)
+        .packets_per_source(packets_per_source)
         .delay_plan(DelayPlan::shared_exponential(30.0))
         .buffer_policy(buffer)
         .seed(2007)
@@ -44,37 +51,53 @@ fn figure1_sim(buffer: BufferPolicy) -> NetworkSimulation {
         .expect("paper Figure-1 config is valid")
 }
 
-/// Steady-state allocs-per-delivered for one config: warm-up run, then
-/// a measured run counted via this thread's delta (immune to other test
+/// Allocation count and deliveries for one measured run: warm-up run,
+/// then a counted run via this thread's delta (immune to other test
 /// threads allocating concurrently).
-fn allocs_per_delivered(buffer: BufferPolicy) -> (f64, u64, u64) {
-    memprof::set_enabled(true);
-    let sim = figure1_sim(buffer);
+fn measured_run(sim: &NetworkSimulation) -> (u64, u64) {
     std::hint::black_box(sim.run());
     let base = memprof::thread_snapshot();
     let outcome = sim.run();
     let delta = memprof::thread_snapshot().since(base);
     let delivered = outcome.total_delivered();
     assert!(delivered > 0, "figure-1 run must deliver packets");
+    (delta.allocs, delivered)
+}
+
+/// Marginal steady-state allocs-per-delivered for one config, plus the
+/// absolute alloc count of the smaller run (the fixed-cost ratchet).
+fn steady_state(buffer: BufferPolicy) -> (f64, u64, u64, u64) {
+    memprof::set_enabled(true);
+    let (small_allocs, small_delivered) = measured_run(&figure1_sim(buffer, 1000));
+    let (big_allocs, big_delivered) = measured_run(&figure1_sim(buffer, 3000));
+    assert!(
+        big_delivered > small_delivered,
+        "tripling the packet budget must deliver more packets"
+    );
+    let marginal_allocs = big_allocs.saturating_sub(small_allocs);
+    let marginal_delivered = big_delivered - small_delivered;
     (
-        delta.allocs as f64 / delivered as f64,
-        delta.allocs,
-        delivered,
+        marginal_allocs as f64 / marginal_delivered as f64,
+        marginal_allocs,
+        marginal_delivered,
+        small_allocs,
     )
 }
 
 #[test]
-fn allocs_per_packet_ratchet_holds_for_every_config() {
+fn steady_state_allocs_per_packet_ratchet_holds_for_every_config() {
     let _gate = GATE.lock().unwrap();
-    // (config, ceiling) — baselines in results/BENCH_mem.json: roughly
-    // unlimited 1.11, drop_tail 0.16, threshold_mix 1.48, rcad_* 0.07-0.09.
+    // (config, steady-state ceiling) — measured marginals sit at
+    // 0.0005-0.0017 allocs/packet (Vec doublings of the observation and
+    // truth logs); RCAD configs carry the ROADMAP-mandated 0.05 ceiling,
+    // the rest a tight 0.02. Pre-SoA baselines were 0.07-1.48 total.
     let configs: [(&str, BufferPolicy, f64); 7] = [
-        ("unlimited", BufferPolicy::Unlimited, 2.2),
-        ("drop_tail", BufferPolicy::DropTail { capacity: 10 }, 0.4),
+        ("unlimited", BufferPolicy::Unlimited, 0.02),
+        ("drop_tail", BufferPolicy::DropTail { capacity: 10 }, 0.02),
         (
             "threshold_mix",
             BufferPolicy::ThresholdMix { threshold: 10 },
-            3.0,
+            0.02,
         ),
         (
             "rcad_shortest_remaining",
@@ -82,7 +105,7 @@ fn allocs_per_packet_ratchet_holds_for_every_config() {
                 capacity: 10,
                 victim: VictimPolicy::ShortestRemaining,
             },
-            0.2,
+            0.05,
         ),
         (
             "rcad_longest_remaining",
@@ -90,7 +113,7 @@ fn allocs_per_packet_ratchet_holds_for_every_config() {
                 capacity: 10,
                 victim: VictimPolicy::LongestRemaining,
             },
-            0.2,
+            0.05,
         ),
         (
             "rcad_random",
@@ -98,7 +121,7 @@ fn allocs_per_packet_ratchet_holds_for_every_config() {
                 capacity: 10,
                 victim: VictimPolicy::Random,
             },
-            0.25,
+            0.05,
         ),
         (
             "rcad_oldest",
@@ -106,27 +129,52 @@ fn allocs_per_packet_ratchet_holds_for_every_config() {
                 capacity: 10,
                 victim: VictimPolicy::Oldest,
             },
-            0.2,
+            0.05,
         ),
     ];
+    // Fixed per-run costs (driver state + outcome assembly) must stay
+    // bounded too; measured 568-686 allocs per run across configs.
+    const FIXED_CEILING: u64 = 1400;
     for (label, buffer, ceiling) in configs {
-        let (per_delivered, allocs, delivered) = allocs_per_delivered(buffer);
-        assert!(
-            allocs > 0,
-            "{label}: counting allocator must be live (0 allocs over {delivered} delivered)"
-        );
+        let (per_delivered, allocs, delivered, fixed) = steady_state(buffer);
         assert!(
             per_delivered <= ceiling,
-            "{label}: {per_delivered:.3} allocs/delivered ({allocs}/{delivered}) \
-             exceeds ratchet ceiling {ceiling}"
+            "{label}: {per_delivered:.4} marginal allocs/delivered ({allocs}/{delivered}) \
+             exceeds steady-state ratchet ceiling {ceiling}"
+        );
+        assert!(
+            fixed <= FIXED_CEILING,
+            "{label}: {fixed} fixed per-run allocs exceed ratchet ceiling {FIXED_CEILING}"
         );
     }
 }
 
 #[test]
+fn counting_allocator_gate_is_live() {
+    let _gate = GATE.lock().unwrap();
+    // The steady-state ratchet legitimately approaches zero marginal
+    // allocs, so it can no longer double as a liveness check. Prove the
+    // counting gate observes real heap traffic directly: a deliberate
+    // boxed allocation must move this thread's counter.
+    memprof::set_enabled(true);
+    let base = memprof::thread_snapshot();
+    let boxed = std::hint::black_box(Box::new([0u64; 32]));
+    let delta = memprof::thread_snapshot().since(base);
+    drop(boxed);
+    assert!(
+        delta.allocs >= 1,
+        "counting allocator must observe a deliberate Box allocation"
+    );
+    assert!(
+        delta.bytes >= 256,
+        "counting allocator must attribute the boxed bytes"
+    );
+}
+
+#[test]
 fn memprof_scopes_do_not_perturb_the_simulation() {
     let _gate = GATE.lock().unwrap();
-    let sim = figure1_sim(BufferPolicy::paper_rcad());
+    let sim = figure1_sim(BufferPolicy::paper_rcad(), 1000);
 
     memprof::set_enabled(false);
     let plain = sim.run();

@@ -26,7 +26,8 @@ use std::io::Write;
 use serde::{Deserialize, Serialize};
 use tempriv_core::config::ExperimentConfig;
 use tempriv_telemetry::audit::{
-    diff, first_divergent_event, CapturedEvent, DigestProbe, RunDigest, WindowCapture,
+    diff, digest, first_divergent_event, fold_root, CapturedEvent, DigestProbe, RunDigest,
+    WindowCapture, WindowDigest,
 };
 use tempriv_telemetry::DEFAULT_DIGEST_WINDOW;
 
@@ -134,13 +135,64 @@ fn event_line(event: Option<&CapturedEvent>) -> String {
     )
 }
 
+/// Runs `cfg` on the serial or sharded engine and seals the
+/// [`SimOutcome`] digest — the engine-topology-invariant contract (the
+/// sharded runner guarantees it for any shard/worker count) — into a
+/// single-checkpoint [`RunDigest`] with window 0, so `audit diff` can
+/// cross-check a serial run against a sharded one.
+///
+/// [`SimOutcome`]: tempriv_core::SimOutcome
+fn outcome_digest_run(
+    cfg: &ExperimentConfig,
+    shards: u32,
+    workers: usize,
+) -> Result<RunDigest, String> {
+    let sim = cfg.build().map_err(|e| e.to_string())?;
+    let outcome = if shards > 1 {
+        sim.run_sharded(shards, workers)
+    } else {
+        sim.run()
+    };
+    let checkpoint = WindowDigest {
+        index: 0,
+        start_seq: 0,
+        events: outcome.events,
+        digest: digest::hex64(outcome.digest()),
+    };
+    let root = fold_root(std::slice::from_ref(&checkpoint));
+    Ok(RunDigest {
+        window: 0,
+        events: outcome.events,
+        end_time: outcome.end_time.as_units(),
+        checkpoints: vec![checkpoint],
+        root,
+    })
+}
+
 /// `tempriv audit run [config.json]`: digest one run. With `--out` the
 /// JSON goes to the file and a one-line summary to stdout; without, the
 /// JSON itself is the stdout payload (pipe it to a file for `diff`).
+///
+/// `--outcome` digests the simulation outcome instead of the event
+/// stream; `--shards N [--workers M]` runs it on the sharded engine
+/// (which admits no event probes, so it requires `--outcome`).
 fn audit_run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let cfg = audit_config(args, args.positional(2))?;
     let window = window_arg(args)?;
-    let (digest, _draws) = digest_run(&cfg, window)?;
+    let shards: u32 = args.option_as("shards", 1)?;
+    let workers: usize = args.option_as("workers", 1)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be positive".into());
+    }
+    let (digest, mode) = if args.flag("outcome") {
+        (outcome_digest_run(&cfg, shards, workers)?, "outcome digest")
+    } else if shards > 1 {
+        return Err("--shards needs --outcome: the sharded engine admits no \
+                    event probes, so only the outcome digest is defined"
+            .into());
+    } else {
+        (digest_run(&cfg, window)?.0, "event stream")
+    };
     let json =
         serde_json::to_string_pretty(&digest).map_err(|e| format!("serialize digest: {e}"))?;
     match args.option("out") {
@@ -148,12 +200,12 @@ fn audit_run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
             writeln!(
                 out,
-                "audit run: root={} ({} events, {} windows of {}, seed {}) \
+                "audit run: root={} ({mode}, {} events, {} windows of {}, seed {}) \
                  [digest written to {path}]",
                 digest.root,
                 digest.events,
                 digest.checkpoints.len(),
-                window,
+                digest.window,
                 cfg.seed,
             )
             .map_err(io_err)?;
@@ -475,6 +527,64 @@ mod tests {
         let json = run(&base).unwrap();
         let piped: RunDigest = serde_json::from_str(&json).unwrap();
         assert_eq!(piped, digest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_digest_cross_checks_serial_against_sharded() {
+        let dir = std::env::temp_dir().join("tempriv_cli_audit_outcome_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A four-subtree star so a two-way cut produces real handoffs.
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.layout = tempriv_core::config::LayoutSpec::Convergecast {
+            trunk_hops: 0,
+            flow_hops: vec![15, 22, 9, 11],
+        };
+        cfg.packets_per_source = 150;
+        cfg.seed = 2007;
+        let cfg_path = dir.join("star.json");
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let serial = dir.join("serial.json");
+        let sharded = dir.join("sharded.json");
+        run(&[
+            "audit",
+            "run",
+            cfg_path.to_str().unwrap(),
+            "--outcome",
+            "--out",
+            serial.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "audit",
+            "run",
+            cfg_path.to_str().unwrap(),
+            "--outcome",
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--out",
+            sharded.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = run(&[
+            "audit",
+            "diff",
+            serial.to_str().unwrap(),
+            sharded.to_str().unwrap(),
+            "--fail-on-divergence",
+        ])
+        .unwrap();
+        assert!(report.contains("digests identical"), "{report}");
+        // The sharded engine admits no event probes: --shards without
+        // --outcome must be rejected, not silently fall back.
+        let err = run(&["audit", "run", cfg_path.to_str().unwrap(), "--shards", "2"]).unwrap_err();
+        assert!(
+            format!("{err:?}").contains("--outcome"),
+            "error should point at --outcome: {err:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

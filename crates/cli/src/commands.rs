@@ -15,6 +15,7 @@ use tempriv_core::experiment::{
 use tempriv_core::replication::{replicate, ReplicatedMetric};
 use tempriv_core::report::PrivacyAssessment;
 use tempriv_core::telemetry::{privacy_flow_configs, JobMem, JobSpans, JobTrace, TelemetryExport};
+use tempriv_core::SimOutcome;
 use tempriv_infotheory::bounds::{btq_packet_bound_nats, btq_stream_bound_nats};
 use tempriv_infotheory::DEFAULT_STREAMING_BINS;
 use tempriv_queueing::erlang::{erlang_b, min_servers_for_loss, service_rate_for_loss};
@@ -258,7 +259,18 @@ fn cmd_run<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
             .map_err(|_| format!("invalid --seed `{seed}`"))?;
     }
     let sim = cfg.build().map_err(|e| e.to_string())?;
-    let outcome = sim.run();
+    let shards: u32 = args.option_as("shards", 1)?;
+    let workers: usize = args.option_as("workers", 1)?;
+    if shards == 0 || workers == 0 {
+        return Err("--shards and --workers must be positive".into());
+    }
+    let started = std::time::Instant::now();
+    let outcome = if shards > 1 {
+        sim.run_sharded(shards, workers)
+    } else {
+        sim.run()
+    };
+    let wall = started.elapsed().as_secs_f64();
 
     writeln!(out, "experiment: {path} (seed {})", cfg.seed).map_err(io_err)?;
     writeln!(
@@ -299,6 +311,9 @@ fn cmd_run<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         report.energy_per_delivered
     )
     .map_err(io_err)?;
+    if !outcome.shards.is_empty() {
+        write!(out, "{}", shard_table(&outcome, wall)).map_err(io_err)?;
+    }
     if let Some(dump) = args.option("out") {
         let json = serde_json::to_string_pretty(&outcome)
             .map_err(|e| format!("serialize outcome: {e}"))?;
@@ -306,6 +321,54 @@ fn cmd_run<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         writeln!(out, "\n[outcome written to {dump}]").map_err(io_err)?;
     }
     Ok(())
+}
+
+/// Renders the per-shard events/sec table of a sharded outcome:
+/// partition size, events handled (with the shard's share of the
+/// total), cross-shard handoffs shipped, peak future-event-set size,
+/// and events per wall second attributed to the shard.
+fn shard_table(outcome: &SimOutcome, wall_secs: f64) -> String {
+    use std::fmt::Write as _;
+    let total = outcome.events.max(1);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\n{:<6} {:>9} {:>12} {:>7} {:>10} {:>9} {:>12}",
+        "shard", "nodes", "events", "share", "handoffs", "peak FES", "events/sec"
+    );
+    for st in &outcome.shards {
+        let rate = if wall_secs > 0.0 {
+            st.events as f64 / wall_secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "{:<6} {:>9} {:>12} {:>6.1}% {:>10} {:>9} {:>12.0}",
+            st.shard,
+            st.nodes,
+            st.events,
+            100.0 * st.events as f64 / total as f64,
+            st.handoffs_out,
+            st.peak_fes,
+            rate,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "total  {:>9} {:>12} {:>6.0}% {:>10} {:>9} {:>12.0}",
+        outcome.nodes.len(),
+        outcome.events,
+        100.0,
+        outcome.shards.iter().map(|s| s.handoffs_out).sum::<u64>(),
+        outcome.peak_fes,
+        if wall_secs > 0.0 {
+            outcome.events as f64 / wall_secs
+        } else {
+            0.0
+        },
+    );
+    s
 }
 
 fn cmd_assess<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
@@ -635,7 +698,10 @@ fn manifest_mem_blobs(manifest: &ManifestReader) -> Vec<Option<String>> {
 /// JSON, or Prometheus exposition format.
 fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     if let Some(dir) = args.option("bench") {
-        return report_bench(dir, out);
+        let committed = args
+            .option("trajectory")
+            .unwrap_or("results/BENCH_core.json");
+        return report_bench(dir, committed, out);
     }
     let path = args
         .positional(1)
@@ -733,7 +799,7 @@ fn cmd_report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 /// committed `BENCH_*.json` benchmark report — headline metric, the
 /// instrumentation-overhead figure where the bench measures one, and
 /// pass/fail against the CI gate where one is enforced.
-fn report_bench<W: Write>(dir: &str, out: &mut W) -> Result<(), String> {
+fn report_bench<W: Write>(dir: &str, committed_core: &str, out: &mut W) -> Result<(), String> {
     use serde::value::Value;
 
     // Overhead budgets the CI workflow enforces (percent over the
@@ -759,8 +825,8 @@ fn report_bench<W: Write>(dir: &str, out: &mut W) -> Result<(), String> {
 
     writeln!(
         out,
-        "{:<8} {:<44} {:>10} {:>6} {:>6}",
-        "bench", "headline", "overhead", "gate", "status"
+        "{:<8} {:<44} {:>10} {:>6} {:>6}  {:<24}",
+        "bench", "headline", "overhead", "gate", "status", "trajectory"
     )
     .map_err(io_err)?;
     let mut failures = 0usize;
@@ -798,11 +864,21 @@ fn report_bench<W: Write>(dir: &str, out: &mut W) -> Result<(), String> {
             _ => ("-".to_string(), "-"),
         };
         let overhead_col = overhead.map_or_else(|| "-".to_string(), |pct| format!("{pct:+.2}%"));
+        let trajectory = if name == "core" {
+            core_trajectory(&report, committed_core)
+        } else {
+            "-".to_string()
+        };
         writeln!(
             out,
-            "{name:<8} {headline:<44} {overhead_col:>10} {gate_col:>6} {status:>6}"
+            "{name:<8} {headline:<44} {overhead_col:>10} {gate_col:>6} {status:>6}  {trajectory:<24}"
         )
         .map_err(io_err)?;
+        if name == "core" {
+            if let Some(table) = core_shard_table(&report) {
+                write!(out, "{table}").map_err(io_err)?;
+            }
+        }
     }
     if failures > 0 {
         writeln!(out, "{failures} gate(s) FAILED").map_err(io_err)?;
@@ -810,6 +886,113 @@ fn report_bench<W: Write>(dir: &str, out: &mut W) -> Result<(), String> {
         writeln!(out, "all gates pass").map_err(io_err)?;
     }
     Ok(())
+}
+
+/// Events/sec trajectory of a fresh core scale report against the
+/// committed `BENCH_core.json`: one signed percentage per shared node
+/// count (`probes_off` mode, ordered by node count), so speedups and
+/// regressions vs the last committed baseline are visible in the same
+/// table that renders the report itself.
+fn core_trajectory(report: &serde::value::Value, committed_path: &str) -> String {
+    use serde::value::Value;
+    let Ok(raw) = std::fs::read_to_string(committed_path) else {
+        return format!("no baseline at {committed_path}");
+    };
+    let Ok(committed) = serde_json::from_str::<Value>(&raw) else {
+        return format!("bad baseline {committed_path}");
+    };
+    let probes_off = |point: &Value| -> Option<f64> {
+        match point.get("modes") {
+            Some(Value::Seq(modes)) => modes
+                .iter()
+                .find(|m| matches!(m.get("mode"), Some(Value::Str(mode)) if mode == "probes_off"))
+                .and_then(|m| m.get("events_per_sec"))
+                .and_then(Value::as_f64),
+            _ => None,
+        }
+    };
+    let points_of = |report: &Value| -> Vec<(u64, f64)> {
+        match report.get("points") {
+            Some(Value::Seq(points)) => points
+                .iter()
+                .filter_map(|p| {
+                    let nodes = p.get("nodes").and_then(Value::as_u64)?;
+                    Some((nodes, probes_off(p)?))
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let fresh = points_of(report);
+    let base = points_of(&committed);
+    let mut deltas: Vec<String> = fresh
+        .iter()
+        .filter_map(|&(nodes, rate)| {
+            let (_, committed_rate) = base.iter().find(|&&(n, _)| n == nodes)?;
+            Some(format!(
+                "{}n{:+.0}%",
+                nodes,
+                (rate / committed_rate - 1.0) * 100.0
+            ))
+        })
+        .collect();
+    if deltas.is_empty() {
+        return "no shared points".to_string();
+    }
+    deltas.push("ev/s vs committed".to_string());
+    deltas.join(" ")
+}
+
+/// Per-shard events/sec table for a core scale report whose points
+/// carry `shard_events` (captured by `--bench scale --shards N`): each
+/// shard's event count over the sharded timing mode's wall time. Empty
+/// (None) for serial-only reports.
+fn core_shard_table(report: &serde::value::Value) -> Option<String> {
+    use serde::value::Value;
+    use std::fmt::Write as _;
+    let Some(Value::Seq(points)) = report.get("points") else {
+        return None;
+    };
+    let mut s = String::new();
+    for point in points {
+        let shard_events: Vec<u64> = match point.get("shard_events") {
+            Some(Value::Seq(events)) => events.iter().filter_map(Value::as_u64).collect(),
+            _ => continue,
+        };
+        if shard_events.is_empty() {
+            continue;
+        }
+        let Some(nodes) = point.get("nodes").and_then(Value::as_u64) else {
+            continue;
+        };
+        let sharded_secs = match point.get("modes") {
+            Some(Value::Seq(modes)) => modes
+                .iter()
+                .find(|m| matches!(m.get("mode"), Some(Value::Str(mode)) if mode == "sharded"))
+                .and_then(|m| m.get("secs"))
+                .and_then(Value::as_f64),
+            _ => None,
+        };
+        if s.is_empty() {
+            let _ = writeln!(s, "  core shards (per-shard events/sec, sharded mode):");
+        }
+        let rates: Vec<String> = shard_events
+            .iter()
+            .enumerate()
+            .map(|(i, &events)| match sharded_secs {
+                Some(secs) if secs > 0.0 => {
+                    format!("s{i} {:.0}", events as f64 / secs)
+                }
+                _ => format!("s{i} {events}ev"),
+            })
+            .collect();
+        let _ = writeln!(s, "  {nodes:>9} nodes: {}", rates.join("  "));
+    }
+    if s.is_empty() {
+        None
+    } else {
+        Some(s)
+    }
 }
 
 /// One-line headline metric for a bench report, by report shape.

@@ -52,7 +52,9 @@ pub mod experiment;
 pub mod metrics;
 pub mod replication;
 pub mod report;
+pub mod sharded;
 pub mod sim_driver;
+pub mod store;
 pub mod telemetry;
 
 pub use adversary::{
@@ -62,7 +64,10 @@ pub use adversary::{
 pub use buffer::{BufferPolicy, VictimPolicy};
 pub use config::{ConfigError, ExperimentConfig, LayoutSpec};
 pub use delay::{DelayPlan, DelayStrategy};
-pub use metrics::{evaluate_adversary, AdversaryReport, FlowOutcome, NodeReport, SimOutcome};
+pub use metrics::{
+    evaluate_adversary, AdversaryReport, FlowOutcome, NodeReport, ShardStats, SimOutcome,
+};
 pub use replication::{replicate, replicate_on, replication_seed, ReplicatedMetric};
 pub use report::{FlowAssessment, PrivacyAssessment};
+pub use sharded::ShardPlan;
 pub use sim_driver::{BuildError, NetworkSimulation, NetworkSimulationBuilder, Workload};

@@ -157,6 +157,29 @@ pub struct SimOutcome {
     /// deserializing older outcomes.
     #[serde(default)]
     pub alloc_bytes: u64,
+    /// Per-shard execution statistics when the run used the sharded
+    /// engine; empty for serial runs. Describes how the work was
+    /// partitioned, not what the simulation computed, so it is excluded
+    /// from equality and digests (a sharded run that reproduces a serial
+    /// trajectory digests identically). Defaults to empty when
+    /// deserializing older outcomes.
+    #[serde(default)]
+    pub shards: Vec<ShardStats>,
+}
+
+/// How one shard of a sharded run behaved (see [`SimOutcome::shards`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Nodes assigned to this shard.
+    pub nodes: u64,
+    /// Events this shard's private engine delivered.
+    pub events: u64,
+    /// Cross-shard packet handoffs this shard emitted.
+    pub handoffs_out: u64,
+    /// High-water mark of this shard's private future-event set.
+    pub peak_fes: u64,
 }
 
 impl PartialEq for SimOutcome {
@@ -486,6 +509,7 @@ mod tests {
             peak_fes: 0,
             allocs: 0,
             alloc_bytes: 0,
+            shards: Vec::new(),
         }
     }
 

@@ -12,7 +12,6 @@
 
 use tempriv_net::ids::{FlowId, NodeId, PacketId};
 use tempriv_net::link::LinkModel;
-use tempriv_net::packet::Packet;
 use tempriv_net::routing::RoutingTree;
 use tempriv_net::traffic::{TrafficModel, TrafficSampler};
 use tempriv_sim::engine::{Engine, Scheduler};
@@ -23,12 +22,18 @@ use tempriv_sim::time::SimTime;
 use tempriv_telemetry::{NullProbe, PacketEvent, SimProbe};
 
 use crate::adversary::{AdversaryKnowledge, Observation};
-use crate::buffer::{BufferPolicy, BufferedPacket, NodeBuffer};
+use crate::buffer::BufferPolicy;
 use crate::delay::{DelayPlan, DelayStrategy};
 use crate::metrics::{FlowOutcome, NodeReport, SimOutcome, TruthRecord};
+use crate::store::{PacketStore, StoreBuffer};
 
 /// RNG stream namespaces (one per stochastic component class).
-mod streams {
+///
+/// `DELAY` and `TRAFFIC` substreams are indexed per node / per flow;
+/// `VICTIM`, `LINK`, and `READING` are indexed per *shard* — the serial
+/// engine is the one-shard special case drawing from substream index 0,
+/// so serial digests are unchanged by the sharded runner's existence.
+pub(crate) mod streams {
     pub const DELAY: u64 = 1;
     pub const TRAFFIC: u64 = 2;
     pub const VICTIM: u64 = 3;
@@ -75,15 +80,15 @@ pub enum Workload {
 /// ```
 #[derive(Debug, Clone)]
 pub struct NetworkSimulation {
-    routing: RoutingTree,
-    sources: Vec<NodeId>,
-    workload: Workload,
-    packets_per_source: u32,
-    delay_plan: DelayPlan,
-    buffer_policy: BufferPolicy,
-    link: LinkModel,
-    seed: u64,
-    latency_range: (f64, f64),
+    pub(crate) routing: RoutingTree,
+    pub(crate) sources: Vec<NodeId>,
+    pub(crate) workload: Workload,
+    pub(crate) packets_per_source: u32,
+    pub(crate) delay_plan: DelayPlan,
+    pub(crate) buffer_policy: BufferPolicy,
+    pub(crate) link: LinkModel,
+    pub(crate) seed: u64,
+    pub(crate) latency_range: (f64, f64),
 }
 
 /// Builder for [`NetworkSimulation`].
@@ -291,13 +296,15 @@ impl core::fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// A source creates its next packet.
     Create { flow: FlowId },
-    /// A packet finishes crossing a link into `node`.
-    Arrive { node: NodeId, packet: Packet },
+    /// A packet finishes crossing a link into `node`. The payload is a
+    /// [`PacketStore`] slot — 4 bytes through the queue instead of a
+    /// by-value packet.
+    Arrive { node: NodeId, slot: u32 },
     /// A buffered packet's delay timer fires at `node`.
-    Release { node: NodeId, packet: PacketId },
+    Release { node: NodeId, slot: u32 },
 }
 
 impl NetworkSimulation {
@@ -411,6 +418,91 @@ impl NetworkSimulation {
         self.run_probed(&mut NullProbe)
     }
 
+    /// Runs the simulation on the sharded conservative-parallel engine
+    /// and returns the outcome.
+    ///
+    /// The convergecast tree is cut into `shards` partitions at trunk
+    /// edges ([`crate::sharded::ShardPlan`]); each shard simulates its
+    /// subtrees on a private event queue and store, exchanging packets at
+    /// conservative time-window barriers (lookahead = the link delay τ).
+    /// `workers` is the number of OS threads driving the shards; the
+    /// outcome is byte-identical for every worker count, including 1
+    /// (which runs the shards inline with no threads at all).
+    ///
+    /// Shard-indexed RNG streams make `shards` itself part of the random
+    /// configuration: `run_sharded(1, _)` reproduces [`run`] exactly, and
+    /// higher shard counts reproduce it whenever no stochastic component
+    /// draws from a shared global stream (lossless links, deterministic
+    /// victim policies — e.g. the paper's configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link's constant delay is zero (no conservative
+    /// lookahead exists) or `shards == 0`.
+    ///
+    /// [`run`]: NetworkSimulation::run
+    #[must_use]
+    pub fn run_sharded(&self, shards: u32, workers: usize) -> SimOutcome {
+        crate::sharded::run_sharded(
+            self,
+            shards,
+            workers,
+            crate::sharded::CutStrategy::Exact,
+            &mut NoopPhaseTimer,
+        )
+    }
+
+    /// [`run_sharded`](NetworkSimulation::run_sharded) with the
+    /// load-balanced cut ([`crate::sharded::ShardPlan::cut_balanced`]):
+    /// subtrees are carved by transit load, so a single giant
+    /// sink-subtree (a corner-sink geometric field, the Figure-1 shared
+    /// trunk) spreads across every shard instead of collapsing onto one.
+    ///
+    /// The price is bit-exactness against [`run`]: handoffs can target
+    /// interior buffering nodes, where same-instant arrival ties resolve
+    /// by queue insertion order the barrier merge cannot replicate.
+    /// Worker-count invariance and packet conservation still hold
+    /// unconditionally; use this mode for throughput at scale, the exact
+    /// cut when cross-checking digests against the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link's constant delay is zero or `shards == 0`.
+    ///
+    /// [`run`]: NetworkSimulation::run
+    #[must_use]
+    pub fn run_sharded_balanced(&self, shards: u32, workers: usize) -> SimOutcome {
+        crate::sharded::run_sharded(
+            self,
+            shards,
+            workers,
+            crate::sharded::CutStrategy::Balanced,
+            &mut NoopPhaseTimer,
+        )
+    }
+
+    /// [`run_sharded`](NetworkSimulation::run_sharded) with a coordinator
+    /// phase timer attached: wall-time at the window barrier (waiting for
+    /// shards and merging handoffs) is attributed to
+    /// [`Phase::BarrierWait`], shard execution to [`Phase::EngineLoop`].
+    /// Per-event phases inside shards are not attributed — shard drivers
+    /// run with [`NoopPhaseTimer`], so the timer never perturbs the run.
+    #[must_use]
+    pub fn run_sharded_profiled<T: PhaseTimer>(
+        &self,
+        shards: u32,
+        workers: usize,
+        timer: &mut T,
+    ) -> SimOutcome {
+        crate::sharded::run_sharded(
+            self,
+            shards,
+            workers,
+            crate::sharded::CutStrategy::Exact,
+            timer,
+        )
+    }
+
     /// Runs the simulation with a telemetry probe attached.
     ///
     /// The probe observes event boundaries (occupancy transitions,
@@ -448,53 +540,11 @@ impl NetworkSimulation {
         // between here and outcome assembly is this run's footprint.
         // Reads zero unless a counting allocator is installed + enabled.
         let mem_base = tempriv_telemetry::memprof::thread_snapshot();
-        let factory = RngFactory::new(self.seed);
 
-        let mut driver = Driver {
-            sim: self,
-            probe,
-            timer,
-            sink: self.routing.sink(),
-            capacity: self.buffer_policy.capacity(),
-            strategies: (0..n_nodes)
-                .map(|i| self.delay_plan.for_node(NodeId(i as u32)))
-                .collect(),
-            mix_scratch: Vec::new(),
-            buffers: (0..n_nodes)
-                .map(|_| NodeBuffer::for_policy(&self.buffer_policy))
-                .collect(),
-            occupancy: (0..n_nodes)
-                .map(|_| StateDwell::new(SimTime::ZERO, 0))
-                .collect(),
-            preemptions: vec![0; n_nodes],
-            drops: vec![0; n_nodes],
-            flushes: vec![0; n_nodes],
-            tx_count: vec![0; n_nodes],
-            rx_count: vec![0; n_nodes],
-            link_losses: 0,
-            next_packet_id: 0,
-            seq: vec![0; n_flows],
-            truth: Vec::with_capacity(n_flows * self.packets_per_source as usize),
-            observations: Vec::new(),
-            latency: vec![OnlineStats::new(); n_flows],
-            latency_hist: (0..n_flows)
-                .map(|_| Histogram::new(self.latency_range.0, self.latency_range.1, 400))
-                .collect(),
-            delivered: vec![0; n_flows],
-            delay_rngs: (0..n_nodes)
-                .map(|i| factory.substream(streams::DELAY, i as u64))
-                .collect(),
-            traffic_rngs: (0..n_flows)
-                .map(|i| factory.substream(streams::TRAFFIC, i as u64))
-                .collect(),
-            traffic_samplers: match &self.workload {
-                Workload::Model(traffic) => vec![traffic.sampler(); n_flows],
-                Workload::Schedules(_) => Vec::new(),
-            },
-            victim_rng: factory.substream(streams::VICTIM, 0),
-            link_rng: factory.substream(streams::LINK, 0),
-            reading_rng: factory.substream(streams::READING, 0),
-        };
+        let mut driver = Driver::new(self, probe, timer);
+        driver
+            .truth
+            .reserve(n_flows * self.packets_per_source as usize);
 
         let mut engine: Engine<Ev> = Engine::new();
         match &self.workload {
@@ -535,11 +585,7 @@ impl NetworkSimulation {
             .on_queue_stats(queue_footprint, queue_compactions);
         driver.probe.on_run_end(end_time);
 
-        let rng_draws = driver.delay_rngs.iter().map(SimRng::draws).sum::<u64>()
-            + driver.traffic_rngs.iter().map(SimRng::draws).sum::<u64>()
-            + driver.victim_rng.draws()
-            + driver.link_rng.draws()
-            + driver.reading_rng.draws();
+        let rng_draws = driver.rng_draws();
 
         let mem = tempriv_telemetry::memprof::thread_snapshot().since(mem_base);
 
@@ -556,7 +602,7 @@ impl NetworkSimulation {
                     latency_histogram: driver.latency_hist[i].clone(),
                 })
                 .collect(),
-            observations: driver.observations,
+            observations: canonicalize(driver.observations),
             truth: driver.truth,
             nodes: (0..n_nodes)
                 .map(|i| {
@@ -581,58 +627,168 @@ impl NetworkSimulation {
             peak_fes,
             allocs: mem.allocs,
             alloc_bytes: mem.bytes,
+            shards: Vec::new(),
         }
     }
 }
 
-struct Driver<'a, P: SimProbe, T: PhaseTimer> {
-    sim: &'a NetworkSimulation,
-    probe: &'a mut P,
-    timer: &'a mut T,
-    /// Cached per-run invariants, hoisted out of the per-event path.
-    sink: NodeId,
-    capacity: Option<usize>,
-    strategies: Vec<DelayStrategy>,
-    /// Reused flush buffer so threshold-mix batches allocate once per run.
-    mix_scratch: Vec<BufferedPacket>,
-    buffers: Vec<NodeBuffer>,
-    occupancy: Vec<StateDwell>,
-    preemptions: Vec<u64>,
-    drops: Vec<u64>,
-    flushes: Vec<u64>,
-    tx_count: Vec<u64>,
-    rx_count: Vec<u64>,
-    link_losses: u64,
-    next_packet_id: u64,
-    seq: Vec<u32>,
-    truth: Vec<TruthRecord>,
-    observations: Vec<Observation>,
-    latency: Vec<OnlineStats>,
-    latency_hist: Vec<Histogram>,
-    delivered: Vec<u64>,
-    delay_rngs: Vec<SimRng>,
-    traffic_rngs: Vec<SimRng>,
-    traffic_samplers: Vec<TrafficSampler>,
-    victim_rng: SimRng,
-    link_rng: SimRng,
-    reading_rng: SimRng,
+/// Orders sink observations canonically: by arrival instant, then flow,
+/// then packet id. Arrivals on the same quantized tick have no
+/// physically observable order (RCAD preemption cascades make such ties
+/// common), so both the serial and the sharded runner normalize tie
+/// order the same way and their observation logs — and therefore
+/// outcome digests — stay comparable.
+pub(crate) fn canonicalize(mut observations: Vec<Observation>) -> Vec<Observation> {
+    observations.sort_unstable_by_key(|o| (o.arrival, o.flow.0, o.packet.0));
+    observations
 }
 
-impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
+pub(crate) struct Driver<'a, P: SimProbe, T: PhaseTimer> {
+    pub(crate) sim: &'a NetworkSimulation,
+    pub(crate) probe: &'a mut P,
+    pub(crate) timer: &'a mut T,
+    /// Cached per-run invariants, hoisted out of the per-event path.
+    pub(crate) sink: NodeId,
+    pub(crate) capacity: Option<usize>,
+    pub(crate) strategies: Vec<DelayStrategy>,
+    /// Reused flush buffer so threshold-mix batches allocate once per run.
+    pub(crate) mix_scratch: Vec<u32>,
+    /// The struct-of-arrays data plane every in-flight packet lives in.
+    pub(crate) store: PacketStore,
+    pub(crate) buffers: Vec<StoreBuffer>,
+    pub(crate) occupancy: Vec<StateDwell>,
+    pub(crate) preemptions: Vec<u64>,
+    pub(crate) drops: Vec<u64>,
+    pub(crate) flushes: Vec<u64>,
+    pub(crate) tx_count: Vec<u64>,
+    pub(crate) rx_count: Vec<u64>,
+    pub(crate) link_losses: u64,
+    pub(crate) next_packet_id: u64,
+    pub(crate) seq: Vec<u32>,
+    pub(crate) truth: Vec<TruthRecord>,
+    pub(crate) observations: Vec<Observation>,
+    pub(crate) latency: Vec<OnlineStats>,
+    pub(crate) latency_hist: Vec<Histogram>,
+    pub(crate) delivered: Vec<u64>,
+    pub(crate) delay_rngs: Vec<SimRng>,
+    pub(crate) traffic_rngs: Vec<SimRng>,
+    pub(crate) traffic_samplers: Vec<TrafficSampler>,
+    pub(crate) victim_rng: SimRng,
+    pub(crate) link_rng: SimRng,
+    pub(crate) reading_rng: SimRng,
+    /// Sharded mode only: packet ids and creation instants preassigned by
+    /// the global presampling pass, one cursor per flow. Empty in serial
+    /// runs — `on_create` then assigns ids in event order and samples the
+    /// traffic model lazily, exactly as before the sharded runner existed.
+    pub(crate) preassigned: Vec<crate::sharded::FlowCursor>,
+    /// Sharded mode only: the shard each node belongs to. `None` keeps
+    /// every forward local (serial).
+    pub(crate) shard_of: Option<&'a [u32]>,
+    pub(crate) my_shard: u32,
+    /// Cross-shard arrivals emitted this window, in emission order.
+    pub(crate) outbox: Vec<crate::sharded::Handoff>,
+    /// Lifetime count of cross-shard handoffs this shard emitted.
+    pub(crate) handoffs_out: u64,
+}
+
+impl<'a, P: SimProbe, T: PhaseTimer> Driver<'a, P, T> {
+    /// Serial driver state for one simulation run. The sharded runner
+    /// builds one per shard and then re-points the shard-indexed RNG
+    /// streams and creation cursors before seeding its engine.
+    pub(crate) fn new(sim: &'a NetworkSimulation, probe: &'a mut P, timer: &'a mut T) -> Self {
+        let n_nodes = sim.routing.len();
+        let n_flows = sim.sources.len();
+        let factory = RngFactory::new(sim.seed);
+        Driver {
+            sim,
+            probe,
+            timer,
+            sink: sim.routing.sink(),
+            capacity: sim.buffer_policy.capacity(),
+            strategies: (0..n_nodes)
+                .map(|i| sim.delay_plan.for_node(NodeId(i as u32)))
+                .collect(),
+            mix_scratch: Vec::new(),
+            store: PacketStore::new(),
+            buffers: (0..n_nodes)
+                .map(|_| StoreBuffer::for_policy(&sim.buffer_policy))
+                .collect(),
+            occupancy: (0..n_nodes)
+                .map(|_| StateDwell::new(SimTime::ZERO, 0))
+                .collect(),
+            preemptions: vec![0; n_nodes],
+            drops: vec![0; n_nodes],
+            flushes: vec![0; n_nodes],
+            tx_count: vec![0; n_nodes],
+            rx_count: vec![0; n_nodes],
+            link_losses: 0,
+            next_packet_id: 0,
+            seq: vec![0; n_flows],
+            truth: Vec::new(),
+            observations: Vec::new(),
+            latency: vec![OnlineStats::new(); n_flows],
+            latency_hist: (0..n_flows)
+                .map(|_| Histogram::new(sim.latency_range.0, sim.latency_range.1, 400))
+                .collect(),
+            delivered: vec![0; n_flows],
+            delay_rngs: (0..n_nodes)
+                .map(|i| factory.substream(streams::DELAY, i as u64))
+                .collect(),
+            traffic_rngs: (0..n_flows)
+                .map(|i| factory.substream(streams::TRAFFIC, i as u64))
+                .collect(),
+            traffic_samplers: match &sim.workload {
+                Workload::Model(traffic) => vec![traffic.sampler(); n_flows],
+                Workload::Schedules(_) => Vec::new(),
+            },
+            victim_rng: factory.substream(streams::VICTIM, 0),
+            link_rng: factory.substream(streams::LINK, 0),
+            reading_rng: factory.substream(streams::READING, 0),
+            preassigned: Vec::new(),
+            shard_of: None,
+            my_shard: 0,
+            outbox: Vec::new(),
+            handoffs_out: 0,
+        }
+    }
+
+    /// Total RNG draws across every stream this driver owns.
+    pub(crate) fn rng_draws(&self) -> u64 {
+        self.delay_rngs.iter().map(SimRng::draws).sum::<u64>()
+            + self.traffic_rngs.iter().map(SimRng::draws).sum::<u64>()
+            + self.victim_rng.draws()
+            + self.link_rng.draws()
+            + self.reading_rng.draws()
+    }
+
+    /// Accepts a cross-shard handoff: materializes the packet in this
+    /// shard's store and schedules its arrival. Called between windows,
+    /// never while the engine is running.
+    pub(crate) fn accept(&mut self, engine: &mut Engine<Ev>, h: &crate::sharded::Handoff) {
+        // The reading rides only for privacy sealing at creation; it is
+        // unobservable downstream, so handoffs do not ship it.
+        let slot = self.store.alloc(h.pid, h.flow, h.origin, h.created_at, 0.0);
+        self.store.set_hop_count(slot, h.hop_count);
+        self.rx_count[h.node.index()] += 1;
+        engine
+            .schedule_at(h.at, Ev::Arrive { node: h.node, slot })
+            .expect("handoffs arrive at or after the window barrier");
+    }
+
     #[inline]
-    fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
+    pub(crate) fn handle(&mut self, sched: &mut Scheduler<'_, Ev>, ev: Ev) {
         match ev {
             Ev::Create { flow } => {
                 self.timer.switch(Phase::Create);
                 self.on_create(sched, flow);
             }
-            Ev::Arrive { node, packet } => {
+            Ev::Arrive { node, slot } => {
                 self.timer.switch(Phase::Arrive);
-                self.process_at(sched, node, packet);
+                self.process_at(sched, node, slot);
             }
-            Ev::Release { node, packet } => {
+            Ev::Release { node, slot } => {
                 self.timer.switch(Phase::Release);
-                self.on_release(sched, node, packet);
+                self.on_release(sched, node, slot);
             }
         }
         // Time between here and the next dispatch is the engine's own
@@ -643,17 +799,39 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
     fn on_create(&mut self, sched: &mut Scheduler<'_, Ev>, flow: FlowId) {
         let i = flow.index();
         let source = self.sim.sources[i];
-        let seq = self.seq[i];
         self.seq[i] += 1;
-        let id = PacketId(self.next_packet_id);
-        self.next_packet_id += 1;
+        let id = if self.preassigned.is_empty() {
+            // Serial: ids follow global event order; the next creation is
+            // sampled lazily from the flow's traffic stream. Truth is
+            // recorded as it happens.
+            let id = PacketId(self.next_packet_id);
+            self.next_packet_id += 1;
+            id
+        } else {
+            // Sharded: the presampling pass fixed every creation instant
+            // and packet id up front (and recorded truth globally); the
+            // cursor replays them and schedules the flow's next creation.
+            let cursor = &mut self.preassigned[i];
+            let (at, id) = cursor.current();
+            debug_assert_eq!(at, sched.now(), "cursor must replay the schedule");
+            if let Some((next_at, _)) = cursor.advance() {
+                let prev = self.timer.switch(Phase::QueuePush);
+                sched
+                    .schedule_at(next_at, Ev::Create { flow })
+                    .expect("creation schedules are time-ordered");
+                self.timer.switch(prev);
+            }
+            id
+        };
         let reading = self.reading_rng.sample_uniform(0.0, 100.0);
-        let packet = Packet::new(id, flow, source, seq, sched.now(), reading);
-        self.truth.push(TruthRecord {
-            packet: id,
-            flow,
-            created_at: sched.now(),
-        });
+        let slot = self.store.alloc(id, flow, source, sched.now(), reading);
+        if self.preassigned.is_empty() {
+            self.truth.push(TruthRecord {
+                packet: id,
+                flow,
+                created_at: sched.now(),
+            });
+        }
         let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
@@ -664,7 +842,8 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
             },
         );
         self.timer.switch(prev);
-        if matches!(self.sim.workload, Workload::Model(_))
+        if self.preassigned.is_empty()
+            && matches!(self.sim.workload, Workload::Model(_))
             && self.seq[i] < self.sim.packets_per_source
         {
             let gap = self.traffic_samplers[i].next_interarrival(&mut self.traffic_rngs[i]);
@@ -672,14 +851,14 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
             sched.schedule_in(gap, Ev::Create { flow });
             self.timer.switch(prev);
         }
-        self.process_at(sched, source, packet);
+        self.process_at(sched, source, slot);
     }
 
     /// A packet is now present at `node`: deliver, forward, or buffer.
     #[inline]
-    fn process_at(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: Packet) {
+    fn process_at(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, slot: u32) {
         if node == self.sink {
-            self.deliver(sched.now(), packet);
+            self.deliver(sched.now(), slot);
             return;
         }
         // Threshold mixes batch instead of delaying: the delay plan is
@@ -690,18 +869,14 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
             self.probe.on_packet(
                 sched.now(),
                 PacketEvent::Enqueued {
-                    packet: packet.id.0,
-                    flow: packet.flow.index(),
+                    packet: self.store.pid(slot).0,
+                    flow: self.store.flow(slot).index(),
                     node: node.index(),
                 },
             );
             self.timer.switch(prev);
-            self.buffers[node.index()].insert(BufferedPacket {
-                packet,
-                buffered_at: sched.now(),
-                release_at: SimTime::MAX,
-                timer: None,
-            });
+            self.store.park(slot, sched.now(), SimTime::MAX, None);
+            self.buffers[node.index()].insert(&self.store, slot);
             let depth = self.buffers[node.index()].len() as u64;
             self.occupancy[node.index()].transition(sched.now(), depth);
             let prev = self.timer.switch(Phase::Probe);
@@ -714,9 +889,9 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
                 self.probe.on_flush(node.index(), sched.now(), batch);
                 self.timer.switch(prev);
                 let mut scratch = std::mem::take(&mut self.mix_scratch);
-                self.buffers[node.index()].drain_all_into(&mut scratch);
-                for entry in scratch.drain(..) {
-                    self.forward(sched, node, entry.packet);
+                self.buffers[node.index()].drain_slots_into(&mut scratch);
+                for batched in scratch.drain(..) {
+                    self.forward(sched, node, batched);
                 }
                 self.mix_scratch = scratch;
                 self.occupancy[node.index()].transition(sched.now(), 0);
@@ -728,7 +903,7 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
         }
         let strategy = self.strategies[node.index()];
         if strategy.is_none() {
-            self.forward(sched, node, packet);
+            self.forward(sched, node, slot);
             return;
         }
         let prev = self.timer.switch(Phase::Probe);
@@ -746,12 +921,13 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
                         self.probe.on_packet(
                             sched.now(),
                             PacketEvent::Dropped {
-                                packet: packet.id.0,
-                                flow: packet.flow.index(),
+                                packet: self.store.pid(slot).0,
+                                flow: self.store.flow(slot).index(),
                                 node: node.index(),
                             },
                         );
                         self.timer.switch(prev);
+                        self.store.release(slot);
                         return;
                     }
                     BufferPolicy::Rcad { victim, .. } => {
@@ -759,10 +935,13 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
                         let victim_id = self.buffers[node.index()]
                             .select_victim(victim, &mut self.victim_rng)
                             .expect("full buffer has a victim");
-                        let entry = self.buffers[node.index()]
-                            .remove(victim_id)
+                        let victim_slot = self.buffers[node.index()]
+                            .remove(&self.store, victim_id)
                             .expect("victim is buffered");
-                        let timer = entry.timer.expect("timed entries outside mixes");
+                        let timer = self
+                            .store
+                            .timer(victim_slot)
+                            .expect("timed entries outside mixes");
                         let cancelled = sched.cancel(timer);
                         debug_assert!(cancelled, "victim timer must be pending");
                         self.timer.switch(prev);
@@ -772,8 +951,8 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
                         self.probe.on_packet(
                             sched.now(),
                             PacketEvent::Preempted {
-                                packet: entry.packet.id.0,
-                                flow: entry.packet.flow.index(),
+                                packet: victim_id.0,
+                                flow: self.store.flow(victim_slot).index(),
                                 node: node.index(),
                                 victim_policy: victim.name(),
                             },
@@ -785,7 +964,7 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
                         self.probe.on_occupancy(node.index(), sched.now(), depth);
                         self.timer.switch(prev);
                         // "Transmit it immediately rather than drop packets."
-                        self.forward(sched, node, entry.packet);
+                        self.forward(sched, node, victim_slot);
                     }
                     _ => unreachable!("mix and unlimited never hit the full-buffer path"),
                 }
@@ -793,30 +972,20 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
         }
         let release_at = sched.now() + delay;
         let prev = self.timer.switch(Phase::QueuePush);
-        let timer = sched.schedule_in(
-            delay,
-            Ev::Release {
-                node,
-                packet: packet.id,
-            },
-        );
+        let timer = sched.schedule_in(delay, Ev::Release { node, slot });
         self.timer.switch(prev);
         let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
             PacketEvent::Enqueued {
-                packet: packet.id.0,
-                flow: packet.flow.index(),
+                packet: self.store.pid(slot).0,
+                flow: self.store.flow(slot).index(),
                 node: node.index(),
             },
         );
         self.timer.switch(prev);
-        self.buffers[node.index()].insert(BufferedPacket {
-            packet,
-            buffered_at: sched.now(),
-            release_at,
-            timer: Some(timer),
-        });
+        self.store.park(slot, sched.now(), release_at, Some(timer));
+        self.buffers[node.index()].insert(&self.store, slot);
         let depth = self.buffers[node.index()].len() as u64;
         self.occupancy[node.index()].transition(sched.now(), depth);
         let prev = self.timer.switch(Phase::Probe);
@@ -825,31 +994,33 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
     }
 
     #[inline]
-    fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, packet: PacketId) {
-        let entry = self.buffers[node.index()]
-            .remove(packet)
+    fn on_release(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, slot: u32) {
+        let pid = self.store.pid(slot);
+        let removed = self.buffers[node.index()]
+            .remove(&self.store, pid)
             .expect("release timers fire only for buffered packets");
+        debug_assert_eq!(removed, slot, "buffer entry must map back to its slot");
         let depth = self.buffers[node.index()].len() as u64;
         self.occupancy[node.index()].transition(sched.now(), depth);
         let prev = self.timer.switch(Phase::Probe);
         self.probe.on_occupancy(node.index(), sched.now(), depth);
         self.timer.switch(prev);
-        self.forward(sched, node, entry.packet);
+        self.forward(sched, node, slot);
     }
 
     #[inline]
-    fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, mut packet: Packet) {
+    fn forward(&mut self, sched: &mut Scheduler<'_, Ev>, node: NodeId, slot: u32) {
         let prev = self.timer.switch(Phase::Probe);
         self.probe.on_packet(
             sched.now(),
             PacketEvent::Departed {
-                packet: packet.id.0,
-                flow: packet.flow.index(),
+                packet: self.store.pid(slot).0,
+                flow: self.store.flow(slot).index(),
                 node: node.index(),
             },
         );
         self.timer.switch(prev);
-        packet.record_hop(node);
+        self.store.record_hop(slot);
         let next = self
             .sim
             .routing
@@ -858,19 +1029,42 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
         self.tx_count[node.index()] += 1;
         match self.sim.link.transmit(&mut self.link_rng) {
             Some(delay) => {
+                if let Some(shard_of) = self.shard_of {
+                    if shard_of[next.index()] != self.my_shard {
+                        // Crossing a shard boundary: ship the packet's
+                        // columns; the receiving shard re-materializes it
+                        // and counts the reception.
+                        self.handoffs_out += 1;
+                        self.outbox.push(crate::sharded::Handoff {
+                            at: sched.now() + delay,
+                            node: next,
+                            pid: self.store.pid(slot),
+                            flow: self.store.flow(slot),
+                            origin: self.store.origin(slot),
+                            hop_count: self.store.hop_count(slot),
+                            created_at: self.store.created_at(slot),
+                        });
+                        self.store.release(slot);
+                        return;
+                    }
+                }
                 self.rx_count[next.index()] += 1;
                 let prev = self.timer.switch(Phase::QueuePush);
-                sched.schedule_in(delay, Ev::Arrive { node: next, packet });
+                sched.schedule_in(delay, Ev::Arrive { node: next, slot });
                 self.timer.switch(prev);
             }
-            None => self.link_losses += 1,
+            None => {
+                self.link_losses += 1;
+                self.store.release(slot);
+            }
         }
     }
 
     #[inline]
-    fn deliver(&mut self, now: SimTime, packet: Packet) {
-        let flow = packet.flow;
-        let created = self.truth[packet.id.0 as usize].created_at;
+    fn deliver(&mut self, now: SimTime, slot: u32) {
+        let flow = self.store.flow(slot);
+        let pid = self.store.pid(slot);
+        let created = self.store.created_at(slot);
         let latency = (now - created).as_units();
         self.latency[flow.index()].record(latency);
         self.latency_hist[flow.index()].record(latency);
@@ -880,7 +1074,7 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
         self.probe.on_packet(
             now,
             PacketEvent::ArrivedAtSink {
-                packet: packet.id.0,
+                packet: pid.0,
                 flow: flow.index(),
                 node: self.sim.routing.sink().index(),
             },
@@ -888,11 +1082,12 @@ impl<P: SimProbe, T: PhaseTimer> Driver<'_, P, T> {
         self.timer.switch(prev);
         self.observations.push(Observation {
             arrival: now,
-            origin: packet.header().origin,
-            hop_count: packet.header().hop_count,
+            origin: self.store.origin(slot),
+            hop_count: self.store.hop_count(slot),
             flow,
-            packet: packet.id,
+            packet: pid,
         });
+        self.store.release(slot);
     }
 }
 

@@ -531,6 +531,7 @@ pub struct JobTelemetryCollector<'a> {
     job_parent: u64,
     job_started: std::time::Instant,
     tolerance: TheoryTolerance,
+    sim_shards: u32,
     job: JobTelemetry,
     trace: JobTrace,
     privacy: JobPrivacy,
@@ -572,6 +573,7 @@ impl<'a> JobTelemetryCollector<'a> {
             job_parent,
             job_started: std::time::Instant::now(),
             tolerance: TheoryTolerance::default(),
+            sim_shards: runtime.sim_shards(),
             job: JobTelemetry::default(),
             trace: JobTrace::default(),
             privacy: JobPrivacy::default(),
@@ -592,6 +594,12 @@ impl<'a> JobTelemetryCollector<'a> {
     /// loop, they never consume randomness or reorder events.
     pub fn run(&mut self, sim: &NetworkSimulation, label: &str) -> SimOutcome {
         if self.sink.is_none() {
+            // The sharded engine supports only probe-free runs (per-event
+            // probes observe the serial event order), so the runtime's
+            // shard knob applies exactly when no telemetry is collected.
+            if self.sim_shards > 1 {
+                return sim.run_sharded(self.sim_shards, 1);
+            }
             return sim.run();
         }
         let started = std::time::Instant::now();

@@ -251,6 +251,185 @@ proptest! {
         }
     }
 
+    /// The SoA [`PacketStore`]/[`StoreBuffer`] data plane tracks a
+    /// boxed-packet reference model (one `Box` per packet plus the
+    /// BTreeSet-indexed `NodeBuffer`) under arbitrary interleavings of
+    /// alloc / park / hop / unbuffer / victim-select / free / drain:
+    /// identical per-packet state through the accessors, identical
+    /// buffered sets, identical victims with identical RNG draw counts,
+    /// identical drain order — and slab columns never grow past the
+    /// peak live count (freed slots really recycle).
+    #[test]
+    fn packet_store_matches_boxed_reference_model(
+        victim in arb_victim(),
+        ops in prop::collection::vec(
+            (0u8..7, any::<u64>(), 0u64..24, 0u64..24),
+            1..160,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use std::collections::BTreeMap;
+        use tempriv_core::buffer::{BufferedPacket, NodeBuffer};
+        use tempriv_core::store::{PacketStore, StoreBuffer};
+        use tempriv_net::ids::{FlowId, NodeId, PacketId};
+        use tempriv_net::packet::Packet;
+        use tempriv_sim::time::SimTime;
+
+        /// One heap-boxed packet record, as the pre-SoA driver kept them.
+        struct RefPacket {
+            slot: u32,
+            flow: FlowId,
+            origin: NodeId,
+            hops: u32,
+            created_at: SimTime,
+            reading: f64,
+            buffered_at: SimTime,
+            release_at: SimTime,
+        }
+
+        let policy = BufferPolicy::Rcad { capacity: 16, victim };
+        let mut store = PacketStore::new();
+        let mut buf = StoreBuffer::for_policy(&policy);
+        let mut refbuf = NodeBuffer::for_policy(&policy);
+        let mut model: BTreeMap<PacketId, Box<RefPacket>> = BTreeMap::new();
+        let mut buffered: Vec<PacketId> = Vec::new();
+        let mut next_pid = 0u64;
+        let mut peak_live = 0usize;
+        let mut drained = Vec::new();
+
+        for &(op, pick, t_buf, t_rel) in &ops {
+            let loose: Vec<PacketId> = model
+                .keys()
+                .filter(|pid| !buffered.contains(pid))
+                .copied()
+                .collect();
+            match op {
+                // Alloc a fresh packet in both worlds.
+                0 | 1 => {
+                    let pid = PacketId(next_pid);
+                    let flow = FlowId((pick % 4) as u32);
+                    let origin = NodeId((pick % 30 + 1) as u32);
+                    let created = SimTime::from_ticks(t_buf);
+                    let reading = pick as f64;
+                    let slot = store.alloc(pid, flow, origin, created, reading);
+                    model.insert(pid, Box::new(RefPacket {
+                        slot,
+                        flow,
+                        origin,
+                        hops: 0,
+                        created_at: created,
+                        reading,
+                        buffered_at: SimTime::ZERO,
+                        release_at: SimTime::ZERO,
+                    }));
+                    next_pid += 1;
+                }
+                // Park a loose packet into both buffers (coarse, heavily
+                // colliding timestamps to exercise tie-breaks).
+                2 => {
+                    if let Some(&pid) = loose.get(pick as usize % loose.len().max(1)) {
+                        let rec = model.get_mut(&pid).unwrap();
+                        rec.buffered_at = SimTime::from_ticks(t_buf);
+                        rec.release_at = SimTime::from_ticks(t_rel);
+                        store.park(rec.slot, rec.buffered_at, rec.release_at, None);
+                        buf.insert(&store, rec.slot);
+                        refbuf.insert(BufferedPacket {
+                            packet: Packet::new(
+                                pid,
+                                rec.flow,
+                                rec.origin,
+                                0,
+                                rec.created_at,
+                                rec.reading,
+                            ),
+                            buffered_at: rec.buffered_at,
+                            release_at: rec.release_at,
+                            timer: None,
+                        });
+                        let pos = buffered.partition_point(|&p| p < pid);
+                        buffered.insert(pos, pid);
+                    }
+                }
+                // Record a forwarding hop on any live packet.
+                3 => {
+                    if !model.is_empty() {
+                        let idx = pick as usize % model.len();
+                        let (_, rec) = model.iter_mut().nth(idx).unwrap();
+                        store.record_hop(rec.slot);
+                        rec.hops += 1;
+                    }
+                }
+                // Un-buffer one packet from both buffers.
+                4 => {
+                    if !buffered.is_empty() {
+                        let pid = buffered.remove(pick as usize % buffered.len());
+                        let slot = buf.remove(&store, pid);
+                        prop_assert_eq!(slot, Some(model[&pid].slot));
+                        let entry = refbuf.remove(pid);
+                        prop_assert_eq!(entry.map(|e| e.packet.id), Some(pid));
+                    }
+                }
+                // Free a loose packet (delivered/dropped); the slot goes
+                // back to the slab's free list.
+                5 => {
+                    if let Some(&pid) = loose.get(pick as usize % loose.len().max(1)) {
+                        let rec = model.remove(&pid).unwrap();
+                        store.release(rec.slot);
+                    }
+                }
+                // Mix flush: drain both buffers and compare order.
+                _ => {
+                    drained.clear();
+                    buf.drain_slots_into(&mut drained);
+                    let ids: Vec<PacketId> =
+                        drained.iter().map(|&s| store.pid(s)).collect();
+                    let ref_ids: Vec<PacketId> =
+                        refbuf.drain_all().into_iter().map(|e| e.packet.id).collect();
+                    prop_assert_eq!(&ids, &ref_ids, "drain order diverged");
+                    buffered.clear();
+                }
+            }
+            peak_live = peak_live.max(model.len());
+
+            // Both worlds agree after every operation.
+            prop_assert_eq!(store.live(), model.len());
+            prop_assert_eq!(buf.len(), refbuf.len());
+            prop_assert_eq!(buf.len(), buffered.len());
+            let entry_ids: Vec<PacketId> = buf.entries().iter().map(|&(pid, _)| pid).collect();
+            prop_assert_eq!(&entry_ids, &buffered, "buffered id sets diverged");
+            for (pid, rec) in &model {
+                prop_assert_eq!(store.pid(rec.slot), *pid);
+                prop_assert_eq!(store.flow(rec.slot), rec.flow);
+                prop_assert_eq!(store.origin(rec.slot), rec.origin);
+                prop_assert_eq!(store.hop_count(rec.slot), rec.hops);
+                prop_assert_eq!(store.created_at(rec.slot), rec.created_at);
+                prop_assert!((store.reading(rec.slot) - rec.reading).abs() < 1e-12);
+                if buffered.contains(pid) {
+                    prop_assert_eq!(store.buffered_at(rec.slot), rec.buffered_at);
+                    prop_assert_eq!(store.release_at(rec.slot), rec.release_at);
+                }
+            }
+            // Identical victims from identical RNG states, with identical
+            // draw counts (Random draws exactly once, the rest never).
+            if !buffered.is_empty() {
+                let mut r_soa = RngFactory::new(seed).stream(next_pid);
+                let mut r_ref = RngFactory::new(seed).stream(next_pid);
+                prop_assert_eq!(
+                    buf.select_victim(victim, &mut r_soa),
+                    refbuf.select_victim(victim, &mut r_ref)
+                );
+                prop_assert_eq!(r_soa.draws(), r_ref.draws());
+            }
+            // Zero-alloc steady state: columns never outgrow peak live.
+            prop_assert!(
+                store.capacity() <= peak_live,
+                "slab grew past the live high-water mark ({} > {})",
+                store.capacity(),
+                peak_live
+            );
+        }
+    }
+
     /// The per-policy victim index reproduces the linear scan's choice
     /// exactly — including the smallest-`PacketId` tie-break on coarse,
     /// heavily-colliding timestamps — under arbitrary insert/remove churn.

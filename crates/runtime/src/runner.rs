@@ -20,6 +20,7 @@ pub struct RuntimeBuilder {
     manifest_path: Option<PathBuf>,
     deferred_cache_dir: Option<PathBuf>,
     telemetry: Option<Arc<TelemetrySink>>,
+    sim_shards: u32,
 }
 
 impl RuntimeBuilder {
@@ -84,6 +85,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Partitions each simulation across `shards` engine shards
+    /// (default 1 = serial). Job closures read the knob through
+    /// [`Runtime::sim_shards`]; instrumented runs that need the serial
+    /// event order may ignore it.
+    #[must_use]
+    pub fn sim_shards(mut self, shards: u32) -> Self {
+        self.sim_shards = shards.max(1);
+        self
+    }
+
     /// Builds the runtime.
     ///
     /// # Errors
@@ -102,6 +113,7 @@ impl RuntimeBuilder {
             observer: self.observer.unwrap_or_else(|| Arc::new(NullObserver)),
             manifest_path: self.manifest_path,
             telemetry: self.telemetry,
+            sim_shards: self.sim_shards.max(1),
         })
     }
 }
@@ -116,6 +128,7 @@ pub struct Runtime {
     observer: Arc<dyn RunObserver + Send + Sync>,
     manifest_path: Option<PathBuf>,
     telemetry: Option<Arc<TelemetrySink>>,
+    sim_shards: u32,
 }
 
 impl Runtime {
@@ -129,6 +142,7 @@ impl Runtime {
             observer: Arc::new(NullObserver),
             manifest_path: None,
             telemetry: None,
+            sim_shards: 1,
         }
     }
 
@@ -155,6 +169,13 @@ impl Runtime {
     #[must_use]
     pub fn telemetry_sink(&self) -> Option<&TelemetrySink> {
         self.telemetry.as_deref()
+    }
+
+    /// Engine shards each simulation should be partitioned across
+    /// (1 = serial).
+    #[must_use]
+    pub fn sim_shards(&self) -> u32 {
+        self.sim_shards
     }
 
     /// Runs `keys.len()` jobs on the pool, serving repeats from the

@@ -56,6 +56,13 @@ pub struct JobSpec {
     /// and untraced submissions cache independently.
     #[serde(default)]
     pub trace: bool,
+    /// Engine shards per simulation (0 = default 1 = serial). Sharded
+    /// jobs run the partitioned parallel engine and cannot attach
+    /// per-event instrumentation, so `shards > 1` rejects specs that
+    /// also request privacy streaming or tracing. Part of the canonical
+    /// spec: sharded and serial submissions cache independently.
+    #[serde(default)]
+    pub shards: u32,
 }
 
 impl JobSpec {
@@ -114,6 +121,17 @@ impl JobSpec {
         if self.seed == 0 {
             self.seed = smoke.seed;
         }
+        if self.shards == 0 {
+            self.shards = 1;
+        }
+        if self.shards > 64 {
+            return Err("at most 64 engine shards per simulation".to_string());
+        }
+        if self.shards > 1 && (self.privacy_interval > 0 || self.trace) {
+            return Err("sharded jobs cannot attach per-event instrumentation: \
+                 drop privacy_interval/trace or set shards to 1"
+                .to_string());
+        }
         Ok(self)
     }
 
@@ -158,7 +176,14 @@ impl JobSpec {
 ///
 /// Returns a message when the runtime cannot be built.
 pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<String, String> {
-    let mut builder = Runtime::builder().workers(1);
+    let mut builder = Runtime::builder().workers(1).sim_shards(spec.shards.max(1));
+    if spec.shards > 1 {
+        // Canonicalization already rejected instrumented sharded specs;
+        // dropping the sink here routes every simulation through the
+        // probe-free sharded path.
+        let runtime = builder.build()?;
+        return execute_rows(spec, &runtime);
+    }
     if let Some(sink) = &sink {
         // Every instrumented serve job carries the determinism audit:
         // the digest probe is cheap, observes only, and lets the digest
@@ -176,14 +201,19 @@ pub fn execute(spec: &JobSpec, sink: Option<Arc<TelemetrySink>>) -> Result<Strin
         builder = builder.telemetry_sink(Arc::clone(sink));
     }
     let runtime = builder.build()?;
+    execute_rows(spec, &runtime)
+}
+
+/// Runs the spec's sweep on `runtime` and serializes the result rows.
+fn execute_rows(spec: &JobSpec, runtime: &Runtime) -> Result<String, String> {
     let params = spec.sweep_params();
     let rows_json = match spec.experiment.as_str() {
-        "fig2" => serde_json::to_string(&fig2_sweep_with(&params, &runtime)),
-        "fig3" => serde_json::to_string(&fig3_sweep_with(&params, &runtime)),
-        "adversary" => serde_json::to_string(&adversary_panel_sweep_with(&params, &runtime)),
-        "victim" => serde_json::to_string(&victim_ablation_sweep_with(&params, &runtime)),
-        "delay" => serde_json::to_string(&delay_ablation_sweep_with(&params, &runtime)),
-        "mix" => serde_json::to_string(&mix_comparison_sweep_with(&params, &runtime)),
+        "fig2" => serde_json::to_string(&fig2_sweep_with(&params, runtime)),
+        "fig3" => serde_json::to_string(&fig3_sweep_with(&params, runtime)),
+        "adversary" => serde_json::to_string(&adversary_panel_sweep_with(&params, runtime)),
+        "victim" => serde_json::to_string(&victim_ablation_sweep_with(&params, runtime)),
+        "delay" => serde_json::to_string(&delay_ablation_sweep_with(&params, runtime)),
+        "mix" => serde_json::to_string(&mix_comparison_sweep_with(&params, runtime)),
         other => return Err(format!("unknown experiment {other:?}")),
     };
     rows_json.map_err(|e| format!("result serialization failed: {e}"))
@@ -245,6 +275,7 @@ mod tests {
             seed: 7,
             privacy_interval: 0,
             trace: false,
+            shards: 1,
         }
         .canonicalize()
         .unwrap()
@@ -306,6 +337,42 @@ mod tests {
         // Wire form without the field still parses (defaults to off).
         let spec = JobSpec::from_body(b"{\"experiment\":\"fig2\"}").unwrap();
         assert!(!spec.trace);
+    }
+
+    #[test]
+    fn shards_knob_is_validated_and_cache_keyed() {
+        let serial = tiny_spec();
+        let mut sharded = tiny_spec();
+        sharded.shards = 4;
+        let sharded = sharded.canonicalize().unwrap();
+        assert_ne!(serial.key(), sharded.key());
+        // Wire form without the field still parses (defaults to serial).
+        let spec = JobSpec::from_body(b"{\"experiment\":\"fig2\"}").unwrap();
+        assert_eq!(spec.shards, 1);
+        // Sharded jobs cannot attach per-event instrumentation.
+        let mut bad = tiny_spec();
+        bad.shards = 2;
+        bad.privacy_interval = 50;
+        assert!(bad
+            .canonicalize()
+            .unwrap_err()
+            .contains("per-event instrumentation"));
+        let err = JobSpec::from_body(b"{\"experiment\":\"fig2\",\"shards\":65}").unwrap_err();
+        assert!(err.contains("at most 64"));
+    }
+
+    #[test]
+    fn sharded_execution_reproduces_serial_rows() {
+        let serial = tiny_spec();
+        let mut spec = tiny_spec();
+        spec.shards = 4;
+        let spec = spec.canonicalize().unwrap();
+        // The fig2 sweep draws nothing from the shared global streams,
+        // so the partitioned engine reproduces the serial rows exactly.
+        assert_eq!(
+            execute(&spec, None).unwrap(),
+            execute(&serial, None).unwrap()
+        );
     }
 
     #[test]

@@ -188,12 +188,40 @@ impl<E> Engine<E> {
         Ok(self.queue.push(at, payload))
     }
 
+    /// Timestamp of the next pending event, if any. Ignores the horizon:
+    /// this is what the queue holds, not what `run` would deliver.
+    #[must_use]
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Runs until the queue drains, the horizon passes, the event budget is
     /// spent, or the handler requests a stop. Returns why it stopped.
     ///
     /// The handler is invoked once per delivered event with a [`Scheduler`]
     /// positioned at the event's timestamp.
-    pub fn run<F>(&mut self, mut handler: F) -> StopReason
+    pub fn run<F>(&mut self, handler: F) -> StopReason
+    where
+        F: FnMut(&mut Scheduler<'_, E>, E),
+    {
+        self.run_bounded(None, handler)
+    }
+
+    /// Runs like [`Engine::run`] but delivers only events strictly before
+    /// `bound`, then returns [`StopReason::HorizonReached`] with the
+    /// remaining events intact. The clock is left at the last delivered
+    /// event, so a later `run_before` (or `run`) call resumes seamlessly —
+    /// this is the window primitive conservative parallel runners build
+    /// their barriers on: everything in `[now, bound)` is safe to process
+    /// when cross-partition influences cannot arrive before `bound`.
+    pub fn run_before<F>(&mut self, bound: SimTime, handler: F) -> StopReason
+    where
+        F: FnMut(&mut Scheduler<'_, E>, E),
+    {
+        self.run_bounded(Some(bound), handler)
+    }
+
+    fn run_bounded<F>(&mut self, bound: Option<SimTime>, mut handler: F) -> StopReason
     where
         F: FnMut(&mut Scheduler<'_, E>, E),
     {
@@ -205,6 +233,11 @@ impl<E> Engine<E> {
             let Some(next_time) = self.queue.peek_time() else {
                 return StopReason::Exhausted;
             };
+            if let Some(bound) = bound {
+                if next_time >= bound {
+                    return StopReason::HorizonReached;
+                }
+            }
             if next_time > self.horizon {
                 return StopReason::HorizonReached;
             }
@@ -358,6 +391,57 @@ mod tests {
         assert_eq!(engine.step(), Some((t(1.0), 1)));
         assert_eq!(engine.step(), Some((t(2.0), 2)));
         assert_eq!(engine.step(), None);
+    }
+
+    #[test]
+    fn run_before_windows_compose_into_a_full_run() {
+        let build = |engine: &mut Engine<u32>| {
+            for i in 0..6 {
+                engine.schedule_at(t(i as f64), i).unwrap();
+            }
+        };
+        let mut whole = Engine::new();
+        build(&mut whole);
+        let mut all = Vec::new();
+        whole.run(|sched, ev| all.push((sched.now(), ev)));
+
+        let mut windowed = Engine::new();
+        build(&mut windowed);
+        let mut seen = Vec::new();
+        let mut window = t(0.0);
+        while let Some(next) = windowed.next_time() {
+            assert!(next >= window, "windows never re-deliver the past");
+            window = next + d(2.0);
+            let reason = windowed.run_before(window, |sched, ev| seen.push((sched.now(), ev)));
+            assert!(matches!(
+                reason,
+                StopReason::HorizonReached | StopReason::Exhausted
+            ));
+            // The bound is exclusive: nothing at or past it was delivered.
+            for &(at, _) in &seen {
+                assert!(at < window);
+            }
+        }
+        assert_eq!(seen, all);
+        assert_eq!(windowed.next_time(), None);
+    }
+
+    #[test]
+    fn run_before_leaves_later_events_pending() {
+        let mut engine = Engine::new();
+        engine.schedule_at(t(1.0), 1).unwrap();
+        engine.schedule_at(t(5.0), 5).unwrap();
+        let mut seen = Vec::new();
+        let reason = engine.run_before(t(5.0), |_, ev| seen.push(ev));
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(seen, vec![1], "an event exactly at the bound must wait");
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.next_time(), Some(t(5.0)));
+        // Cross-window insertions land before the pending tail.
+        engine.schedule_at(t(3.0), 3).unwrap();
+        let reason = engine.run(|_, ev| seen.push(ev));
+        assert_eq!(reason, StopReason::Exhausted);
+        assert_eq!(seen, vec![1, 3, 5]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! to nothing, so un-profiled runs pay no cost at all.
 
 /// Number of distinct [`Phase`] values (array-index bound).
-pub const PHASE_COUNT: usize = 7;
+pub const PHASE_COUNT: usize = 8;
 
 /// A coarse wall-time attribution bucket inside the simulation driver.
 ///
@@ -33,6 +33,10 @@ pub enum Phase {
     VictimSelect,
     /// Invoking observation probes (telemetry/trace/privacy hooks).
     Probe,
+    /// Sharded-runner synchronization: waiting at the conservative
+    /// time-window barrier and merging cross-shard handoffs. Serial runs
+    /// never enter this phase.
+    BarrierWait,
 }
 
 impl Phase {
@@ -45,6 +49,7 @@ impl Phase {
         Phase::QueuePush,
         Phase::VictimSelect,
         Phase::Probe,
+        Phase::BarrierWait,
     ];
 
     /// Dense index of this phase (`0..PHASE_COUNT`).
@@ -65,6 +70,7 @@ impl Phase {
             Phase::QueuePush => "queue_push",
             Phase::VictimSelect => "victim_select",
             Phase::Probe => "probe",
+            Phase::BarrierWait => "barrier_wait",
         }
     }
 }

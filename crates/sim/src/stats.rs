@@ -307,19 +307,48 @@ impl TimeWeighted {
 /// compare against the Poisson occupancy law of §4.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct StateDwell {
+    /// Dwell for states `0..64` — the per-event hot path for buffer
+    /// occupancies, which rarely exceed a few tens. A state is "present"
+    /// (even with zero accumulated dwell, e.g. two transitions at the
+    /// same instant) iff its bit in `visited` is set, mirroring the
+    /// entry-creation semantics of the map path.
+    small: Vec<f64>,
+    /// Bitmap of small states ever exited or observed.
+    visited: u64,
+    /// Overflow dwell for states `>= 64`.
     dwell: BTreeMap<u64, f64>,
     last_time: Option<SimTime>,
     state: u64,
 }
+
+/// States below this bound take the allocation-free `small` path.
+const SMALL_STATES: u64 = 64;
 
 impl StateDwell {
     /// Starts tracking at `start` in state `state`.
     #[must_use]
     pub fn new(start: SimTime, state: u64) -> Self {
         StateDwell {
+            small: Vec::new(),
+            visited: 0,
             dwell: BTreeMap::new(),
             last_time: Some(start),
             state,
+        }
+    }
+
+    /// Adds `dt` dwell to `state`, marking it visited.
+    #[inline]
+    fn accumulate(&mut self, state: u64, dt: f64) {
+        if state < SMALL_STATES {
+            let idx = state as usize;
+            if idx >= self.small.len() {
+                self.small.resize(idx + 1, 0.0);
+            }
+            self.small[idx] += dt;
+            self.visited |= 1 << state;
+        } else {
+            *self.dwell.entry(state).or_insert(0.0) += dt;
         }
     }
 
@@ -334,7 +363,8 @@ impl StateDwell {
             .checked_duration_since(last)
             .expect("StateDwell transitions must be in time order")
             .as_units();
-        *self.dwell.entry(self.state).or_insert(0.0) += dt;
+        let prev = self.state;
+        self.accumulate(prev, dt);
         self.last_time = Some(now);
         self.state = state;
     }
@@ -343,17 +373,31 @@ impl StateDwell {
     /// PMF as `(state, probability)` pairs in state order.
     #[must_use]
     pub fn pmf(&self, now: SimTime) -> Vec<(u64, f64)> {
-        let mut dwell = self.dwell.clone();
+        let mut closed = self.clone();
         if let Some(last) = self.last_time {
             if let Some(dt) = now.checked_duration_since(last) {
-                *dwell.entry(self.state).or_insert(0.0) += dt.as_units();
+                closed.accumulate(self.state, dt.as_units());
             }
         }
-        let total: f64 = dwell.values().sum();
+        let small_total: f64 = closed
+            .small
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| closed.visited & (1 << k) != 0)
+            .map(|(_, w)| w)
+            .sum();
+        let total: f64 = small_total + closed.dwell.values().sum::<f64>();
         if total == 0.0 {
             return Vec::new();
         }
-        dwell.into_iter().map(|(k, w)| (k, w / total)).collect()
+        closed
+            .small
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| closed.visited & (1 << k) != 0)
+            .map(|(k, &w)| (k as u64, w / total))
+            .chain(closed.dwell.iter().map(|(&k, &w)| (k, w / total)))
+            .collect()
     }
 
     /// Time-weighted mean state.
@@ -684,6 +728,26 @@ mod tests {
         let lookup: BTreeMap<u64, f64> = pmf.into_iter().collect();
         assert!((lookup[&3] - 0.5).abs() < 1e-12);
         assert!((lookup[&5] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_dwell_keeps_zero_dwell_states_and_overflow() {
+        // Two transitions at the same instant: the exited state must
+        // appear in the PMF with probability 0, exactly as the map
+        // entry-creation semantics had it (peak occupancy depends on it).
+        let mut sd = StateDwell::new(t(0.0), 0);
+        sd.transition(t(2.0), 10);
+        sd.transition(t(2.0), 0); // state 10 for 0u
+        let pmf = sd.pmf(t(4.0));
+        assert_eq!(pmf, vec![(0, 1.0), (10, 0.0)]);
+        assert_eq!(pmf.iter().map(|&(k, _)| k).max(), Some(10));
+
+        // States past the small fast path land in the overflow map and
+        // still come back sorted.
+        let mut big = StateDwell::new(t(0.0), 100);
+        big.transition(t(1.0), 2);
+        let pmf = big.pmf(t(2.0));
+        assert_eq!(pmf, vec![(2, 0.5), (100, 0.5)]);
     }
 
     #[test]
